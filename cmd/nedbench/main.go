@@ -1,0 +1,109 @@
+// Command nedbench regenerates the tables and figures of the NED paper's
+// evaluation section (§13) on the synthetic dataset analogs and prints
+// them as plain-text tables.
+//
+// Usage:
+//
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|ablation]
+//	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
+//
+// The defaults run every experiment at laptop scale in a few minutes;
+// -scale trades fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ned/internal/bench"
+	"ned/internal/datasets"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, ablation)")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
+		queries    = flag.Int("queries", 100, "query nodes per query experiment")
+		candidates = flag.Int("candidates", 1000, "candidate pool size")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	o := bench.Options{
+		Scale:      *scale,
+		Pairs:      *pairs,
+		Queries:    *queries,
+		Candidates: *candidates,
+		Seed:       *seed,
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	start := time.Now()
+	ran := 0
+
+	if run("table2") {
+		bench.Table2(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("fig5") {
+		t1, t2 := bench.Figure5(o)
+		t1.Fprint(os.Stdout)
+		t2.Fprint(os.Stdout)
+		ran++
+	}
+	if run("fig6") {
+		bench.Figure6(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("fig7") {
+		bench.Figure7a(o).Fprint(os.Stdout)
+		bench.Figure7b(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("fig8") {
+		bench.Figure8(o, 10).Fprint(os.Stdout)
+		ran++
+	}
+	if run("fig9") {
+		bench.Figure9a(o).Fprint(os.Stdout)
+		bench.Figure9b(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("fig10") {
+		bench.Figure10(o, datasets.PGP, 5, 0.01).Fprint(os.Stdout)
+		bench.Figure10(o, datasets.DBLP, 10, 0.05).Fprint(os.Stdout)
+		ran++
+	}
+	if run("fig11") {
+		bench.Figure11a(o).Fprint(os.Stdout)
+		bench.Figure11b(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("hausdorff") {
+		bench.AppendixHausdorff(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("directed") {
+		bench.ExtensionDirected(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("weighted") {
+		bench.ExtensionWeighted(o).Fprint(os.Stdout)
+		ran++
+	}
+	if run("ablation") {
+		bench.AblationMatching(o).Fprint(os.Stdout)
+		bench.AblationIndexes(o).Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation\n")
+		os.Exit(2)
+	}
+	fmt.Printf("%s\ncompleted in %s\n", strings.Repeat("-", 40), time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,81 @@
+// Command nedstats prints structural statistics of a graph — either one
+// of the built-in dataset analogs or an edge-list file — so the synthetic
+// substitutions of DESIGN.md §2 can be checked against the real graphs'
+// published numbers.
+//
+// Usage:
+//
+//	nedstats -dataset PGP [-scale 1.0] [-seed 42]
+//	nedstats -file path/to/graph.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ned/internal/datasets"
+	"ned/internal/graph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "built-in dataset analog (CAR, PAR, AMZN, DBLP, GNU, PGP)")
+		file    = flag.String("file", "", "edge-list file to analyze")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		hist    = flag.Bool("hist", false, "print the degree histogram")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var label string
+	switch {
+	case *dataset != "":
+		name := datasets.Name(strings.ToUpper(*dataset))
+		var err error
+		g, err = datasets.Generate(name, datasets.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		label = string(name)
+	case *file != "":
+		var err error
+		g, _, err = graph.LoadEdgeListFile(*file, false)
+		if err != nil {
+			fatal(err)
+		}
+		label = *file
+	default:
+		fmt.Fprintln(os.Stderr, "nedstats: provide -dataset or -file")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := graph.ComputeStats(g)
+	fmt.Printf("graph: %s\n", label)
+	fmt.Printf("  nodes                 %d\n", s.Nodes)
+	fmt.Printf("  edges                 %d\n", s.Edges)
+	fmt.Printf("  avg degree            %.2f\n", s.AvgDegree)
+	fmt.Printf("  max degree            %d\n", s.MaxDegree)
+	fmt.Printf("  components            %d (largest %d)\n", s.Components, s.LargestComponent)
+	fmt.Printf("  global clustering     %.4f\n", s.GlobalClustering)
+	fmt.Printf("  avg local clustering  %.4f\n", s.AvgLocalCluster)
+	fmt.Printf("  diameter (approx >=)  %d\n", s.ApproxDiameter)
+	fmt.Printf("  degree assortativity  %.4f\n", s.DegreeAssortative)
+
+	if *hist {
+		fmt.Println("  degree histogram:")
+		for d, c := range graph.DegreeHistogram(g) {
+			if c > 0 {
+				fmt.Printf("    %4d  %d\n", d, c)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nedstats: %v\n", err)
+	os.Exit(1)
+}

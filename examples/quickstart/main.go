@@ -1,0 +1,51 @@
+// Quickstart: compute NED between nodes of two different graphs, inspect
+// the interpretable edit-cost breakdown, and run a nearest-neighbor query.
+package main
+
+import (
+	"fmt"
+
+	"ned"
+)
+
+func main() {
+	// Two small graphs built by hand. Node 0 of g1 and node 0 of g2 have
+	// similar 2-hop neighborhoods; node 5 of g2 does not.
+	b1 := ned.NewGraphBuilder(6, false)
+	for _, e := range [][2]ned.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {4, 5}} {
+		b1.AddEdge(e[0], e[1])
+	}
+	g1 := b1.Build()
+
+	b2 := ned.NewGraphBuilder(7, false)
+	for _, e := range [][2]ned.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {4, 5}, {5, 6}} {
+		b2.AddEdge(e[0], e[1])
+	}
+	g2 := b2.Build()
+
+	// NED with k = 2: compare the 2-hop neighborhood trees.
+	fmt.Println("NED(g1:0, g2:0, k=2) =", ned.Distance(g1, 0, g2, 0, 2))
+	fmt.Println("NED(g1:0, g2:5, k=2) =", ned.Distance(g1, 0, g2, 5, 2))
+
+	// TED* is interpretable: the report decomposes the distance into leaf
+	// insertions/deletions (padding) and same-level moves per depth.
+	t1 := ned.KAdjacentTree(g1, 0, 4)
+	t2 := ned.KAdjacentTree(g2, 0, 4)
+	rep := ned.TEDStarReport(t1, t2)
+	fmt.Printf("\nTED* = %d, per-level breakdown:\n", rep.Distance)
+	for _, lc := range rep.Levels {
+		fmt.Printf("  depth %d: %d leaf insert/delete, %d moves\n", lc.Depth, lc.Padding, lc.Matching)
+	}
+
+	// Nearest-neighbor query: which node of g2 is most similar to g1:0?
+	query := ned.NewSignature(g1, 0, 2)
+	var all []ned.NodeID
+	for v := 0; v < g2.NumNodes(); v++ {
+		all = append(all, ned.NodeID(v))
+	}
+	candidates := ned.Signatures(g2, all, 2)
+	fmt.Println("\nnearest neighbors of g1:0 in g2:")
+	for _, n := range ned.TopL(query, candidates, 3) {
+		fmt.Printf("  g2:%d at distance %d\n", n.Node, n.Dist)
+	}
+}

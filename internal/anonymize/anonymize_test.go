@@ -1,0 +1,129 @@
+package anonymize
+
+import (
+	"math/rand"
+	"testing"
+
+	"ned/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	b := graph.NewBuilder(20, false)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20)))
+	}
+	return b.Build()
+}
+
+func degreeMultiset(g *graph.Graph) map[int]int {
+	m := map[int]int{}
+	for v := 0; v < g.NumNodes(); v++ {
+		m[g.Degree(graph.NodeID(v))]++
+	}
+	return m
+}
+
+func TestNaivePreservesStructure(t *testing.T) {
+	g := testGraph()
+	res := Naive(g, rand.New(rand.NewSource(2)))
+	if res.Graph.NumNodes() != g.NumNodes() || res.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("naive changed size: %v -> %v", g, res.Graph)
+	}
+	// Degree multiset invariant under permutation.
+	dg, da := degreeMultiset(g), degreeMultiset(res.Graph)
+	for d, c := range dg {
+		if da[d] != c {
+			t.Errorf("degree %d count %d -> %d", d, c, da[d])
+		}
+	}
+	// Identity is a bijection and maps each anon node to an original
+	// with the same degree.
+	seen := map[graph.NodeID]bool{}
+	for anon, orig := range res.Identity {
+		if seen[orig] {
+			t.Fatal("identity not a bijection")
+		}
+		seen[orig] = true
+		if res.Graph.Degree(graph.NodeID(anon)) != g.Degree(orig) {
+			t.Fatalf("anon %d degree %d != orig %d degree %d",
+				anon, res.Graph.Degree(graph.NodeID(anon)), orig, g.Degree(orig))
+		}
+	}
+}
+
+func TestNaiveEdgePreservation(t *testing.T) {
+	g := testGraph()
+	res := Naive(g, rand.New(rand.NewSource(3)))
+	// Every anon edge must correspond to an original edge under Identity.
+	for _, e := range res.Graph.Edges() {
+		ou, ov := res.Identity[e.U], res.Identity[e.V]
+		if !g.HasEdge(ou, ov) {
+			t.Fatalf("anon edge (%d,%d) has no original counterpart (%d,%d)", e.U, e.V, ou, ov)
+		}
+	}
+}
+
+func TestSparsifyRemovesEdges(t *testing.T) {
+	g := testGraph()
+	res := Sparsify(g, 0.2, rand.New(rand.NewSource(4)))
+	if res.Graph.NumNodes() != g.NumNodes() {
+		t.Error("sparsify must not change node count")
+	}
+	want := int(float64(g.NumEdges())*0.8 + 0.5)
+	if got := res.Graph.NumEdges(); got != want {
+		t.Errorf("sparsified edges = %d, want %d", got, want)
+	}
+	// Remaining edges are a subset of the permuted original.
+	for _, e := range res.Graph.Edges() {
+		if !g.HasEdge(res.Identity[e.U], res.Identity[e.V]) {
+			t.Fatal("sparsify invented an edge")
+		}
+	}
+}
+
+func TestPerturbKeepsEdgeCount(t *testing.T) {
+	g := testGraph()
+	res := Perturb(g, 0.2, rand.New(rand.NewSource(5)))
+	if res.Graph.NumEdges() != g.NumEdges() {
+		t.Errorf("perturb edges = %d, want %d (remove+add balance)",
+			res.Graph.NumEdges(), g.NumEdges())
+	}
+	// Some edges must be new (not in the permuted original) at 20%.
+	fresh := 0
+	for _, e := range res.Graph.Edges() {
+		if !g.HasEdge(res.Identity[e.U], res.Identity[e.V]) {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Error("perturbation added no new edges")
+	}
+}
+
+func TestZeroRatioIsNaive(t *testing.T) {
+	g := testGraph()
+	s := Sparsify(g, 0, rand.New(rand.NewSource(6)))
+	if s.Graph.NumEdges() != g.NumEdges() {
+		t.Error("ratio 0 sparsify must keep all edges")
+	}
+	p := Perturb(g, 0, rand.New(rand.NewSource(7)))
+	if p.Graph.NumEdges() != g.NumEdges() {
+		t.Error("ratio 0 perturb must keep all edges")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := testGraph()
+	a := Perturb(g, 0.1, rand.New(rand.NewSource(8)))
+	b := Perturb(g, 0.1, rand.New(rand.NewSource(8)))
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"math"
+
+	"ned/internal/graph"
+)
+
+// GraphletFeatures computes the graphlet-degree feature vector of a node
+// (§2's third baseline family [18, 6, 21]): how many times the node
+// participates in each small connected induced pattern. The vector
+// covers the orbits of graphlets with up to four nodes that are
+// countable in O(deg²)–O(deg³) time:
+//
+//	[0] edges            — degree (2-node graphlet)
+//	[1] wedge centers    — 2-paths centered at the node
+//	[2] wedge ends       — 2-paths with the node as an endpoint
+//	[3] triangles        — 3-cliques containing the node
+//	[4] 3-star centers   — claws centered at the node
+//	[5] 4-path ends      — paths a-b-c-d with the node at an end
+//	[6] 4-cycles         — squares containing the node
+//
+// Values are log1p-scaled like the ReFeX features so heavy-tailed counts
+// do not dominate distances.
+func GraphletFeatures(g *graph.Graph, v graph.NodeID) FeatureVector {
+	deg := float64(g.Degree(v))
+	wedgeCenter := 0.0
+	if d := g.Degree(v); d >= 2 {
+		wedgeCenter = float64(d*(d-1)) / 2
+	}
+	wedgeEnd := 0.0
+	for _, u := range g.Neighbors(v) {
+		wedgeEnd += float64(g.Degree(u) - 1)
+	}
+	triangles := 0.0
+	ns := g.Neighbors(v)
+	for i := 0; i < len(ns); i++ {
+		for j := i + 1; j < len(ns); j++ {
+			if g.HasEdge(ns[i], ns[j]) {
+				triangles++
+			}
+		}
+	}
+	// Wedge-end counts above include triangle paths; the induced 2-path
+	// count excludes pairs that close a triangle.
+	wedgeEndInduced := wedgeEnd - 2*triangles
+	starCenter := 0.0
+	if d := g.Degree(v); d >= 3 {
+		starCenter = float64(d*(d-1)*(d-2)) / 6
+	}
+	// 4-paths with v at an end: v-a-b-c with distinct nodes. Count walks
+	// and subtract short-circuit configurations approximately via
+	// distinctness checks (exact enumeration, bounded by deg³).
+	fourPath := 0.0
+	for _, a := range g.Neighbors(v) {
+		for _, b := range g.Neighbors(a) {
+			if b == v {
+				continue
+			}
+			for _, c := range g.Neighbors(b) {
+				if c == v || c == a {
+					continue
+				}
+				fourPath++
+			}
+		}
+	}
+	// 4-cycles through v: neighbors a != c of v sharing a second common
+	// neighbor b != v.
+	fourCycle := 0.0
+	for i := 0; i < len(ns); i++ {
+		for j := i + 1; j < len(ns); j++ {
+			fourCycle += float64(commonNeighborsExcluding(g, ns[i], ns[j], v))
+		}
+	}
+
+	f := FeatureVector{deg, wedgeCenter, wedgeEndInduced, triangles, starCenter, fourPath, fourCycle}
+	for i, x := range f {
+		if x < 0 {
+			x = 0
+		}
+		f[i] = math.Log1p(x)
+	}
+	return f
+}
+
+// GraphletFeaturesAll computes graphlet features for every node.
+func GraphletFeaturesAll(g *graph.Graph) []FeatureVector {
+	out := make([]FeatureVector, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		out[v] = GraphletFeatures(g, graph.NodeID(v))
+	}
+	return out
+}
+
+// commonNeighborsExcluding counts nodes adjacent to both a and b, other
+// than x. Adjacency lists are sorted, so a linear merge suffices.
+func commonNeighborsExcluding(g *graph.Graph, a, b, x graph.NodeID) int {
+	na, nb := g.Neighbors(a), g.Neighbors(b)
+	i, j, n := 0, 0, 0
+	for i < len(na) && j < len(nb) {
+		switch {
+		case na[i] == nb[j]:
+			if na[i] != x {
+				n++
+			}
+			i++
+			j++
+		case na[i] < nb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}

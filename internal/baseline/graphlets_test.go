@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ned/internal/graph"
+)
+
+// expm1 undoes the log1p scaling for exact count assertions.
+func count(f FeatureVector, i int) float64 {
+	return math.Round(math.Expm1(f[i]))
+}
+
+func TestGraphletsOnTriangle(t *testing.T) {
+	b := graph.NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	f := GraphletFeatures(g, 0)
+	if got := count(f, 0); got != 2 {
+		t.Errorf("degree = %v, want 2", got)
+	}
+	if got := count(f, 1); got != 1 {
+		t.Errorf("wedge centers = %v, want 1", got)
+	}
+	if got := count(f, 3); got != 1 {
+		t.Errorf("triangles = %v, want 1", got)
+	}
+	if got := count(f, 2); got != 0 {
+		t.Errorf("induced wedge ends = %v, want 0 (all wedges close)", got)
+	}
+}
+
+func TestGraphletsOnStar(t *testing.T) {
+	// Star with center 0 and 4 leaves.
+	b := graph.NewBuilder(5, false)
+	for i := 1; i <= 4; i++ {
+		b.AddEdge(0, graph.NodeID(i))
+	}
+	g := b.Build()
+	center := GraphletFeatures(g, 0)
+	if got := count(center, 1); got != 6 { // C(4,2) wedges
+		t.Errorf("center wedges = %v, want 6", got)
+	}
+	if got := count(center, 3); got != 0 {
+		t.Errorf("center triangles = %v, want 0", got)
+	}
+	if got := count(center, 4); got != 4 { // C(4,3) claws
+		t.Errorf("center 3-stars = %v, want 4", got)
+	}
+	leaf := GraphletFeatures(g, 1)
+	if got := count(leaf, 2); got != 3 { // leaf-center-otherleaf paths
+		t.Errorf("leaf wedge ends = %v, want 3", got)
+	}
+}
+
+func TestGraphletsOnSquare(t *testing.T) {
+	b := graph.NewBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	f := GraphletFeatures(g, 0)
+	if got := count(f, 6); got != 1 {
+		t.Errorf("4-cycles = %v, want 1", got)
+	}
+	if got := count(f, 3); got != 0 {
+		t.Errorf("triangles = %v, want 0", got)
+	}
+}
+
+func TestGraphletsEquivalentNodesMatch(t *testing.T) {
+	// All nodes of a cycle are equivalent.
+	g := ring(7)
+	ref := GraphletFeatures(g, 0)
+	for v := 1; v < 7; v++ {
+		f := GraphletFeatures(g, graph.NodeID(v))
+		if L1(ref, f) != 0 {
+			t.Fatalf("cycle node %d graphlet features differ", v)
+		}
+	}
+}
+
+func TestGraphletFeaturesAll(t *testing.T) {
+	g := ring(6)
+	all := GraphletFeaturesAll(g)
+	if len(all) != 6 {
+		t.Fatalf("got %d vectors", len(all))
+	}
+	for v := range all {
+		single := GraphletFeatures(g, graph.NodeID(v))
+		if L1(all[v], single) != 0 {
+			t.Fatalf("node %d: batch differs from single", v)
+		}
+	}
+}
+
+func TestGraphletsIsolatedNode(t *testing.T) {
+	g := graph.NewBuilder(3, false)
+	g.AddEdge(1, 2)
+	f := GraphletFeatures(g.Build(), 0)
+	for i, x := range f {
+		if x != 0 {
+			t.Errorf("isolated node feature %d = %v, want 0", i, x)
+		}
+	}
+}

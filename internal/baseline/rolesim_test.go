@@ -1,0 +1,66 @@
+package baseline
+
+import (
+	"testing"
+
+	"ned/internal/graph"
+)
+
+func TestRoleSimSelfSimilarityIsOne(t *testing.T) {
+	g := ring(5)
+	rs := NewRoleSim(g, RoleSimOptions{})
+	for v := 0; v < 5; v++ {
+		if s := rs.Score(graph.NodeID(v), graph.NodeID(v)); s != 1 {
+			t.Errorf("r(%d,%d) = %v, want 1", v, v, s)
+		}
+	}
+}
+
+func TestRoleSimBoundedAndSymmetric(t *testing.T) {
+	b := graph.NewBuilder(6, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	rs := NewRoleSim(g, RoleSimOptions{Beta: 0.2, Iterations: 5})
+	for a := 0; a < 6; a++ {
+		for bb := 0; bb < 6; bb++ {
+			s := rs.Score(graph.NodeID(a), graph.NodeID(bb))
+			if s < 0 || s > 1+1e-9 {
+				t.Fatalf("r(%d,%d) = %v out of range", a, bb, s)
+			}
+			if s != rs.Score(graph.NodeID(bb), graph.NodeID(a)) {
+				t.Fatalf("asymmetric at (%d,%d)", a, bb)
+			}
+		}
+	}
+}
+
+func TestRoleSimAutomorphicNodesScoreOne(t *testing.T) {
+	// In a cycle every node is automorphically equivalent; RoleSim's
+	// admissibility axiom requires r = 1 for automorphic pairs.
+	g := ring(6)
+	rs := NewRoleSim(g, RoleSimOptions{Iterations: 8})
+	for v := 1; v < 6; v++ {
+		if s := rs.Score(0, graph.NodeID(v)); s < 0.999 {
+			t.Errorf("automorphic pair (0,%d) scored %v, want ~1", v, s)
+		}
+	}
+}
+
+func TestRoleSimDistinguishesRoles(t *testing.T) {
+	// A star: the center's role differs from the leaves'.
+	b := graph.NewBuilder(5, false)
+	for i := 1; i <= 4; i++ {
+		b.AddEdge(0, graph.NodeID(i))
+	}
+	g := b.Build()
+	rs := NewRoleSim(g, RoleSimOptions{Iterations: 6})
+	leafLeaf := rs.Score(1, 2)
+	centerLeaf := rs.Score(0, 1)
+	if leafLeaf <= centerLeaf {
+		t.Errorf("leaf-leaf %v should exceed center-leaf %v", leafLeaf, centerLeaf)
+	}
+}

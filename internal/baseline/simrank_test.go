@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"testing"
+
+	"ned/internal/graph"
+)
+
+func TestSimRankSelfSimilarityIsOne(t *testing.T) {
+	g := ring(6)
+	sr := NewSimRank(g, SimRankOptions{})
+	for v := 0; v < 6; v++ {
+		if s := sr.Score(graph.NodeID(v), graph.NodeID(v)); s != 1 {
+			t.Errorf("s(%d,%d) = %v, want 1", v, v, s)
+		}
+	}
+}
+
+func TestSimRankSymmetric(t *testing.T) {
+	b := graph.NewBuilder(5, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	sr := NewSimRank(g, SimRankOptions{})
+	for a := 0; a < 5; a++ {
+		for bb := 0; bb < 5; bb++ {
+			if sr.Score(graph.NodeID(a), graph.NodeID(bb)) != sr.Score(graph.NodeID(bb), graph.NodeID(a)) {
+				t.Fatalf("asymmetric at (%d,%d)", a, bb)
+			}
+		}
+	}
+}
+
+func TestSimRankStructurallySimilarNodesScoreHigher(t *testing.T) {
+	// Nodes 1 and 2 both hang off node 0 (same in-neighborhood);
+	// node 4 hangs off 3. s(1,2) should beat s(1,4).
+	b := graph.NewBuilder(5, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	sr := NewSimRank(g, SimRankOptions{})
+	if sr.Score(1, 2) <= sr.Score(1, 4) {
+		t.Errorf("s(1,2)=%v should exceed s(1,4)=%v", sr.Score(1, 2), sr.Score(1, 4))
+	}
+}
+
+func TestSimRankScoresBounded(t *testing.T) {
+	g := ring(8)
+	sr := NewSimRank(g, SimRankOptions{Decay: 0.6, Iterations: 8})
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			s := sr.Score(graph.NodeID(a), graph.NodeID(b))
+			if s < 0 || s > 1 {
+				t.Fatalf("s(%d,%d) = %v out of [0,1]", a, b, s)
+			}
+		}
+	}
+}
+
+func TestSimRankInterGraphIsAlwaysZero(t *testing.T) {
+	// The executable version of the §2 argument: link-based similarity
+	// cannot compare nodes of different graphs.
+	ga := ring(5)
+	gb := ring(7)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 7; v += 3 {
+			if s := SimRankInterGraph(ga, graph.NodeID(u), gb, graph.NodeID(v), SimRankOptions{}); s != 0 {
+				t.Fatalf("inter-graph SimRank(%d,%d) = %v, want 0", u, v, s)
+			}
+		}
+	}
+}

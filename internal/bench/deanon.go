@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ned/internal/anonymize"
+	"ned/internal/datasets"
+	"ned/internal/deanon"
+	"ned/internal/graph"
+)
+
+// deanonExperiment builds the §13.5 setup: the training graph keeps its
+// identities; the testing graph is an anonymized copy; queries are
+// sampled test nodes; candidates are their true identities plus a random
+// candidate pool.
+func deanonExperiment(train *graph.Graph, anon anonymize.Result, queries, candidates, topL int, seed int64) deanon.Experiment {
+	rng := rand.New(rand.NewSource(seed))
+	qs := sampleNodes(anon.Graph, queries, rng)
+	candSet := map[graph.NodeID]bool{}
+	for _, q := range qs {
+		candSet[anon.Identity[q]] = true
+	}
+	for len(candSet) < candidates && len(candSet) < train.NumNodes() {
+		candSet[graph.NodeID(rng.Intn(train.NumNodes()))] = true
+	}
+	cands := make([]graph.NodeID, 0, len(candSet))
+	for c := range candSet {
+		cands = append(cands, c)
+	}
+	// Deterministic order for reproducibility.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	return deanon.Experiment{
+		Train:      train,
+		Test:       anon.Graph,
+		Identity:   anon.Identity,
+		Queries:    qs,
+		Candidates: cands,
+		TopL:       topL,
+	}
+}
+
+// Figure10 reproduces Figures 10a/10b: de-anonymization precision of NED
+// versus the Feature baseline under the three anonymization schemes.
+// The paper uses k=3, top-5 on PGP (1% perturbation) and top-10 on DBLP
+// (5% perturbation).
+func Figure10(o Options, name datasets.Name, topL int, ratio float64) Table {
+	o.defaults()
+	t := Table{
+		Title: fmt.Sprintf("Figure 10 (%s): De-anonymization Precision, top-%d, ratio %.0f%%",
+			name, topL, 100*ratio),
+		Note:   fmt.Sprintf("%d queries, %d candidates, k=3", o.Queries, o.Candidates),
+		Header: []string{"Scheme", "NED", "Feature"},
+	}
+	train := o.dataset(name)
+	rng := rand.New(rand.NewSource(o.Seed + 23))
+	schemes := []struct {
+		label string
+		anon  anonymize.Result
+	}{
+		{"naive", anonymize.Naive(train, rng)},
+		{"sparsify", anonymize.Sparsify(train, ratio, rng)},
+		{"perturb", anonymize.Perturb(train, ratio, rng)},
+	}
+	for _, s := range schemes {
+		e := deanonExperiment(train, s.anon, o.Queries, o.Candidates, topL, o.Seed+29)
+		pNED := deanon.Precision(e, &deanon.NEDScorer{K: 3})
+		pFeat := deanon.Precision(e, &deanon.FeatureScorer{Depth: 2})
+		t.AddRow(s.label, fmt.Sprintf("%.2f", pNED), fmt.Sprintf("%.2f", pFeat))
+	}
+	return t
+}
+
+// Figure11a reproduces Figure 11a: precision as the perturbation ratio
+// grows (PGP, top-5).
+func Figure11a(o Options) Table {
+	o.defaults()
+	t := Table{
+		Title:  "Figure 11a: Precision vs Permutation Ratio (PGP, perturb, top-5, k=3)",
+		Header: []string{"ratio", "NED", "Feature"},
+	}
+	train := o.dataset(datasets.PGP)
+	for _, ratio := range []float64{0.01, 0.02, 0.05, 0.10} {
+		rng := rand.New(rand.NewSource(o.Seed + 31))
+		anon := anonymize.Perturb(train, ratio, rng)
+		e := deanonExperiment(train, anon, o.Queries, o.Candidates, 5, o.Seed+37)
+		pNED := deanon.Precision(e, &deanon.NEDScorer{K: 3})
+		pFeat := deanon.Precision(e, &deanon.FeatureScorer{Depth: 2})
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*ratio), fmt.Sprintf("%.2f", pNED), fmt.Sprintf("%.2f", pFeat))
+	}
+	return t
+}
+
+// Figure11b reproduces Figure 11b: precision as the number of examined
+// top-l results grows (PGP, 1% perturbation).
+func Figure11b(o Options) Table {
+	o.defaults()
+	t := Table{
+		Title:  "Figure 11b: Precision vs Top-l (PGP, perturb 1%, k=3)",
+		Header: []string{"l", "NED", "Feature"},
+	}
+	train := o.dataset(datasets.PGP)
+	rng := rand.New(rand.NewSource(o.Seed + 41))
+	anon := anonymize.Perturb(train, 0.01, rng)
+	for _, l := range []int{1, 2, 5, 10, 20} {
+		e := deanonExperiment(train, anon, o.Queries, o.Candidates, l, o.Seed+43)
+		pNED := deanon.Precision(e, &deanon.NEDScorer{K: 3})
+		pFeat := deanon.Precision(e, &deanon.FeatureScorer{Depth: 2})
+		t.AddRow(fmt.Sprint(l), fmt.Sprintf("%.2f", pNED), fmt.Sprintf("%.2f", pFeat))
+	}
+	return t
+}

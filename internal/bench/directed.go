@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ned/internal/exact"
+	"ned/internal/graph"
+	"ned/internal/ned"
+	"ned/internal/ted"
+)
+
+// ExtensionDirected exercises the §3.3 directed-graph NED: incoming plus
+// outgoing k-adjacent tree distances on synthetic directed graphs. The
+// table reports, per k, the mean directed distance between random
+// cross-graph node pairs and the mean time — alongside the undirected
+// distance on the same underlying topology for comparison.
+func ExtensionDirected(o Options) Table {
+	o.defaults()
+	t := Table{
+		Title:  "Extension (§3.3): Directed NED — incoming + outgoing trees",
+		Note:   fmt.Sprintf("%d pairs on directed ER analogs", o.Pairs),
+		Header: []string{"k", "directed mean", "undirected mean", "time (µs)"},
+	}
+	g1 := directedER(4000, 3.0, rand.New(rand.NewSource(o.Seed+71)))
+	g2 := directedER(4000, 3.0, rand.New(rand.NewSource(o.Seed+72)))
+	u1 := undirect(g1)
+	u2 := undirect(g2)
+	rng := rand.New(rand.NewSource(o.Seed + 73))
+	nodes1 := sampleNodes(g1, o.Pairs, rng)
+	nodes2 := sampleNodes(g2, o.Pairs, rng)
+	for k := 1; k <= 4; k++ {
+		var w stopwatch
+		var sumD, sumU float64
+		for i := range nodes1 {
+			u, v := nodes1[i], nodes2[i]
+			var d int
+			w.time(func() { d = ned.DistanceDirected(g1, u, g2, v, k) })
+			sumD += float64(d)
+			sumU += float64(ned.Distance(u1, u, u2, v, k))
+		}
+		n := float64(len(nodes1))
+		t.AddRow(fmt.Sprint(k),
+			fmt.Sprintf("%.2f", sumD/n),
+			fmt.Sprintf("%.2f", sumU/n),
+			us(w.mean()))
+	}
+	return t
+}
+
+// directedER samples a directed Erdős–Rényi-style graph with the given
+// expected out-degree.
+func directedER(n int, outDeg float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	arcs := int(float64(n) * outDeg)
+	for i := 0; i < arcs; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// undirect drops edge orientation.
+func undirect(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.NumNodes(), false)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// ExtensionWeighted demonstrates the §12 sandwich on small trees:
+// exact TED lies between the unweighted TED* (which may undercut TED)
+// and the δT(W+) upper bound (Lemma 7).
+func ExtensionWeighted(o Options) Table {
+	o.defaults()
+	t := Table{
+		Title:  "Extension (§12): weighted TED* — TED* vs exact TED vs δT(W+)",
+		Header: []string{"k", "TED* mean", "exact TED mean", "W+ mean", "W+ >= TED always", "pairs"},
+	}
+	for k := 1; k <= 3; k++ {
+		_, _, pairs := figure56Workload(o, k)
+		var sStar, sTED, sW float64
+		holds := true
+		n := 0
+		for _, p := range pairs {
+			dTED, ok := exact.TED(p.tu, p.tv)
+			if !ok {
+				continue
+			}
+			dStar := ted.Distance(p.tu, p.tv)
+			wPlus := ted.WeightedDistance(p.tu, p.tv, ted.UpperBoundWeights{})
+			if wPlus < float64(dTED)-1e-9 {
+				holds = false
+			}
+			sStar += float64(dStar)
+			sTED += float64(dTED)
+			sW += wPlus
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprint(k),
+			fmt.Sprintf("%.2f", sStar/float64(n)),
+			fmt.Sprintf("%.2f", sTED/float64(n)),
+			fmt.Sprintf("%.2f", sW/float64(n)),
+			fmt.Sprint(holds),
+			fmt.Sprint(n))
+	}
+	return t
+}

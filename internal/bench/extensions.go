@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ned/internal/datasets"
+	"ned/internal/hungarian"
+	"ned/internal/ned"
+	"ned/internal/ted"
+	"ned/internal/tree"
+)
+
+// AppendixHausdorff reproduces the Appendix-A proposal: the Hausdorff
+// graph-to-graph distance built on NED, evaluated on sampled node sets of
+// every dataset against a re-seeded copy of itself and against a
+// different dataset (showing same-family < cross-family distances).
+func AppendixHausdorff(o Options) Table {
+	o.defaults()
+	t := Table{
+		Title:  "Appendix A: Hausdorff graph distance over NED (sampled, k=3)",
+		Note:   fmt.Sprintf("%d sampled nodes per graph", o.Queries),
+		Header: []string{"Graph A", "Graph B", "H(A,B)"},
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 47))
+	pairs := []struct{ a, b datasets.Name }{
+		{datasets.PGP, datasets.PGP},   // same family, different seeds
+		{datasets.PGP, datasets.GNU},   // small-world vs random
+		{datasets.CAR, datasets.PAR},   // two road networks
+		{datasets.CAR, datasets.DBLP},  // road vs social
+		{datasets.AMZN, datasets.DBLP}, // two clustered socials
+	}
+	for _, p := range pairs {
+		ga := o.dataset(p.a)
+		gb := datasets.MustGenerate(p.b, datasets.Options{Scale: o.Scale, Seed: o.Seed + 999})
+		na := sampleNodes(ga, o.Queries, rng)
+		nb := sampleNodes(gb, o.Queries, rng)
+		h := ned.HausdorffSampled(ga, na, gb, nb, 3)
+		t.AddRow(string(p.a), string(p.b)+"'", fmt.Sprint(h))
+	}
+	return t
+}
+
+// AblationMatching quantifies why TED* needs an optimal bipartite
+// matcher: it compares the Hungarian-based TED* to a greedy-matching
+// variant on random trees, reporting how often and how badly greedy
+// overshoots. (DESIGN.md lists this as an ablation of §5.5.)
+func AblationMatching(o Options) Table {
+	o.defaults()
+	t := Table{
+		Title:  "Ablation: Hungarian vs greedy matching inside TED*",
+		Header: []string{"tree width", "greedy > optimal (% pairs)", "mean overshoot"},
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 53))
+	for _, width := range []int{4, 8, 16} {
+		worse, n := 0, 0
+		var overshoot float64
+		for i := 0; i < o.Pairs; i++ {
+			a := tree.RandomShape(rng, []int{1, width / 2, width, width})
+			b := tree.RandomShape(rng, []int{1, width / 2, width, width})
+			opt := ted.Distance(a, b)
+			gre := greedyTEDStar(a, b)
+			n++
+			if gre > opt {
+				worse++
+				overshoot += float64(gre - opt)
+			}
+		}
+		mean := 0.0
+		if worse > 0 {
+			mean = overshoot / float64(worse)
+		}
+		t.AddRow(fmt.Sprint(width),
+			fmt.Sprintf("%.0f%%", 100*float64(worse)/float64(n)),
+			fmt.Sprintf("%.2f", mean))
+	}
+	return t
+}
+
+// greedyTEDStar runs the TED* recurrence with greedy matching instead of
+// the Hungarian algorithm: a deliberately degraded variant for the
+// ablation. It mirrors Algorithm 1's per-level accounting.
+func greedyTEDStar(t1, t2 *tree.Tree) int {
+	maxD := t1.Height()
+	if h := t2.Height(); h > maxD {
+		maxD = h
+	}
+	lab1 := make([]int32, t1.Size())
+	lab2 := make([]int32, t2.Size())
+	prevPad := 0
+	total := 0
+	for d := maxD; d >= 0; d-- {
+		lo1, hi1 := t1.LevelRange(d)
+		lo2, hi2 := t2.LevelRange(d)
+		n1, n2 := int(hi1-lo1), int(hi2-lo2)
+		pad := n1 - n2
+		if pad < 0 {
+			pad = -pad
+		}
+		n := n1
+		if n2 > n {
+			n = n2
+		}
+		total += pad
+		if n == 0 {
+			prevPad = pad
+			continue
+		}
+		coll := func(t *tree.Tree, lab []int32, v int32) []int32 {
+			kids := t.Children(v)
+			c := make([]int32, len(kids))
+			for i, k := range kids {
+				c[i] = lab[k]
+			}
+			insertionSort(c)
+			return c
+		}
+		colls1 := make([][]int32, n1)
+		for r := 0; r < n1; r++ {
+			colls1[r] = coll(t1, lab1, lo1+int32(r))
+		}
+		colls2 := make([][]int32, n2)
+		for c := 0; c < n2; c++ {
+			colls2[c] = coll(t2, lab2, lo2+int32(c))
+		}
+		canonizeLevel(colls1, colls2, lab1[lo1:hi1], lab2[lo2:hi2])
+		cost := make([][]int64, n)
+		for r := 0; r < n; r++ {
+			cost[r] = make([]int64, n)
+			var sr []int32
+			if r < n1 {
+				sr = colls1[r]
+			}
+			for c := 0; c < n; c++ {
+				var sc []int32
+				if c < n2 {
+					sc = colls2[c]
+				}
+				cost[r][c] = symDiff(sr, sc)
+			}
+		}
+		m, assign := hungarian.Greedy(cost)
+		diff := int(m) - prevPad
+		if diff < 0 {
+			diff = 0
+		}
+		total += diff / 2
+		// Re-canonize the smaller side with partner labels, as in the
+		// real algorithm.
+		if n1 < n2 {
+			for r := 0; r < n1; r++ {
+				lab1[lo1+int32(r)] = lab2[lo2+int32(assign[r])]
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				if c := assign[r]; c < n2 {
+					lab2[lo2+int32(c)] = lab1[lo1+int32(r)]
+				}
+			}
+		}
+		prevPad = pad
+	}
+	return total
+}
+
+// canonizeLevel assigns dense rank labels so equal collections get equal
+// labels across both sides (the ablation's copy of Algorithm 2).
+func canonizeLevel(c1, c2 [][]int32, out1, out2 []int32) {
+	type entry struct {
+		coll []int32
+		side int
+		idx  int
+	}
+	all := make([]entry, 0, len(c1)+len(c2))
+	for i, c := range c1 {
+		all = append(all, entry{c, 0, i})
+	}
+	for i, c := range c2 {
+		all = append(all, entry{c, 1, i})
+	}
+	less := func(a, b []int32) bool {
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && less(all[j].coll, all[j-1].coll); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	label := int32(0)
+	for i, e := range all {
+		if i > 0 && (less(all[i-1].coll, e.coll) || less(e.coll, all[i-1].coll)) {
+			label++
+		}
+		if e.side == 0 {
+			out1[e.idx] = label
+		} else {
+			out2[e.idx] = label
+		}
+	}
+}
+
+func insertionSort(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func symDiff(a, b []int32) int64 {
+	i, j := 0, 0
+	var d int64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			d++
+			i++
+		default:
+			d++
+			j++
+		}
+	}
+	return d + int64(len(a)-i) + int64(len(b)-j)
+}

@@ -1,0 +1,144 @@
+package datasets
+
+import (
+	"math/rand"
+	"testing"
+
+	"ned/internal/graph"
+)
+
+func TestGenerateAllDatasets(t *testing.T) {
+	for _, name := range All {
+		g, err := Generate(name, Options{Scale: 0.1, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: degenerate graph %v", name, g)
+		}
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := Generate("NOPE", Options{}); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range All {
+		a := MustGenerate(name, Options{Scale: 0.1, Seed: 5})
+		b := MustGenerate(name, Options{Scale: 0.1, Seed: 5})
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: same seed, different graphs", name)
+		}
+		ea, eb := a.Edges(), b.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%s: same seed, different edges", name)
+			}
+		}
+		c := MustGenerate(name, Options{Scale: 0.1, Seed: 6})
+		if c.NumEdges() == a.NumEdges() && sameEdges(a, c) {
+			t.Errorf("%s: different seeds produced identical graphs", name)
+		}
+	}
+}
+
+func sameEdges(a, b *graph.Graph) bool {
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScaleGrowsGraphs(t *testing.T) {
+	small := MustGenerate(PGP, Options{Scale: 0.2, Seed: 1})
+	big := MustGenerate(PGP, Options{Scale: 0.8, Seed: 1})
+	if big.NumNodes() <= small.NumNodes() {
+		t.Errorf("scale 0.8 (%d nodes) should exceed scale 0.2 (%d nodes)",
+			big.NumNodes(), small.NumNodes())
+	}
+}
+
+func TestTopologicalRegimes(t *testing.T) {
+	// Road analogs: low max degree, avg degree < 4.
+	car := MustGenerate(CAR, Options{Scale: 0.5, Seed: 1})
+	if car.MaxDegree() > 8 {
+		t.Errorf("CAR max degree = %d, want road-like (<= 8)", car.MaxDegree())
+	}
+	if ad := car.AvgDegree(); ad < 1.5 || ad > 4 {
+		t.Errorf("CAR avg degree = %.2f, want road-like (1.5-4)", ad)
+	}
+	// Social analogs: heavy tail — max degree far above average.
+	dblp := MustGenerate(DBLP, Options{Scale: 0.5, Seed: 1})
+	if float64(dblp.MaxDegree()) < 5*dblp.AvgDegree() {
+		t.Errorf("DBLP max degree %d not heavy-tailed vs avg %.2f",
+			dblp.MaxDegree(), dblp.AvgDegree())
+	}
+}
+
+func TestRoadNetworkGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RoadNetwork(10, 8, 0, 0, rng)
+	if g.NumNodes() != 80 {
+		t.Errorf("grid nodes = %d, want 80", g.NumNodes())
+	}
+	// Full grid: 10*7 + 9*8 = 142 edges.
+	if g.NumEdges() != 142 {
+		t.Errorf("grid edges = %d, want 142", g.NumEdges())
+	}
+	dropped := RoadNetwork(10, 8, 0.5, 0, rand.New(rand.NewSource(2)))
+	if dropped.NumEdges() >= g.NumEdges() {
+		t.Error("dropRatio should remove edges")
+	}
+}
+
+func TestPreferentialAttachmentDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := PreferentialAttachment(500, 3, 0.3, rng)
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Average degree close to 2m.
+	if ad := g.AvgDegree(); ad < 3 || ad > 8 {
+		t.Errorf("avg degree = %.2f, want around 6", ad)
+	}
+	// Early nodes should be hubs.
+	if g.MaxDegree() < 15 {
+		t.Errorf("max degree = %d, want heavy tail", g.MaxDegree())
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := ErdosRenyi(2000, 4.0, rng)
+	if ad := g.AvgDegree(); ad < 3.4 || ad > 4.6 {
+		t.Errorf("ER avg degree = %.2f, want ~4", ad)
+	}
+}
+
+func TestSmallWorldShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := SmallWorld(300, 4, 0.1, rng)
+	if g.NumNodes() != 300 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if ad := g.AvgDegree(); ad < 3 || ad > 5 {
+		t.Errorf("WS avg degree = %.2f, want ~4", ad)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := MustGenerate(GNU, Options{Scale: 0.1, Seed: 1})
+	s := Summarize(GNU, g)
+	if s.Name != GNU || s.Nodes != g.NumNodes() || s.Edges != g.NumEdges() {
+		t.Errorf("summary mismatch: %+v vs %v", s, g)
+	}
+}

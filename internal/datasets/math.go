@@ -1,0 +1,15 @@
+package datasets
+
+import "math"
+
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// hashName derives a stable per-dataset seed offset (FNV-1a).
+func hashName(n Name) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(n); i++ {
+		h ^= uint32(n[i])
+		h *= 16777619
+	}
+	return h
+}

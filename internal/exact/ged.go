@@ -1,0 +1,153 @@
+package exact
+
+import (
+	"ned/internal/graph"
+)
+
+// MaxGraphNodes is the guard above which GED refuses to run. Exact GED is
+// NP-hard [29]; the paper's A* baseline tops out at 10–12 nodes as well.
+const MaxGraphNodes = 12
+
+// GED returns the exact unlabeled graph edit distance between two simple
+// graphs under unit costs: inserting/deleting an isolated node costs 1
+// and inserting/deleting an edge costs 1 (node substitution is free for
+// unlabeled graphs, §11). The second return value is false when either
+// graph exceeds MaxGraphNodes.
+//
+// The search enumerates injective partial mappings of V1 into V2 by
+// branch and bound: each V1 node is either mapped to an unused V2 node or
+// deleted; unmapped V2 nodes are inserted. For a mapping M the cost is
+//
+//	(|V1|−|M|) + (|V2|−|M|) + |E1| + |E2| − 2·(preserved edges)
+//
+// The admissible bound tracks, per search prefix, how many edges of each
+// graph are already "decided" (both endpoints assigned/used): decided
+// edges that were not preserved are sunk cost, and future preservation is
+// capped by the undecided edge counts on both sides.
+func GED(g1, g2 *graph.Graph) (int, bool) {
+	n1, n2 := g1.NumNodes(), g2.NumNodes()
+	if n1 > MaxGraphNodes || n2 > MaxGraphNodes {
+		return 0, false
+	}
+	s := &gedSearch{
+		adj1: adjacencyMatrix(g1),
+		adj2: adjacencyMatrix(g2),
+		n1:   n1,
+		n2:   n2,
+		m1:   g1.NumEdges(),
+		m2:   g2.NumEdges(),
+	}
+	// decidedPrefix1[v] = number of G1 edges with both endpoints < v.
+	s.decidedPrefix1 = make([]int, n1+1)
+	for v := 1; v <= n1; v++ {
+		s.decidedPrefix1[v] = s.decidedPrefix1[v-1]
+		for u := 0; u < v-1; u++ {
+			if s.adj1[u][v-1] {
+				s.decidedPrefix1[v]++
+			}
+		}
+	}
+	s.mapTo = make([]int, n1)
+	s.used2 = make([]bool, n2)
+	s.best = n1 + n2 + s.m1 + s.m2
+	s.search(0, 0, 0, 0)
+	return s.best, true
+}
+
+type gedSearch struct {
+	adj1, adj2 [][]bool
+	n1, n2     int
+	m1, m2     int
+
+	decidedPrefix1 []int
+
+	mapTo []int // mapTo[v] = w, or -1 for deleted; valid for v < cursor
+	used2 []bool
+	best  int
+}
+
+// search assigns V1 node v. mapped = |M| so far; preserved counts G1
+// edges with both endpoints mapped whose image exists in G2; decided2
+// counts G2 edges with both endpoints in the used set.
+func (s *gedSearch) search(v, mapped, preserved, decided2 int) {
+	if v == s.n1 {
+		cost := (s.n1 - mapped) + (s.n2 - mapped) + s.m1 + s.m2 - 2*preserved
+		if cost < s.best {
+			s.best = cost
+		}
+		return
+	}
+	// Bound. Node term: the best case maps every remaining V1 node.
+	rem := s.n1 - v
+	unused2 := s.n2 - mapped
+	canMap := rem
+	if unused2 < canMap {
+		canMap = unused2
+	}
+	bestMapped := mapped + canMap
+	// Edge term: decided-but-unpreserved edges are sunk; future
+	// preservation is capped by the undecided edge count on both sides.
+	undecided1 := s.m1 - s.decidedPrefix1[v]
+	undecided2 := s.m2 - decided2
+	futurePreserve := undecided1
+	if undecided2 < futurePreserve {
+		futurePreserve = undecided2
+	}
+	maxPreserved := preserved + futurePreserve
+	lower := (s.n1 - bestMapped) + (s.n2 - bestMapped) + s.m1 + s.m2 - 2*maxPreserved
+	if lower >= s.best {
+		return
+	}
+
+	for w := 0; w < s.n2; w++ {
+		if s.used2[w] {
+			continue
+		}
+		s.used2[w] = true
+		s.mapTo[v] = w
+		gain := 0
+		d2 := 0
+		for u := 0; u < v; u++ {
+			if s.mapTo[u] < 0 {
+				continue
+			}
+			if s.adj2[s.mapTo[u]][w] {
+				d2++
+				if s.adj1[u][v] {
+					gain++
+				}
+			}
+		}
+		s.search(v+1, mapped+1, preserved+gain, decided2+d2)
+		s.used2[w] = false
+	}
+	s.mapTo[v] = -1
+	s.search(v+1, mapped, preserved, decided2)
+}
+
+func adjacencyMatrix(g *graph.Graph) [][]bool {
+	n := g.NumNodes()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range g.Edges() {
+		adj[e.U][e.V] = true
+		adj[e.V][e.U] = true
+	}
+	return adj
+}
+
+// TreeAsGraph converts a rooted tree to its underlying undirected graph,
+// for feeding trees into GED (the §11 bound GED ≤ 2·TED* is stated on
+// tree structures).
+func TreeAsGraph(t interface {
+	Size() int
+	Parent(int32) int32
+}) *graph.Graph {
+	b := graph.NewBuilder(t.Size(), false)
+	for v := 1; v < t.Size(); v++ {
+		b.AddEdge(graph.NodeID(t.Parent(int32(v))), graph.NodeID(v))
+	}
+	return b.Build()
+}

@@ -1,0 +1,119 @@
+// Package exact implements exponential-time exact solvers for the two
+// NP-hard baselines of the NED paper's Figure 5–6 experiments: the
+// original unordered tree edit distance (TED) and the unlabeled graph
+// edit distance (GED). Like the A* implementations the paper cites [8,19,29],
+// they are practical only for inputs of roughly a dozen nodes; the
+// experiments use them exactly in that regime.
+package exact
+
+import (
+	"ned/internal/tree"
+)
+
+// MaxTreeNodes is the guard above which TED refuses to run; beyond this
+// size the branch-and-bound search time explodes (the paper reports the
+// same ~10–12 node ceiling for its A* baseline).
+const MaxTreeNodes = 16
+
+// TED returns the exact unordered tree edit distance between two
+// unlabeled rooted trees under unit-cost leaf/internal node insertions
+// and deletions (no rename exists for unlabeled trees, §4).
+//
+// It exploits the classical identity: with unit insert/delete costs the
+// edit distance equals |T1| + |T2| − 2·|M*|, where M* is a maximum Tai
+// mapping — a one-to-one node correspondence that preserves the ancestor
+// relation in both directions. M* is found by branch and bound. The
+// second return value is false when either tree exceeds MaxTreeNodes and
+// the search was not attempted.
+func TED(t1, t2 *tree.Tree) (int, bool) {
+	n1, n2 := t1.Size(), t2.Size()
+	if n1 > MaxTreeNodes || n2 > MaxTreeNodes {
+		return 0, false
+	}
+	s := &tedSearch{
+		anc1: ancestorMatrix(t1),
+		anc2: ancestorMatrix(t2),
+		n1:   n1,
+		n2:   n2,
+	}
+	s.pairs1 = make([]int8, 0, n1)
+	s.pairs2 = make([]int8, 0, n1)
+	s.used2 = make([]bool, n2)
+	s.best = 0
+	s.search(0, 0)
+	return n1 + n2 - 2*s.best, true
+}
+
+// tedSearch carries the branch-and-bound state for the maximum Tai
+// mapping between two trees.
+type tedSearch struct {
+	anc1, anc2 [][]bool
+	n1, n2     int
+
+	pairs1, pairs2 []int8 // currently mapped pairs
+	used2          []bool
+	best           int
+}
+
+// search processes T1 node v; size is the current mapping size.
+func (s *tedSearch) search(v, size int) {
+	// Bound: even mapping every remaining node (capped by unused T2
+	// nodes) cannot beat best.
+	rem := s.n1 - v
+	if unused := s.n2 - size; unused < rem {
+		rem = unused
+	}
+	if size+rem <= s.best {
+		return
+	}
+	if v == s.n1 {
+		if size > s.best {
+			s.best = size
+		}
+		return
+	}
+	// Option A: map v to every compatible unused T2 node.
+	for w := 0; w < s.n2; w++ {
+		if s.used2[w] || !s.compatible(v, w) {
+			continue
+		}
+		s.used2[w] = true
+		s.pairs1 = append(s.pairs1, int8(v))
+		s.pairs2 = append(s.pairs2, int8(w))
+		s.search(v+1, size+1)
+		s.pairs1 = s.pairs1[:len(s.pairs1)-1]
+		s.pairs2 = s.pairs2[:len(s.pairs2)-1]
+		s.used2[w] = false
+	}
+	// Option B: leave v unmapped (deleted).
+	s.search(v+1, size)
+}
+
+// compatible checks the Tai mapping condition of (v,w) against every
+// existing pair: ancestor order must agree in both trees.
+func (s *tedSearch) compatible(v, w int) bool {
+	for i := range s.pairs1 {
+		a, b := int(s.pairs1[i]), int(s.pairs2[i])
+		if s.anc1[a][v] != s.anc2[b][w] || s.anc1[v][a] != s.anc2[w][b] {
+			return false
+		}
+	}
+	return true
+}
+
+// ancestorMatrix returns anc[a][d] = true iff a is a proper ancestor of d.
+func ancestorMatrix(t *tree.Tree) [][]bool {
+	n := t.Size()
+	anc := make([][]bool, n)
+	for i := range anc {
+		anc[i] = make([]bool, n)
+	}
+	for v := 1; v < n; v++ {
+		p := t.Parent(int32(v))
+		for p != -1 {
+			anc[p][v] = true
+			p = t.Parent(p)
+		}
+	}
+	return anc
+}

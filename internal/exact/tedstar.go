@@ -1,0 +1,168 @@
+package exact
+
+import (
+	"ned/internal/tree"
+)
+
+// MaxLevelWidth caps the per-level width for the exhaustive TED* oracle;
+// the search enumerates all bijections of each padded level, so widths
+// beyond ~6 are impractical (6!² transitions per level pair).
+const MaxLevelWidth = 6
+
+// TEDStar returns the exact Definition-3 TED* value — the true minimum
+// number of {insert leaf, delete leaf, move within level} operations —
+// by exhaustive dynamic programming over per-level alignments. It is the
+// oracle against which the polynomial Algorithm-1 implementation in
+// internal/ted is validated (see the faithfulness note there).
+//
+// Characterization used: any valid edit script induces, per depth d, a
+// bijection σ_d between the two levels after padding the smaller one, and
+// conversely every family {σ_d} is realizable by a script of cost
+//
+//	Σ_d P_d  +  Σ_d #{real-real pairs (x,y) ∈ σ_d with σ_{d-1}(parent x) ≠ parent y}
+//
+// (pad the smaller level, then move every real node whose parents are not
+// aligned; inserts attach to the correct parent for free, deletes happen
+// bottom-up). The oracle minimizes this over all bijection families with
+// a level-by-level DP whose state is the current level's bijection.
+//
+// The second return value is false when any level is wider than
+// MaxLevelWidth and the search was not attempted.
+func TEDStar(t1, t2 *tree.Tree) (int, bool) {
+	maxD := t1.Height()
+	if h := t2.Height(); h > maxD {
+		maxD = h
+	}
+	// Per depth, list the real node IDs of each side and the padded width.
+	type level struct {
+		a, b []int32 // real node IDs (padded slots are -1)
+		n    int     // padded width
+		pad  int     // padding cost
+	}
+	levels := make([]level, maxD+1)
+	total := 0
+	for d := 0; d <= maxD; d++ {
+		la := t1.Level(d)
+		lb := t2.Level(d)
+		n := len(la)
+		if len(lb) > n {
+			n = len(lb)
+		}
+		if n > MaxLevelWidth {
+			return 0, false
+		}
+		pad := len(la) - len(lb)
+		if pad < 0 {
+			pad = -pad
+		}
+		total += pad
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = -1, -1
+		}
+		copy(a, la)
+		copy(b, lb)
+		levels[d] = level{a: a, b: b, n: n, pad: pad}
+	}
+
+	// DP over depths. State: permutation σ mapping slot i of side A to
+	// slot σ[i] of side B at the current depth. Value: minimum move cost
+	// so far. Depth 0 has a single real-real pair (the roots), and any
+	// permutation of padded slots is equivalent, so we still enumerate —
+	// widths are tiny.
+	type state struct {
+		perm []int
+		cost int
+	}
+	var cur []state
+	for _, p := range permutations(levels[0].n) {
+		cur = append(cur, state{perm: p, cost: 0})
+	}
+	for d := 1; d <= maxD; d++ {
+		lv := levels[d]
+		up := levels[d-1]
+		// Precompute, for every slot pair (i at d), the parent slots.
+		parentSlotA := make([]int, lv.n) // slot in up.a, or -1 for padded
+		parentSlotB := make([]int, lv.n)
+		for i := 0; i < lv.n; i++ {
+			parentSlotA[i] = slotOfParent(t1, lv.a[i], up.a)
+			parentSlotB[i] = slotOfParent(t2, lv.b[i], up.b)
+		}
+		perms := permutations(lv.n)
+		next := make([]state, 0, len(perms))
+		for _, p := range perms {
+			best := -1
+			for _, s := range cur {
+				moves := 0
+				for i := 0; i < lv.n; i++ {
+					j := p[i]
+					if lv.a[i] == -1 || lv.b[j] == -1 {
+						continue // padded slots never cost moves
+					}
+					// Real-real pair: parents must be aligned by σ_{d-1}.
+					pa, pb := parentSlotA[i], parentSlotB[j]
+					if s.perm[pa] != pb {
+						moves++
+					}
+				}
+				if best == -1 || s.cost+moves < best {
+					best = s.cost + moves
+				}
+			}
+			next = append(next, state{perm: p, cost: best})
+		}
+		cur = next
+	}
+	bestMoves := -1
+	for _, s := range cur {
+		if bestMoves == -1 || s.cost < bestMoves {
+			bestMoves = s.cost
+		}
+	}
+	return total + bestMoves, true
+}
+
+// slotOfParent finds the index of node v's parent within slots, or -1 for
+// a padded (v == -1) node.
+func slotOfParent(t *tree.Tree, v int32, slots []int32) int {
+	if v == -1 {
+		return -1
+	}
+	p := t.Parent(v)
+	for i, s := range slots {
+		if s == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// permutations enumerates all permutations of {0..n-1}. n is capped by
+// MaxLevelWidth at the call sites.
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[i] = v
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}

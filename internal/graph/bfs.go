@@ -1,0 +1,152 @@
+package graph
+
+// EdgeDirection selects which arcs a directed traversal follows.
+type EdgeDirection int
+
+const (
+	// Outgoing follows u->v arcs (or all edges in undirected graphs).
+	Outgoing EdgeDirection = iota
+	// Incoming follows v->u arcs (identical to Outgoing when undirected).
+	Incoming
+)
+
+// BFSResult holds a breadth-first traversal rooted at Root. Parent[Root]
+// is -1, and Parent[v] is -1 for unreached nodes with Depth[v] == -1.
+type BFSResult struct {
+	Root   NodeID
+	Order  []NodeID // visitation order, starting with Root
+	Parent []NodeID // BFS tree parent per node, -1 if none
+	Depth  []int32  // hop distance from Root, -1 if unreached
+}
+
+// BFS runs breadth-first search from root up to maxDepth levels below the
+// root (maxDepth < 0 means unbounded). The neighbor ordering of the
+// underlying graph makes the traversal deterministic.
+func BFS(g *Graph, root NodeID, maxDepth int, dir EdgeDirection) *BFSResult {
+	n := g.NumNodes()
+	res := &BFSResult{
+		Root:   root,
+		Parent: make([]NodeID, n),
+		Depth:  make([]int32, n),
+	}
+	for i := range res.Parent {
+		res.Parent[i] = -1
+		res.Depth[i] = -1
+	}
+	res.Depth[root] = 0
+	res.Order = append(res.Order, root)
+	for head := 0; head < len(res.Order); head++ {
+		u := res.Order[head]
+		if maxDepth >= 0 && int(res.Depth[u]) >= maxDepth {
+			continue
+		}
+		var ns []NodeID
+		if dir == Incoming {
+			ns = g.InNeighbors(u)
+		} else {
+			ns = g.OutNeighbors(u)
+		}
+		for _, v := range ns {
+			if res.Depth[v] == -1 {
+				res.Depth[v] = res.Depth[u] + 1
+				res.Parent[v] = u
+				res.Order = append(res.Order, v)
+			}
+		}
+	}
+	return res
+}
+
+// ConnectedComponents labels every node of an undirected graph with a
+// component index and returns (labels, count). Directed graphs are
+// treated as undirected (weak components) only if their reverse
+// adjacency is consulted, which this function does.
+func ConnectedComponents(g *Graph) ([]int32, int) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []NodeID
+	count := 0
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = int32(count)
+		queue = append(queue[:0], NodeID(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.OutNeighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = int32(count)
+					queue = append(queue, v)
+				}
+			}
+			if g.directed {
+				for _, v := range g.InNeighbors(u) {
+					if comp[v] == -1 {
+						comp[v] = int32(count)
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// LargestComponent returns the node set of the largest connected
+// component in deterministic (ascending) order.
+func LargestComponent(g *Graph) []NodeID {
+	comp, count := ConnectedComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]NodeID, 0, sizes[best])
+	for v, c := range comp {
+		if int(c) == best {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// KHopSubgraph extracts the induced subgraph on all nodes within k hops
+// of root. It returns the subgraph, the root's new ID (always 0), and the
+// mapping from new IDs back to original IDs. Used by the exact-GED
+// baseline (§8 of the paper compares k-hop subgraphs).
+func KHopSubgraph(g *Graph, root NodeID, k int) (*Graph, NodeID, []NodeID) {
+	res := BFS(g, root, k, Outgoing)
+	oldToNew := make(map[NodeID]NodeID, len(res.Order))
+	newToOld := make([]NodeID, len(res.Order))
+	for i, v := range res.Order {
+		oldToNew[v] = NodeID(i)
+		newToOld[i] = v
+	}
+	b := NewBuilder(len(res.Order), g.directed)
+	for _, u := range res.Order {
+		for _, v := range g.OutNeighbors(u) {
+			nv, ok := oldToNew[v]
+			if !ok {
+				continue
+			}
+			nu := oldToNew[u]
+			if g.directed || nu < nv {
+				b.AddEdge(nu, nv)
+			}
+		}
+	}
+	return b.Build(), 0, newToOld
+}

@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList feeds arbitrary text to the edge-list parser: it must
+// either error out or produce a graph whose edge list round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 6\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("3 3\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, _, err := ReadEdgeList(strings.NewReader(s), false)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatalf("writing parsed graph: %v", err)
+		}
+		g2, _, err := ReadEdgeList(strings.NewReader(sb.String()), false)
+		if err != nil {
+			t.Fatalf("re-reading serialized graph: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edges: %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list in the format used
+// by SNAP and KONECT dumps: one "u v" pair per line, '#' and '%' comment
+// lines ignored. Node identifiers may be arbitrary non-negative integers;
+// they are remapped to the dense range [0, N). The remap table (dense ID
+// -> original ID) is returned alongside the graph.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[int64]NodeID)
+	var orig []int64
+	intern := func(raw int64) NodeID {
+		if id, ok := ids[raw]; ok {
+			return id
+		}
+		id := NodeID(len(orig))
+		ids[raw] = id
+		orig = append(orig, raw)
+		return id
+	}
+	b := NewBuilder(0, directed)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad target %q: %w", lineNo, fields[1], err)
+		}
+		b.AddEdge(intern(u), intern(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	return b.Build(), orig, nil
+}
+
+// LoadEdgeListFile reads an edge-list file from disk (see ReadEdgeList).
+func LoadEdgeListFile(path string, directed bool) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f, directed)
+}
+
+// WriteEdgeList writes the graph as a plain edge list, one "u v" pair per
+// line, preceded by a comment header. The output round-trips through
+// ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.Directed() {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "# %s graph: %d nodes %d edges\n", kind, g.NumNodes(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("graph: writing edge: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing edge list: %w", err)
+	}
+	return nil
+}
+
+// SaveEdgeListFile writes the graph to a file (see WriteEdgeList).
+func SaveEdgeListFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("graph: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package graph
+
+import "math/rand"
+
+// Stats aggregates the structural measurements used to validate that the
+// synthetic dataset analogs inhabit the right topological regime (see
+// DESIGN.md §2) and by cmd/nedstats.
+type Stats struct {
+	Nodes             int
+	Edges             int
+	AvgDegree         float64
+	MaxDegree         int
+	Components        int
+	LargestComponent  int
+	GlobalClustering  float64 // 3·triangles / wedges
+	AvgLocalCluster   float64
+	ApproxDiameter    int // lower bound via double-sweep BFS
+	DegreeAssortative float64
+}
+
+// ComputeStats measures g. Triangle counting is O(Σ deg²); for the
+// laptop-scale graphs in this repo that is well under a second.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		AvgDegree: g.AvgDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+	comp, count := ConnectedComponents(g)
+	s.Components = count
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	for _, sz := range sizes {
+		if sz > s.LargestComponent {
+			s.LargestComponent = sz
+		}
+	}
+
+	triangles, wedges := 0.0, 0.0
+	sumLocal := 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		ns := g.Neighbors(NodeID(v))
+		d := len(ns)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(ns[i], ns[j]) {
+					links++
+				}
+			}
+		}
+		w := float64(d*(d-1)) / 2
+		wedges += w
+		triangles += float64(links) // each triangle counted at 3 corners
+		sumLocal += float64(links) / w
+	}
+	if wedges > 0 {
+		s.GlobalClustering = triangles / wedges
+	}
+	if g.NumNodes() > 0 {
+		s.AvgLocalCluster = sumLocal / float64(g.NumNodes())
+	}
+	s.ApproxDiameter = approxDiameter(g)
+	s.DegreeAssortative = degreeAssortativity(g)
+	return s
+}
+
+// approxDiameter lower-bounds the diameter with a randomized double
+// sweep: BFS from a fixed node, then BFS from the farthest node found.
+func approxDiameter(g *Graph) int {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(1))
+	best := 0
+	for trial := 0; trial < 3; trial++ {
+		start := NodeID(rng.Intn(g.NumNodes()))
+		far, _ := farthest(g, start)
+		_, d := farthest(g, far)
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func farthest(g *Graph, from NodeID) (NodeID, int) {
+	res := BFS(g, from, -1, Outgoing)
+	bestV, bestD := from, 0
+	for v, d := range res.Depth {
+		if int(d) > bestD {
+			bestD = int(d)
+			bestV = NodeID(v)
+		}
+	}
+	return bestV, bestD
+}
+
+// degreeAssortativity returns the Pearson correlation of endpoint
+// degrees over edges (positive: hubs link to hubs).
+func degreeAssortativity(g *Graph) float64 {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	n := 0.0
+	for _, e := range edges {
+		// Count each undirected edge in both orientations to symmetrize.
+		for _, pair := range [2][2]float64{
+			{float64(g.Degree(e.U)), float64(g.Degree(e.V))},
+			{float64(g.Degree(e.V)), float64(g.Degree(e.U))},
+		} {
+			x, y := pair[0], pair[1]
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+			n++
+		}
+	}
+	mx, my := sx/n, sy/n
+	cov := sxy/n - mx*my
+	vx := sxx/n - mx*mx
+	vy := syy/n - my*my
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / sqrt64(vx*vy)
+}
+
+func sqrt64(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 50; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func DegreeHistogram(g *Graph) []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumNodes(); v++ {
+		counts[g.Degree(NodeID(v))]++
+	}
+	return counts
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStatsTriangle(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	s := ComputeStats(b.Build())
+	if s.Nodes != 3 || s.Edges != 3 {
+		t.Fatalf("size wrong: %+v", s)
+	}
+	if s.GlobalClustering != 1 {
+		t.Errorf("triangle clustering = %v, want 1", s.GlobalClustering)
+	}
+	if s.AvgLocalCluster != 1 {
+		t.Errorf("avg local clustering = %v, want 1", s.AvgLocalCluster)
+	}
+	if s.Components != 1 || s.LargestComponent != 3 {
+		t.Errorf("components wrong: %+v", s)
+	}
+	if s.ApproxDiameter != 1 {
+		t.Errorf("diameter = %d, want 1", s.ApproxDiameter)
+	}
+}
+
+func TestComputeStatsPath(t *testing.T) {
+	s := ComputeStats(pathGraph(10))
+	if s.GlobalClustering != 0 {
+		t.Errorf("path clustering = %v, want 0", s.GlobalClustering)
+	}
+	if s.ApproxDiameter != 9 {
+		t.Errorf("path diameter = %d, want 9", s.ApproxDiameter)
+	}
+}
+
+func TestComputeStatsDisconnected(t *testing.T) {
+	b := NewBuilder(6, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	s := ComputeStats(b.Build())
+	if s.Components != 4 {
+		t.Errorf("components = %d, want 4", s.Components)
+	}
+	if s.LargestComponent != 2 {
+		t.Errorf("largest = %d, want 2", s.LargestComponent)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewBuilder(0, false).Build())
+	if s.Nodes != 0 || s.Edges != 0 || s.ApproxDiameter != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestAssortativityStarIsNegative(t *testing.T) {
+	// Stars are maximally disassortative: hub(d=5) links only to leaves(d=1).
+	b := NewBuilder(6, false)
+	for i := 1; i <= 5; i++ {
+		b.AddEdge(0, NodeID(i))
+	}
+	s := ComputeStats(b.Build())
+	if s.DegreeAssortative >= 0 {
+		t.Errorf("star assortativity = %v, want negative", s.DegreeAssortative)
+	}
+}
+
+func TestAssortativityRegularIsUndefinedZero(t *testing.T) {
+	// In a cycle every endpoint has degree 2: zero variance -> 0.
+	b := NewBuilder(5, false)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(NodeID(i), NodeID((i+1)%5))
+	}
+	s := ComputeStats(b.Build())
+	if s.DegreeAssortative != 0 {
+		t.Errorf("cycle assortativity = %v, want 0", s.DegreeAssortative)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(pathGraph(5)) // degrees 1,2,2,2,1
+	if h[1] != 2 || h[2] != 3 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestSqrt64(t *testing.T) {
+	for _, x := range []float64{0, 1, 2, 100, 0.25} {
+		want := math.Sqrt(x)
+		if got := sqrt64(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("sqrt64(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package hungarian solves the assignment problem (minimum-cost perfect
+// matching in a complete weighted bipartite graph) in O(n³) time using
+// the shortest-augmenting-path formulation of the Hungarian algorithm
+// with dual potentials (Jonker–Volgenant style).
+//
+// TED* (§5.5 of the NED paper) solves one such matching per tree level;
+// this package is its hot path.
+package hungarian
+
+import "math"
+
+// Inf is the sentinel used internally for "no edge"; costs supplied by
+// callers must be finite and small enough that row sums do not overflow.
+const Inf = math.MaxInt64 / 4
+
+// Solve computes a minimum-cost perfect matching of the n×n cost matrix
+// cost (cost[i][j] = weight of assigning row i to column j). It returns
+// the total cost and the assignment vector rowToCol where rowToCol[i] is
+// the column matched to row i. Costs must be non-negative. An empty
+// matrix yields (0, nil).
+//
+// The matrix must be square; TED* always pads levels to equal size before
+// matching (§5.2), so the square case is the only one it needs. Rectangular
+// callers can pad with zero rows/columns via SolveRect.
+func Solve(cost [][]int64) (total int64, rowToCol []int) {
+	n := len(cost)
+	if n == 0 {
+		return 0, nil
+	}
+	// Potentials u (rows) and v (columns), 1-indexed internally with a
+	// virtual row/column 0 as in the classic formulation.
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j (0 = free)
+	way := make([]int, n+1)
+
+	minv := make([]int64, n+1)
+	used := make([]bool, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			minv[j] = Inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = Inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		rowToCol[p[j]-1] = j - 1
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][rowToCol[i]]
+	}
+	return total, rowToCol
+}
+
+// SolveRect handles rectangular matrices by padding the smaller dimension
+// with zero-cost dummy rows or columns. Rows matched to dummy columns
+// (and vice versa) appear as -1 in the returned assignments.
+func SolveRect(cost [][]int64) (total int64, rowToCol []int) {
+	rows := len(cost)
+	if rows == 0 {
+		return 0, nil
+	}
+	cols := len(cost[0])
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	sq := make([][]int64, n)
+	for i := range sq {
+		sq[i] = make([]int64, n)
+		if i < rows {
+			copy(sq[i], cost[i])
+		}
+	}
+	t, assign := Solve(sq)
+	rowToCol = make([]int, rows)
+	for i := 0; i < rows; i++ {
+		if assign[i] < cols {
+			rowToCol[i] = assign[i]
+		} else {
+			rowToCol[i] = -1
+		}
+	}
+	return t, rowToCol
+}
+
+// SolveFlat is Solve for a row-major flattened n×n matrix; it avoids the
+// per-row slice headers on hot paths. Semantics match Solve.
+func SolveFlat(cost []int64, n int) (total int64, rowToCol []int) {
+	if n == 0 {
+		return 0, nil
+	}
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	minv := make([]int64, n+1)
+	used := make([]bool, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			minv[j] = Inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			base := (i0 - 1) * n
+			var delta int64 = Inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[base+j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		rowToCol[p[j]-1] = j - 1
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i*n+rowToCol[i]]
+	}
+	return total, rowToCol
+}
+
+// Greedy computes a (suboptimal) matching by repeatedly taking each row's
+// cheapest unused column. It exists only as an ablation baseline showing
+// why TED* needs an optimal matcher; its result can exceed the optimum.
+func Greedy(cost [][]int64) (total int64, rowToCol []int) {
+	n := len(cost)
+	rowToCol = make([]int, n)
+	usedCol := make([]bool, n)
+	for i := 0; i < n; i++ {
+		best := -1
+		for j := 0; j < n; j++ {
+			if usedCol[j] {
+				continue
+			}
+			if best == -1 || cost[i][j] < cost[i][best] {
+				best = j
+			}
+		}
+		rowToCol[i] = best
+		usedCol[best] = true
+		total += cost[i][best]
+	}
+	return total, rowToCol
+}

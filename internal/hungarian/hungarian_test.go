@@ -1,0 +1,223 @@
+package hungarian
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce finds the optimal assignment by enumerating permutations.
+func bruteForce(cost [][]int64) int64 {
+	n := len(cost)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := int64(1) << 62
+	var rec func(i int, sum int64)
+	rec = func(i int, sum int64) {
+		if sum >= best {
+			return
+		}
+		if i == n {
+			best = sum
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			rec(i+1, sum+cost[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestSolveTiny(t *testing.T) {
+	cost := [][]int64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	total, assign := Solve(cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %d, want 5", total)
+	}
+	seen := map[int]bool{}
+	var check int64
+	for i, j := range assign {
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+		check += cost[i][j]
+	}
+	if check != total {
+		t.Errorf("assignment cost %d != reported %d", check, total)
+	}
+}
+
+func TestSolveEmptyAndSingle(t *testing.T) {
+	if total, assign := Solve(nil); total != 0 || assign != nil {
+		t.Error("empty matrix should yield 0/nil")
+	}
+	total, assign := Solve([][]int64{{7}})
+	if total != 7 || assign[0] != 0 {
+		t.Errorf("1x1: total %d assign %v", total, assign)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				cost[i][j] = int64(rng.Intn(20))
+			}
+		}
+		want := bruteForce(cost)
+		got, assign := Solve(cost)
+		if got != want {
+			t.Fatalf("trial %d: Solve=%d brute=%d cost=%v", trial, got, want, cost)
+		}
+		var check int64
+		for i, j := range assign {
+			check += cost[i][j]
+		}
+		if check != got {
+			t.Fatalf("trial %d: assignment sums to %d, reported %d", trial, check, got)
+		}
+	}
+}
+
+func TestSolveFlatMatchesSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		cost := make([][]int64, n)
+		flat := make([]int64, n*n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				v := int64(rng.Intn(50))
+				cost[i][j] = v
+				flat[i*n+j] = v
+			}
+		}
+		t1, _ := Solve(cost)
+		t2, _ := SolveFlat(flat, n)
+		return t1 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRect(t *testing.T) {
+	// 2 rows, 3 columns: rows must each take their cheapest compatible column.
+	cost := [][]int64{
+		{5, 1, 9},
+		{1, 5, 9},
+	}
+	total, assign := SolveRect(cost)
+	if total != 2 {
+		t.Errorf("total = %d, want 2", total)
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Errorf("assign = %v, want [1 0]", assign)
+	}
+	// 3 rows, 1 column: two rows go unmatched.
+	cost2 := [][]int64{{3}, {1}, {2}}
+	total2, assign2 := SolveRect(cost2)
+	if total2 != 1 {
+		t.Errorf("total = %d, want 1", total2)
+	}
+	matched := 0
+	for _, j := range assign2 {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Errorf("matched rows = %d, want 1", matched)
+	}
+}
+
+func TestGreedyIsValidButMaybeSuboptimal(t *testing.T) {
+	// Greedy picks (0,0)=1 then forces (1,1)=10; optimum is 2+3=5.
+	cost := [][]int64{
+		{1, 3},
+		{2, 10},
+	}
+	gTotal, gAssign := Greedy(cost)
+	if gTotal != 11 {
+		t.Errorf("greedy total = %d, want 11", gTotal)
+	}
+	seen := map[int]bool{}
+	for _, j := range gAssign {
+		if seen[j] {
+			t.Fatal("greedy produced invalid assignment")
+		}
+		seen[j] = true
+	}
+	oTotal, _ := Solve(cost)
+	if oTotal != 5 {
+		t.Errorf("optimal total = %d, want 5", oTotal)
+	}
+}
+
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				cost[i][j] = int64(rng.Intn(30))
+			}
+		}
+		gt, _ := Greedy(cost)
+		ot, _ := Solve(cost)
+		return gt >= ot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			cost[i][j] = int64(rng.Intn(100))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(cost)
+	}
+}
+
+func BenchmarkSolveFlat256(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	flat := make([]int64, n*n)
+	for i := range flat {
+		flat[i] = int64(rng.Intn(100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveFlat(flat, n)
+	}
+}

@@ -1,0 +1,96 @@
+package ned
+
+import (
+	"runtime"
+	"sync"
+
+	"ned/internal/graph"
+	"ned/internal/ted"
+)
+
+// BatchOptions controls parallel batch computations. The zero value uses
+// all CPUs.
+type BatchOptions struct {
+	// Workers is the goroutine count; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o BatchOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SignaturesParallel extracts k-adjacent tree signatures for many nodes
+// concurrently. Extraction is read-only on the graph, so workers share
+// it safely. Output order matches the input order.
+func SignaturesParallel(g *graph.Graph, nodes []graph.NodeID, k int, opts BatchOptions) []Signature {
+	out := make([]Signature, len(nodes))
+	parallelFor(len(nodes), opts.workers(), func(i int) {
+		out[i] = NewSignature(g, nodes[i], k)
+	})
+	return out
+}
+
+// DistanceMatrix computes the full NED matrix between two signature
+// sets in parallel: m[i][j] = NED(as[i], bs[j]). Row-major [len(as)][len(bs)].
+// Useful for the Hausdorff distance, clustering, and assignment-based
+// graph matching on top of NED.
+func DistanceMatrix(as, bs []Signature, opts BatchOptions) [][]int {
+	m := make([][]int, len(as))
+	parallelFor(len(as), opts.workers(), func(i int) {
+		row := make([]int, len(bs))
+		for j, b := range bs {
+			row[j] = ted.Distance(as[i].Tree, b.Tree)
+		}
+		m[i] = row
+	})
+	return m
+}
+
+// TopLParallel is TopL with the candidate distances evaluated across
+// workers. Results are identical to TopL.
+func TopLParallel(query Signature, candidates []Signature, l int, opts BatchOptions) []Neighbor {
+	if l <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	all := make([]Neighbor, len(candidates))
+	parallelFor(len(candidates), opts.workers(), func(i int) {
+		all[i] = Neighbor{candidates[i].Node, ted.Distance(query.Tree, candidates[i].Tree)}
+	})
+	sortNeighbors(all)
+	if l > len(all) {
+		l = len(all)
+	}
+	return all[:l]
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the given worker count.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

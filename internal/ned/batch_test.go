@@ -1,0 +1,151 @@
+package ned
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ned/internal/graph"
+	"ned/internal/tree"
+)
+
+func TestSignaturesParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 200, 500)
+	var nodes []graph.NodeID
+	for v := 0; v < 200; v++ {
+		nodes = append(nodes, graph.NodeID(v))
+	}
+	serial := Signatures(g, nodes, 3)
+	for _, workers := range []int{0, 1, 4, 32} {
+		par := SignaturesParallel(g, nodes, 3, BatchOptions{Workers: workers})
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: length %d", workers, len(par))
+		}
+		for i := range par {
+			if par[i].Node != serial[i].Node || !tree.Isomorphic(par[i].Tree, serial[i].Tree) {
+				t.Fatalf("workers=%d: signature %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g1 := randomGraph(rng, 60, 140)
+	g2 := randomGraph(rng, 60, 140)
+	var nodes []graph.NodeID
+	for v := 0; v < 25; v++ {
+		nodes = append(nodes, graph.NodeID(v))
+	}
+	as := Signatures(g1, nodes, 2)
+	bs := Signatures(g2, nodes, 2)
+	m := DistanceMatrix(as, bs, BatchOptions{})
+	if len(m) != len(as) || len(m[0]) != len(bs) {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+	// Spot check against direct computation.
+	for i := 0; i < len(as); i += 7 {
+		for j := 0; j < len(bs); j += 5 {
+			if want := Between(as[i], bs[j]); m[i][j] != want {
+				t.Fatalf("m[%d][%d] = %d, want %d", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestTopLParallelMatchesTopL(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g1 := randomGraph(rng, 100, 250)
+	g2 := randomGraph(rng, 100, 250)
+	query := NewSignature(g1, 0, 3)
+	var nodes []graph.NodeID
+	for v := 0; v < 100; v++ {
+		nodes = append(nodes, graph.NodeID(v))
+	}
+	cands := Signatures(g2, nodes, 3)
+	want := TopL(query, cands, 7)
+	got := TopLParallel(query, cands, 7, BatchOptions{Workers: 8})
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if res := TopLParallel(query, nil, 3, BatchOptions{}); res != nil {
+		t.Error("empty candidates should return nil")
+	}
+}
+
+func TestSignaturePersistenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 80, 200)
+	var nodes []graph.NodeID
+	for v := 0; v < 30; v++ {
+		nodes = append(nodes, graph.NodeID(v*2))
+	}
+	sigs := Signatures(g, nodes, 3)
+
+	var buf bytes.Buffer
+	if err := WriteSignatures(&buf, sigs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSignatures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sigs) {
+		t.Fatalf("round trip changed count: %d -> %d", len(sigs), len(back))
+	}
+	for i := range back {
+		if back[i].Node != sigs[i].Node || back[i].K != sigs[i].K {
+			t.Fatalf("signature %d metadata changed", i)
+		}
+		if Between(back[i], sigs[i]) != 0 {
+			t.Fatalf("signature %d tree changed", i)
+		}
+	}
+}
+
+func TestSignaturePersistenceFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomGraph(rng, 40, 90)
+	sigs := Signatures(g, []graph.NodeID{1, 2, 3}, 2)
+	path := filepath.Join(t.TempDir(), "sigs.txt")
+	if err := SaveSignaturesFile(path, sigs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSignaturesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("loaded %d signatures", len(back))
+	}
+	if _, err := LoadSignaturesFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestReadSignaturesErrors(t *testing.T) {
+	cases := []string{
+		"x 3 0,0\n",
+		"1 y 0,0\n",
+		"1 3 0,zz\n",
+		"1\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadSignatures(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadSignatures(%q) should fail", c)
+		}
+	}
+	// Single-node tree (empty encoding) is valid.
+	sigs, err := ReadSignatures(strings.NewReader("5 2 \n"))
+	if err != nil || len(sigs) != 1 || sigs[0].Tree.Size() != 1 {
+		t.Errorf("single-node signature failed: %v %v", sigs, err)
+	}
+}

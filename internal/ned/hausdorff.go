@@ -1,0 +1,72 @@
+package ned
+
+import (
+	"sort"
+
+	"ned/internal/graph"
+	"ned/internal/ted"
+)
+
+func sortSlice(ns []Neighbor, less func(a, b Neighbor) bool) {
+	sort.Slice(ns, func(i, j int) bool { return less(ns[i], ns[j]) })
+}
+
+// Hausdorff returns the Hausdorff graph-to-graph distance of Appendix A
+// (Definition 9) built on NED: H(A,B) = max(h(A,B), h(B,A)) with
+// h(A,B) = max_{a∈A} min_{b∈B} δ_T(T(a,k), T(b,k)).
+//
+// Because NED is a metric, H is a metric on graphs (up to the usual
+// identification of graphs at Hausdorff distance zero). The computation
+// is O(|A|·|B|) distance evaluations; sampling variants belong to the
+// caller.
+func Hausdorff(ga, gb *graph.Graph, k int) int {
+	sa := allSignatures(ga, k)
+	sb := allSignatures(gb, k)
+	return hausdorffSets(sa, sb)
+}
+
+// HausdorffSampled is Hausdorff over node subsets, for large graphs.
+func HausdorffSampled(ga *graph.Graph, nodesA []graph.NodeID, gb *graph.Graph, nodesB []graph.NodeID, k int) int {
+	sa := Signatures(ga, nodesA, k)
+	sb := Signatures(gb, nodesB, k)
+	return hausdorffSets(sa, sb)
+}
+
+func allSignatures(g *graph.Graph, k int) []Signature {
+	nodes := make([]graph.NodeID, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	return Signatures(g, nodes, k)
+}
+
+func hausdorffSets(sa, sb []Signature) int {
+	return maxInt(directedHausdorff(sa, sb), directedHausdorff(sb, sa))
+}
+
+func directedHausdorff(from, to []Signature) int {
+	worst := 0
+	for _, a := range from {
+		best := -1
+		for _, b := range to {
+			d := ted.Distance(a.Tree, b.Tree)
+			if best == -1 || d < best {
+				best = d
+			}
+			if best == 0 {
+				break
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

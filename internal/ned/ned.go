@@ -1,0 +1,142 @@
+// Package ned implements NED, the inter-graph node metric of §3: the
+// TED* distance between the unordered k-adjacent trees of two nodes that
+// may live in different graphs. It also provides the directed-graph
+// variant of §3.3, the weighted variant of §12, and the Hausdorff
+// graph-to-graph distance of Appendix A.
+package ned
+
+import (
+	"ned/internal/graph"
+	"ned/internal/ted"
+	"ned/internal/tree"
+)
+
+// Distance returns δ_k(u, v) = TED*(T(u,k), T(v,k)) (Equation 1): the
+// NED distance between node u of graph gu and node v of graph gv for
+// neighborhood depth k. gu and gv may be the same graph.
+func Distance(gu *graph.Graph, u graph.NodeID, gv *graph.Graph, v graph.NodeID, k int) int {
+	tu, _ := tree.KAdjacent(gu, u, k)
+	tv, _ := tree.KAdjacent(gv, v, k)
+	return ted.Distance(tu, tv)
+}
+
+// DistanceDirected returns δ_k_D(u, v) for nodes of directed graphs
+// (Equation 2): the sum of TED* over the incoming and outgoing
+// k-adjacent tree pairs. Both graphs should be directed; for undirected
+// graphs the result is simply 2·Distance.
+func DistanceDirected(gu *graph.Graph, u graph.NodeID, gv *graph.Graph, v graph.NodeID, k int) int {
+	tiu, _ := tree.KAdjacentIncoming(gu, u, k)
+	tiv, _ := tree.KAdjacentIncoming(gv, v, k)
+	tou, _ := tree.KAdjacentOutgoing(gu, u, k)
+	tov, _ := tree.KAdjacentOutgoing(gv, v, k)
+	return ted.Distance(tiu, tiv) + ted.Distance(tou, tov)
+}
+
+// WeightedDistance returns the weighted NED of §12 using the supplied
+// TED* weights (nil means unit weights).
+func WeightedDistance(gu *graph.Graph, u graph.NodeID, gv *graph.Graph, v graph.NodeID, k int, w ted.Weights) float64 {
+	tu, _ := tree.KAdjacent(gu, u, k)
+	tv, _ := tree.KAdjacent(gv, v, k)
+	return ted.WeightedDistance(tu, tv, w)
+}
+
+// Signature is a node's precomputed k-adjacent tree. Precomputing
+// signatures amortizes BFS extraction across many distance evaluations
+// (every experiment in §13 does this).
+type Signature struct {
+	Node graph.NodeID
+	K    int
+	Tree *tree.Tree
+}
+
+// NewSignature extracts the k-adjacent tree signature of node v.
+func NewSignature(g *graph.Graph, v graph.NodeID, k int) Signature {
+	t, _ := tree.KAdjacent(g, v, k)
+	return Signature{Node: v, K: k, Tree: t}
+}
+
+// Signatures extracts signatures for a set of nodes.
+func Signatures(g *graph.Graph, nodes []graph.NodeID, k int) []Signature {
+	out := make([]Signature, len(nodes))
+	for i, v := range nodes {
+		out[i] = NewSignature(g, v, k)
+	}
+	return out
+}
+
+// Between returns the NED distance between two precomputed signatures.
+// Signatures with different K are comparable in principle (TED* is
+// defined on any tree pair) but the value is then the paper's
+// cross-parameter distance, so callers normally keep K equal.
+func Between(a, b Signature) int {
+	return ted.Distance(a.Tree, b.Tree)
+}
+
+// Neighbor is a candidate node with its NED distance to a query.
+type Neighbor struct {
+	Node graph.NodeID
+	Dist int
+}
+
+// NearestSet returns every candidate whose NED distance to the query
+// signature equals the minimum distance (the "nearest neighbor result
+// set" of §13.3, whose size Figure 8a reports as a function of k).
+func NearestSet(query Signature, candidates []Signature) []Neighbor {
+	best := -1
+	var out []Neighbor
+	for _, c := range candidates {
+		d := ted.Distance(query.Tree, c.Tree)
+		switch {
+		case best == -1 || d < best:
+			best = d
+			out = out[:0]
+			out = append(out, Neighbor{c.Node, d})
+		case d == best:
+			out = append(out, Neighbor{c.Node, d})
+		}
+	}
+	return out
+}
+
+// TopL returns the l nearest candidates in ascending distance order,
+// breaking distance ties by node ID for determinism. If l exceeds the
+// candidate count every candidate is returned.
+func TopL(query Signature, candidates []Signature, l int) []Neighbor {
+	all := make([]Neighbor, len(candidates))
+	for i, c := range candidates {
+		all[i] = Neighbor{c.Node, ted.Distance(query.Tree, c.Tree)}
+	}
+	sortNeighbors(all)
+	if l > len(all) {
+		l = len(all)
+	}
+	return all[:l]
+}
+
+// Ties counts how many nodes in the top-l ranking share a distance value
+// with at least one other ranked node (the "identical distances (ties)
+// in the ranking" of Figure 8b).
+func Ties(ranked []Neighbor) int {
+	counts := map[int]int{}
+	for _, n := range ranked {
+		counts[n.Dist]++
+	}
+	ties := 0
+	for _, c := range counts {
+		if c > 1 {
+			ties += c
+		}
+	}
+	return ties
+}
+
+func sortNeighbors(ns []Neighbor) {
+	// Insertion-friendly sizes are common, but use a proper sort for
+	// large candidate sets.
+	sortSlice(ns, func(a, b Neighbor) bool {
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		return a.Node < b.Node
+	})
+}

@@ -1,0 +1,100 @@
+package ned
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ned/internal/graph"
+	"ned/internal/tree"
+)
+
+// WriteSignatures serializes signatures as one line per signature:
+// "<node> <k> <encoded tree>". The format is plain text, diff-friendly,
+// and round-trips through ReadSignatures. Precomputing and persisting
+// signatures amortizes BFS extraction across sessions — the pattern all
+// the §13 query experiments rely on.
+func WriteSignatures(w io.Writer, sigs []Signature) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# ned signatures v1: node k parentvector\n"); err != nil {
+		return fmt.Errorf("ned: writing header: %w", err)
+	}
+	for _, s := range sigs {
+		if _, err := fmt.Fprintf(bw, "%d %d %s\n", s.Node, s.K, tree.Encode(s.Tree)); err != nil {
+			return fmt.Errorf("ned: writing signature of node %d: %w", s.Node, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ned: flushing signatures: %w", err)
+	}
+	return nil
+}
+
+// ReadSignatures parses the WriteSignatures format.
+func ReadSignatures(r io.Reader) ([]Signature, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Signature
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("ned: line %d: malformed signature %q", lineNo, line)
+		}
+		node, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ned: line %d: bad node id: %w", lineNo, err)
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("ned: line %d: bad k: %w", lineNo, err)
+		}
+		enc := ""
+		if len(fields) == 3 {
+			enc = fields[2]
+		}
+		t, err := tree.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
+		}
+		out = append(out, Signature{Node: graph.NodeID(node), K: k, Tree: t})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ned: scanning signatures: %w", err)
+	}
+	return out, nil
+}
+
+// SaveSignaturesFile writes signatures to a file.
+func SaveSignaturesFile(path string, sigs []Signature) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ned: %w", err)
+	}
+	if err := WriteSignatures(f, sigs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ned: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadSignaturesFile reads signatures from a file.
+func LoadSignaturesFile(path string) ([]Signature, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ned: %w", err)
+	}
+	defer f.Close()
+	return ReadSignatures(f)
+}

@@ -1,0 +1,80 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := Random(rng, 1+rng.Intn(50), 1+rng.Intn(5))
+		back, err := Decode(Encode(tr))
+		if err != nil {
+			return false
+		}
+		a, b := tr.ParentVector(), back.ParentVector()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeSingleNode(t *testing.T) {
+	if s := Encode(MustNew([]int32{-1})); s != "" {
+		t.Errorf("single node encodes as %q, want empty", s)
+	}
+	tr, err := Decode("")
+	if err != nil || tr.Size() != 1 {
+		t.Errorf("decode empty: %v, %v", tr, err)
+	}
+	tr2, err := Decode("   ")
+	if err != nil || tr2.Size() != 1 {
+		t.Errorf("decode blank: %v, %v", tr2, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, bad := range []string{"x", "0,x", "1", "0,5", "0,-3"} {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("Decode(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDecodeKnownShape(t *testing.T) {
+	tr, err := Decode("0,0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 4 || tr.Height() != 2 || tr.NumChildren(0) != 2 {
+		t.Errorf("decoded shape wrong: %v", tr)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(FullKAry(2, 3))
+	if s.Nodes != 15 || s.Height != 3 || s.Leaves != 8 || s.MaxWidth != 8 {
+		t.Errorf("full binary stats: %+v", s)
+	}
+	if s.AvgBranch != 2 {
+		t.Errorf("avg branch = %v, want 2", s.AvgBranch)
+	}
+	if len(s.LevelWidths) != 4 || s.LevelWidths[2] != 4 {
+		t.Errorf("level widths: %v", s.LevelWidths)
+	}
+	single := ComputeStats(MustNew([]int32{-1}))
+	if single.AvgBranch != 0 || single.Leaves != 1 {
+		t.Errorf("single node stats: %+v", single)
+	}
+}

@@ -1,0 +1,31 @@
+package tree
+
+import "testing"
+
+// FuzzDecode exercises the tree parser with arbitrary inputs: it must
+// either return an error or a tree that re-validates and round-trips.
+func FuzzDecode(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("0,0,1")
+	f.Add("0,0,1,1,2,2,3")
+	f.Add("-1")
+	f.Add("0,,1")
+	f.Add("0,999")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Decode(s)
+		if err != nil {
+			return
+		}
+		if _, err := New(tr.ParentVector()); err != nil {
+			t.Fatalf("Decode(%q) produced invalid tree: %v", s, err)
+		}
+		back, err := Decode(Encode(tr))
+		if err != nil {
+			t.Fatalf("re-decoding %q failed: %v", Encode(tr), err)
+		}
+		if back.Size() != tr.Size() {
+			t.Fatalf("round trip changed size for %q", s)
+		}
+	})
+}

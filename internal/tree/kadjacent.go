@@ -1,0 +1,42 @@
+package tree
+
+import "ned/internal/graph"
+
+// KAdjacent extracts the unordered k-adjacent tree T(v, k) of Definition 1:
+// the breadth-first search tree rooted at v, truncated to the root plus k
+// levels of neighbors (depths 0..k). The extraction is deterministic
+// because graph adjacency lists are sorted.
+//
+// The returned tree's node 0 corresponds to v; the mapping from tree node
+// IDs back to graph node IDs is also returned.
+func KAdjacent(g *graph.Graph, v graph.NodeID, k int) (*Tree, []graph.NodeID) {
+	return kAdjacent(g, v, k, graph.Outgoing)
+}
+
+// KAdjacentIncoming extracts the incoming k-adjacent tree TI(v, k) of
+// Definition 2: the BFS tree of v following incoming edges only.
+// For undirected graphs it equals KAdjacent.
+func KAdjacentIncoming(g *graph.Graph, v graph.NodeID, k int) (*Tree, []graph.NodeID) {
+	return kAdjacent(g, v, k, graph.Incoming)
+}
+
+// KAdjacentOutgoing extracts the outgoing k-adjacent tree TO(v, k):
+// the BFS tree of v following outgoing edges only.
+func KAdjacentOutgoing(g *graph.Graph, v graph.NodeID, k int) (*Tree, []graph.NodeID) {
+	return kAdjacent(g, v, k, graph.Outgoing)
+}
+
+func kAdjacent(g *graph.Graph, v graph.NodeID, k int, dir graph.EdgeDirection) (*Tree, []graph.NodeID) {
+	res := graph.BFS(g, v, k, dir)
+	// BFS order is level order, so tree node i = res.Order[i].
+	newID := make(map[graph.NodeID]int32, len(res.Order))
+	for i, u := range res.Order {
+		newID[u] = int32(i)
+	}
+	parent := make([]int32, len(res.Order))
+	parent[0] = -1
+	for i := 1; i < len(res.Order); i++ {
+		parent[i] = newID[res.Parent[res.Order[i]]]
+	}
+	return MustNew(parent), res.Order
+}

@@ -1,0 +1,200 @@
+// Package tree implements the unordered rooted trees that act as node
+// signatures in NED: the unlabeled unordered k-adjacent tree of §3.1
+// (Definitions 1 and 2 of the paper), together with AHU canonical
+// encoding, isomorphism testing, and deterministic random generators used
+// by tests and benchmarks.
+//
+// Trees are stored in level order: node 0 is the root and nodes of each
+// depth occupy a contiguous ID range, which is exactly the layout the
+// TED* algorithm consumes level by level.
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is an unordered rooted tree in level order. Node 0 is the root;
+// Parent[0] == -1. Depth[v] is the number of edges from the root, and
+// nodes are sorted by depth: Depth is non-decreasing in node ID.
+// The zero value is not a valid tree; use New or the builders below.
+type Tree struct {
+	parent []int32
+	depth  []int32
+
+	// levelOff[d] is the index of the first node at depth d;
+	// levelOff[height+1] == len(parent).
+	levelOff []int32
+
+	// children in CSR form, derived from parent.
+	childOff []int32
+	childIDs []int32
+}
+
+// New constructs a Tree from a parent vector. parent[0] must be -1 and
+// every other entry must point to an earlier node (level order). New
+// returns an error when the vector violates those invariants.
+func New(parent []int32) (*Tree, error) {
+	if len(parent) == 0 {
+		return nil, fmt.Errorf("tree: empty parent vector")
+	}
+	if parent[0] != -1 {
+		return nil, fmt.Errorf("tree: root parent must be -1, got %d", parent[0])
+	}
+	t := &Tree{parent: append([]int32(nil), parent...)}
+	t.depth = make([]int32, len(parent))
+	for v := 1; v < len(parent); v++ {
+		p := parent[v]
+		if p < 0 || int(p) >= v {
+			return nil, fmt.Errorf("tree: node %d has invalid parent %d (must precede it)", v, p)
+		}
+		t.depth[v] = t.depth[p] + 1
+		if t.depth[v] < t.depth[v-1] {
+			return nil, fmt.Errorf("tree: nodes not in level order at %d", v)
+		}
+	}
+	t.buildIndexes()
+	return t, nil
+}
+
+// MustNew is New but panics on malformed input; for literals in tests.
+func MustNew(parent []int32) *Tree {
+	t, err := New(parent)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) buildIndexes() {
+	n := len(t.parent)
+	height := int(t.depth[n-1])
+	t.levelOff = make([]int32, height+2)
+	for _, d := range t.depth {
+		t.levelOff[d+1]++
+	}
+	for d := 1; d <= height+1; d++ {
+		t.levelOff[d] += t.levelOff[d-1]
+	}
+
+	t.childOff = make([]int32, n+1)
+	for v := 1; v < n; v++ {
+		t.childOff[t.parent[v]+1]++
+	}
+	for v := 1; v <= n; v++ {
+		t.childOff[v] += t.childOff[v-1]
+	}
+	t.childIDs = make([]int32, n-1)
+	cursor := make([]int32, n)
+	copy(cursor, t.childOff[:n])
+	for v := 1; v < n; v++ {
+		p := t.parent[v]
+		t.childIDs[cursor[p]] = int32(v)
+		cursor[p]++
+	}
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return len(t.parent) }
+
+// Height returns the depth of the deepest node (a single root has height 0).
+func (t *Tree) Height() int { return int(t.depth[len(t.depth)-1]) }
+
+// Parent returns the parent of v, or -1 for the root.
+func (t *Tree) Parent(v int32) int32 { return t.parent[v] }
+
+// Depth returns the depth of v.
+func (t *Tree) Depth(v int32) int32 { return t.depth[v] }
+
+// Children returns the children of v. The slice aliases internal storage.
+func (t *Tree) Children(v int32) []int32 {
+	return t.childIDs[t.childOff[v]:t.childOff[v+1]]
+}
+
+// NumChildren returns the number of children of v.
+func (t *Tree) NumChildren(v int32) int {
+	return int(t.childOff[v+1] - t.childOff[v])
+}
+
+// Level returns the node IDs at depth d (contiguous by construction).
+// An out-of-range depth yields an empty slice.
+func (t *Tree) Level(d int) []int32 {
+	if d < 0 || d >= len(t.levelOff)-1 {
+		return nil
+	}
+	lo, hi := t.levelOff[d], t.levelOff[d+1]
+	ids := make([]int32, hi-lo)
+	for i := range ids {
+		ids[i] = lo + int32(i)
+	}
+	return ids
+}
+
+// LevelSize returns the number of nodes at depth d.
+func (t *Tree) LevelSize(d int) int {
+	if d < 0 || d >= len(t.levelOff)-1 {
+		return 0
+	}
+	return int(t.levelOff[d+1] - t.levelOff[d])
+}
+
+// LevelRange returns the half-open node-ID interval [lo, hi) at depth d.
+func (t *Tree) LevelRange(d int) (lo, hi int32) {
+	if d < 0 || d >= len(t.levelOff)-1 {
+		return 0, 0
+	}
+	return t.levelOff[d], t.levelOff[d+1]
+}
+
+// Truncate returns the subtree of nodes with depth <= maxDepth. With the
+// convention used throughout this repo, the k-adjacent tree T(v, k) is
+// the BFS tree truncated at maxDepth = k: the root plus k levels of
+// neighbors, so that k means "hops of neighbors considered" (§10).
+func (t *Tree) Truncate(maxDepth int) *Tree {
+	if maxDepth >= t.Height() {
+		return t
+	}
+	hi := t.levelOff[maxDepth+1]
+	return MustNew(t.parent[:hi])
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int {
+	n := 0
+	for v := 0; v < t.Size(); v++ {
+		if t.NumChildren(int32(v)) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (t *Tree) Clone() *Tree { return MustNew(t.parent) }
+
+// ParentVector returns a copy of the level-order parent vector.
+func (t *Tree) ParentVector() []int32 { return append([]int32(nil), t.parent...) }
+
+// String renders a compact single-line description.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree{%d nodes, height %d}", t.Size(), t.Height())
+}
+
+// Pretty renders an indented multi-line view, children sorted by subtree
+// canonical form so isomorphic trees print identically.
+func (t *Tree) Pretty() string {
+	var sb strings.Builder
+	var rec func(v int32, indent int)
+	rec = func(v int32, indent int) {
+		sb.WriteString(strings.Repeat("  ", indent))
+		fmt.Fprintf(&sb, "%d\n", v)
+		kids := append([]int32(nil), t.Children(v)...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, c := range kids {
+			rec(c, indent+1)
+		}
+	}
+	rec(0, 0)
+	return sb.String()
+}

@@ -1,0 +1,263 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ned/internal/graph"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("want error for empty vector")
+	}
+	if _, err := New([]int32{0}); err == nil {
+		t.Error("want error for root with non -1 parent")
+	}
+	if _, err := New([]int32{-1, 1}); err == nil {
+		t.Error("want error for forward parent reference")
+	}
+	if _, err := New([]int32{-1, 0, 1, 0}); err == nil {
+		t.Error("want error for non level order (depths 0,1,2,1)")
+	}
+	if _, err := New([]int32{-1, 0, 0, 1}); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+func TestLevelsAndChildren(t *testing.T) {
+	tr := MustNew([]int32{-1, 0, 0, 1, 1, 2})
+	if tr.Size() != 6 || tr.Height() != 2 {
+		t.Fatalf("size/height = %d/%d, want 6/2", tr.Size(), tr.Height())
+	}
+	if got := tr.LevelSize(0); got != 1 {
+		t.Errorf("LevelSize(0) = %d", got)
+	}
+	if got := tr.LevelSize(1); got != 2 {
+		t.Errorf("LevelSize(1) = %d", got)
+	}
+	if got := tr.LevelSize(2); got != 3 {
+		t.Errorf("LevelSize(2) = %d", got)
+	}
+	if got := tr.LevelSize(3); got != 0 {
+		t.Errorf("LevelSize(3) = %d, want 0", got)
+	}
+	kids := tr.Children(1)
+	if len(kids) != 2 || kids[0] != 3 || kids[1] != 4 {
+		t.Errorf("Children(1) = %v", kids)
+	}
+	if tr.NumChildren(5) != 0 {
+		t.Error("leaf should have no children")
+	}
+	if tr.Leaves() != 3 {
+		t.Errorf("Leaves = %d, want 3 (nodes 3,4,5)", tr.Leaves())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tr := Path(5)
+	tt := tr.Truncate(2)
+	if tt.Size() != 3 || tt.Height() != 2 {
+		t.Errorf("Truncate(2) of Path(5): size %d height %d", tt.Size(), tt.Height())
+	}
+	if same := tr.Truncate(10); same.Size() != 5 {
+		t.Error("Truncate beyond height should keep the whole tree")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if s := Star(4); s.Size() != 5 || s.Height() != 1 {
+		t.Errorf("Star(4): %v", s)
+	}
+	if p := Path(4); p.Size() != 4 || p.Height() != 3 {
+		t.Errorf("Path(4): %v", p)
+	}
+	if f := FullKAry(2, 3); f.Size() != 15 {
+		t.Errorf("FullKAry(2,3).Size = %d, want 15", f.Size())
+	}
+	if c := Caterpillar(3, 2); c.Size() != 1+3*3 {
+		t.Errorf("Caterpillar(3,2).Size = %d, want 10", c.Size())
+	}
+	rng := rand.New(rand.NewSource(3))
+	r := Random(rng, 25, 4)
+	if r.Size() > 25 || r.Height() > 4 {
+		t.Errorf("Random bounds violated: %v", r)
+	}
+	sh := RandomShape(rng, []int{1, 3, 5})
+	if sh.LevelSize(1) != 3 || sh.LevelSize(2) != 5 {
+		t.Errorf("RandomShape widths wrong: %d/%d", sh.LevelSize(1), sh.LevelSize(2))
+	}
+}
+
+func TestRandomTreesAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := Random(rng, 1+rng.Intn(60), 1+rng.Intn(6))
+		// Re-validate through New.
+		_, err := New(tr.ParentVector())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalIsomorphism(t *testing.T) {
+	// Same shape in different child orders.
+	a := MustNew([]int32{-1, 0, 0, 1, 2, 2})
+	b := MustNew([]int32{-1, 0, 0, 2, 1, 1})
+	if !Isomorphic(a, b) {
+		t.Error("mirror-ordered trees should be isomorphic")
+	}
+	c := MustNew([]int32{-1, 0, 0, 1, 1, 1})
+	if Isomorphic(a, c) {
+		t.Error("different shapes reported isomorphic")
+	}
+}
+
+func TestCanonicalDistinguishesShapes(t *testing.T) {
+	if Canonical(Path(3)) == Canonical(Star(2)) {
+		t.Error("Path(3) and Star(2) must differ")
+	}
+	if Canonical(Path(3)) != Canonical(Path(3)) {
+		t.Error("equal trees must agree")
+	}
+}
+
+func TestCanonicalLabelsSemantics(t *testing.T) {
+	// Root with two identical subtrees and one different.
+	tr := MustNew([]int32{-1, 0, 0, 0, 1, 2})
+	labels := CanonicalLabels(tr)
+	if labels[1] != labels[2] {
+		t.Error("isomorphic subtrees must share a label")
+	}
+	if labels[1] == labels[3] {
+		t.Error("leaf and path subtrees must differ")
+	}
+	if labels[4] != labels[5] {
+		t.Error("two leaves must share a label")
+	}
+}
+
+func TestCanonicalLabelsMatchIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		tr := Random(rng, 20, 4)
+		labels := CanonicalLabels(tr)
+		// Spot-check pairs within the same level.
+		for d := 0; d <= tr.Height(); d++ {
+			ids := tr.Level(d)
+			for a := 0; a < len(ids) && a < 4; a++ {
+				for b := a + 1; b < len(ids) && b < 4; b++ {
+					subA := subtreeOf(tr, ids[a])
+					subB := subtreeOf(tr, ids[b])
+					same := Isomorphic(subA, subB)
+					if same != (labels[ids[a]] == labels[ids[b]]) {
+						t.Fatalf("tree %d: label equivalence mismatch at %d,%d", i, ids[a], ids[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// subtreeOf extracts the subtree rooted at v as a standalone Tree.
+func subtreeOf(t *Tree, v int32) *Tree {
+	var nodes []int32
+	queue := []int32{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		nodes = append(nodes, u)
+		queue = append(queue, t.Children(u)...)
+	}
+	newID := make(map[int32]int32, len(nodes))
+	for i, u := range nodes {
+		newID[u] = int32(i)
+	}
+	parent := make([]int32, len(nodes))
+	parent[0] = -1
+	for i := 1; i < len(nodes); i++ {
+		parent[i] = newID[t.Parent(nodes[i])]
+	}
+	return MustNew(parent)
+}
+
+func TestKAdjacentOnPathGraph(t *testing.T) {
+	b := graph.NewBuilder(6, false)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g := b.Build()
+	tr, back := KAdjacent(g, 2, 2)
+	// Node 2 sees {1,3} at depth 1 and {0,4} at depth 2.
+	if tr.Size() != 5 {
+		t.Fatalf("size = %d, want 5", tr.Size())
+	}
+	if tr.LevelSize(1) != 2 || tr.LevelSize(2) != 2 {
+		t.Errorf("level sizes %d/%d, want 2/2", tr.LevelSize(1), tr.LevelSize(2))
+	}
+	if back[0] != 2 {
+		t.Errorf("root maps to %d, want 2", back[0])
+	}
+}
+
+func TestKAdjacentDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder(50, false)
+	for i := 0; i < 150; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(50)), graph.NodeID(rng.Intn(50)))
+	}
+	g := b.Build()
+	t1, _ := KAdjacent(g, 7, 3)
+	t2, _ := KAdjacent(g, 7, 3)
+	v1, v2 := t1.ParentVector(), t2.ParentVector()
+	if len(v1) != len(v2) {
+		t.Fatal("non-deterministic extraction")
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("non-deterministic extraction")
+		}
+	}
+}
+
+func TestKAdjacentDirected(t *testing.T) {
+	// 0 -> 1 -> 2, 3 -> 1
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 1)
+	g := b.Build()
+	out, _ := KAdjacentOutgoing(g, 1, 2)
+	if out.Size() != 2 { // 1 -> 2 only
+		t.Errorf("outgoing tree size = %d, want 2", out.Size())
+	}
+	in, _ := KAdjacentIncoming(g, 1, 2)
+	if in.Size() != 3 { // 1 <- 0 and 1 <- 3
+		t.Errorf("incoming tree size = %d, want 3", in.Size())
+	}
+}
+
+func TestKAdjacentTruncation(t *testing.T) {
+	// k-adjacent at larger k contains the smaller-k tree as its top part.
+	rng := rand.New(rand.NewSource(6))
+	b := graph.NewBuilder(80, false)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(80)), graph.NodeID(rng.Intn(80)))
+	}
+	g := b.Build()
+	big, _ := KAdjacent(g, 0, 4)
+	small, _ := KAdjacent(g, 0, 2)
+	if !Isomorphic(big.Truncate(2), small) {
+		t.Error("T(v,4) truncated to depth 2 must equal T(v,2)")
+	}
+}
+
+func TestPrettyAndString(t *testing.T) {
+	tr := Star(2)
+	if tr.String() == "" || tr.Pretty() == "" {
+		t.Error("render methods must not be empty")
+	}
+}

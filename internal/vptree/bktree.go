@@ -1,0 +1,141 @@
+package vptree
+
+// BKTree is a Burkhard–Keller tree: a metric index specialized to
+// integer-valued metrics such as TED*/NED. Children of a node are keyed
+// by their exact distance to the node, which gives cheap exact pruning
+// via the triangle inequality: a child bucket at distance d can contain
+// a hit within radius r of the query only if |d − D| <= r, where D is
+// the query's distance to the node.
+//
+// BK-trees often beat VP-trees on small-range integer metrics because no
+// floating-point radii or medians are involved; the ablation benchmark
+// in internal/bench compares the two on NED workloads.
+type BKTree[T any] struct {
+	dist  func(a, b T) int
+	root  *bkNode[T]
+	count int
+
+	distCalls int
+}
+
+type bkNode[T any] struct {
+	point    T
+	children map[int]*bkNode[T]
+}
+
+// NewBK builds a BK-tree by successive insertion. Insertion order is the
+// slice order, making builds deterministic.
+func NewBK[T any](items []T, dist func(a, b T) int) *BKTree[T] {
+	t := &BKTree[T]{dist: dist}
+	for _, it := range items {
+		t.Insert(it)
+	}
+	return t
+}
+
+// Insert adds one item to the index.
+func (t *BKTree[T]) Insert(item T) {
+	t.count++
+	if t.root == nil {
+		t.root = &bkNode[T]{point: item}
+		return
+	}
+	cur := t.root
+	for {
+		d := t.dist(cur.point, item)
+		if cur.children == nil {
+			cur.children = make(map[int]*bkNode[T])
+		}
+		next, ok := cur.children[d]
+		if !ok {
+			cur.children[d] = &bkNode[T]{point: item}
+			return
+		}
+		cur = next
+	}
+}
+
+// Len returns the number of indexed items.
+func (t *BKTree[T]) Len() int { return t.count }
+
+// DistanceCalls returns metric evaluations since the last ResetStats
+// (queries only; Insert calls are not counted).
+func (t *BKTree[T]) DistanceCalls() int { return t.distCalls }
+
+// ResetStats zeroes the metric-evaluation counter.
+func (t *BKTree[T]) ResetStats() { t.distCalls = 0 }
+
+// IntResult is a BK-tree search hit.
+type IntResult[T any] struct {
+	Item T
+	Dist int
+}
+
+// Range returns all items within distance r of the query.
+func (t *BKTree[T]) Range(query T, r int) []IntResult[T] {
+	var out []IntResult[T]
+	var visit func(n *bkNode[T])
+	visit = func(n *bkNode[T]) {
+		d := t.dist(query, n.point)
+		t.distCalls++
+		if d <= r {
+			out = append(out, IntResult[T]{n.point, d})
+		}
+		for cd, child := range n.children {
+			if cd >= d-r && cd <= d+r {
+				visit(child)
+			}
+		}
+	}
+	if t.root != nil {
+		visit(t.root)
+	}
+	return out
+}
+
+// KNN returns the k nearest items in ascending distance order. Ties are
+// broken by visit order; the distance multiset matches a linear scan.
+func (t *BKTree[T]) KNN(query T, k int) []IntResult[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	// Max-heap by distance, fixed capacity k (small k: slice is fine).
+	var best []IntResult[T]
+	worst := func() int {
+		if len(best) < k {
+			return int(^uint(0) >> 1)
+		}
+		return best[len(best)-1].Dist
+	}
+	add := func(r IntResult[T]) {
+		best = append(best, r)
+		for i := len(best) - 1; i > 0 && best[i].Dist < best[i-1].Dist; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	var visit func(n *bkNode[T])
+	visit = func(n *bkNode[T]) {
+		d := t.dist(query, n.point)
+		t.distCalls++
+		if len(best) < k || d < worst() {
+			add(IntResult[T]{n.point, d})
+		}
+		for cd, child := range n.children {
+			// Until k results exist there is no pruning radius; after
+			// that the window is |cd - d| <= worst (triangle inequality).
+			if len(best) < k {
+				visit(child)
+				continue
+			}
+			w := worst()
+			if cd >= d-w && cd <= d+w {
+				visit(child)
+			}
+		}
+	}
+	visit(t.root)
+	return best
+}

@@ -1,0 +1,126 @@
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intDist(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestBKRangeMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = rng.Intn(200)
+	}
+	tr := NewBK(items, intDist)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := rng.Intn(220)
+		r := rng.Intn(15)
+		got := tr.Range(q, r)
+		want := 0
+		for _, it := range items {
+			if intDist(q, it) <= r {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("q=%d r=%d: got %d, want %d", q, r, len(got), want)
+		}
+		for _, res := range got {
+			if res.Dist > r {
+				t.Fatalf("result at distance %d beyond radius %d", res.Dist, r)
+			}
+		}
+	}
+}
+
+func TestBKKNNMatchesScanDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := make([]int, 300)
+	for i := range items {
+		items[i] = rng.Intn(1000)
+	}
+	tr := NewBK(items, intDist)
+	for trial := 0; trial < 30; trial++ {
+		q := rng.Intn(1000)
+		k := 1 + rng.Intn(8)
+		got := tr.KNN(q, k)
+		ds := make([]int, len(items))
+		for i, it := range items {
+			ds[i] = intDist(q, it)
+		}
+		sort.Ints(ds)
+		if len(got) != k {
+			t.Fatalf("got %d results, want %d", len(got), k)
+		}
+		for i := range got {
+			if got[i].Dist != ds[i] {
+				t.Fatalf("rank %d: distance %d, want %d", i, got[i].Dist, ds[i])
+			}
+		}
+	}
+}
+
+func TestBKEmptyAndSmall(t *testing.T) {
+	empty := NewBK[int](nil, intDist)
+	if res := empty.KNN(5, 3); res != nil {
+		t.Error("empty KNN should be nil")
+	}
+	if res := empty.Range(5, 3); res != nil {
+		t.Error("empty Range should be nil")
+	}
+	one := NewBK([]int{42}, intDist)
+	if res := one.KNN(40, 2); len(res) != 1 || res[0].Dist != 2 {
+		t.Errorf("single-item KNN = %+v", res)
+	}
+	if res := one.KNN(40, 0); res != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestBKDuplicates(t *testing.T) {
+	tr := NewBK([]int{7, 7, 7, 9}, intDist)
+	res := tr.Range(7, 0)
+	if len(res) != 3 {
+		t.Errorf("duplicates in range: %d, want 3", len(res))
+	}
+}
+
+func TestBKInsertAfterBuild(t *testing.T) {
+	tr := NewBK([]int{1, 5, 9}, intDist)
+	tr.Insert(6)
+	if tr.Len() != 4 {
+		t.Errorf("Len after insert = %d", tr.Len())
+	}
+	res := tr.KNN(6, 1)
+	if res[0].Dist != 0 {
+		t.Errorf("inserted item not found: %+v", res)
+	}
+}
+
+func TestBKSavesDistanceCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]int, 3000)
+	for i := range items {
+		items[i] = rng.Intn(10000)
+	}
+	tr := NewBK(items, intDist)
+	tr.ResetStats()
+	const queries = 40
+	for q := 0; q < queries; q++ {
+		tr.Range(rng.Intn(10000), 3)
+	}
+	if per := tr.DistanceCalls() / queries; per >= len(items) {
+		t.Errorf("BK-tree did %d calls/query on %d items — no pruning", per, len(items))
+	}
+}

@@ -1,0 +1,190 @@
+// Package vptree implements a vantage-point tree, the metric index the
+// paper pairs with NED for sub-linear nearest-neighbor queries (§13.4,
+// Figure 9b). Because TED*/NED satisfy the triangle inequality (§7),
+// the index prunes candidate subtrees exactly — results are identical to
+// a full scan.
+//
+// The tree is generic over the item type; callers supply the metric.
+package vptree
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+)
+
+// Metric computes the distance between two items. It must satisfy the
+// metric axioms for search results to be exact.
+type Metric[T any] func(a, b T) float64
+
+// Tree is an immutable vantage-point tree.
+type Tree[T any] struct {
+	dist  Metric[T]
+	root  *node[T]
+	count int
+
+	// distCalls counts metric evaluations since the last ResetStats; the
+	// Figure 9b experiment uses it to compare index vs scan work.
+	distCalls int
+}
+
+type node[T any] struct {
+	point  T
+	radius float64 // median distance from point to the inside subtree
+	inside *node[T]
+	beyond *node[T]
+}
+
+// New builds a VP-tree over items using the supplied metric. Vantage
+// points are chosen pseudo-randomly from a fixed seed so builds are
+// deterministic. Building costs O(n log n) metric evaluations.
+func New[T any](items []T, dist Metric[T]) *Tree[T] {
+	t := &Tree[T]{dist: dist, count: len(items)}
+	pts := append([]T(nil), items...)
+	rng := rand.New(rand.NewSource(1))
+	t.root = t.build(pts, rng)
+	return t
+}
+
+func (t *Tree[T]) build(pts []T, rng *rand.Rand) *node[T] {
+	if len(pts) == 0 {
+		return nil
+	}
+	// Move a random vantage point to the front.
+	i := rng.Intn(len(pts))
+	pts[0], pts[i] = pts[i], pts[0]
+	n := &node[T]{point: pts[0]}
+	rest := pts[1:]
+	if len(rest) == 0 {
+		return n
+	}
+	ds := make([]float64, len(rest))
+	for j, p := range rest {
+		ds[j] = t.dist(n.point, p)
+	}
+	// Partition around the median distance.
+	idx := make([]int, len(rest))
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.Slice(idx, func(a, b int) bool { return ds[idx[a]] < ds[idx[b]] })
+	mid := len(idx) / 2
+	n.radius = ds[idx[mid]]
+	inside := make([]T, 0, mid)
+	beyond := make([]T, 0, len(idx)-mid)
+	for _, j := range idx {
+		if ds[j] < n.radius {
+			inside = append(inside, rest[j])
+		} else {
+			beyond = append(beyond, rest[j])
+		}
+	}
+	n.inside = t.build(inside, rng)
+	n.beyond = t.build(beyond, rng)
+	return n
+}
+
+// Len returns the number of indexed items.
+func (t *Tree[T]) Len() int { return t.count }
+
+// DistanceCalls returns the number of metric evaluations since the last
+// ResetStats (not counting the build).
+func (t *Tree[T]) DistanceCalls() int { return t.distCalls }
+
+// ResetStats zeroes the metric-evaluation counter.
+func (t *Tree[T]) ResetStats() { t.distCalls = 0 }
+
+// Result is a search hit.
+type Result[T any] struct {
+	Item T
+	Dist float64
+}
+
+// resultHeap is a max-heap on Dist so the worst current hit is at the top.
+type resultHeap[T any] []Result[T]
+
+func (h resultHeap[T]) Len() int            { return len(h) }
+func (h resultHeap[T]) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap[T]) Push(x interface{}) { *h = append(*h, x.(Result[T])) }
+func (h *resultHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the k nearest neighbors of query in ascending distance
+// order. Ties are resolved by visit order, which is deterministic.
+func (t *Tree[T]) KNN(query T, k int) []Result[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	h := &resultHeap[T]{}
+	tau := inf()
+	var visit func(n *node[T])
+	visit = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		d := t.dist(query, n.point)
+		t.distCalls++
+		if d < tau || h.Len() < k {
+			heap.Push(h, Result[T]{n.point, d})
+			if h.Len() > k {
+				heap.Pop(h)
+			}
+			if h.Len() == k {
+				tau = (*h)[0].Dist
+			}
+		}
+		// Visit the more promising side first; prune with the triangle
+		// inequality: the inside ball can contain a better hit only if
+		// d - tau < radius, the beyond region only if d + tau >= radius.
+		if d < n.radius {
+			visit(n.inside)
+			if h.Len() < k || d+tau >= n.radius {
+				visit(n.beyond)
+			}
+		} else {
+			visit(n.beyond)
+			if h.Len() < k || d-tau < n.radius {
+				visit(n.inside)
+			}
+		}
+	}
+	visit(t.root)
+	out := make([]Result[T], h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result[T])
+	}
+	return out
+}
+
+// Range returns every indexed item within distance r of query,
+// in no particular order.
+func (t *Tree[T]) Range(query T, r float64) []Result[T] {
+	var out []Result[T]
+	var visit func(n *node[T])
+	visit = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		d := t.dist(query, n.point)
+		t.distCalls++
+		if d <= r {
+			out = append(out, Result[T]{n.point, d})
+		}
+		if d-r < n.radius {
+			visit(n.inside)
+		}
+		if d+r >= n.radius {
+			visit(n.beyond)
+		}
+	}
+	visit(t.root)
+	return out
+}
+
+func inf() float64 { return 1e308 }
