@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|ablation]
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
 //
 // The defaults run every experiment at laptop scale in a few minutes;
@@ -12,19 +12,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
+	"ned"
 	"ned/internal/bench"
 	"ned/internal/datasets"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, ablation)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
 		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
@@ -100,10 +103,80 @@ func main() {
 		bench.AblationIndexes(o).Fprint(os.Stdout)
 		ran++
 	}
+	if run("corpus") {
+		corpusExperiment(o).Fprint(os.Stdout)
+		ran++
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation\n")
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus\n")
 		os.Exit(2)
 	}
 	fmt.Printf("%s\ncompleted in %s\n", strings.Repeat("-", 40), time.Since(start).Round(time.Millisecond))
+}
+
+// corpusExperiment drives the public Corpus query engine end to end:
+// the same batch of inter-graph KNN queries served by each backend,
+// reporting wall time and TED* evaluations per query. Distances are
+// asserted equal across backends against the exact linear scan.
+func corpusExperiment(o bench.Options) bench.Table {
+	o.Normalize()
+	t := bench.Table{
+		Title:  "Corpus engine: BatchKNN across backends (per-query mean)",
+		Note:   fmt.Sprintf("%d candidates, %d queries, PGP analog, k=3", o.Candidates, o.Queries),
+		Header: []string{"backend", "time (ms)", "TED* evals/query", "scan mismatches"},
+	}
+	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed})
+	g2 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed + 999})
+	rng := rand.New(rand.NewSource(o.Seed + 61))
+
+	queries := make([]ned.Signature, 0, o.Queries)
+	for _, v := range rng.Perm(g1.NumNodes())[:min(o.Queries, g1.NumNodes())] {
+		queries = append(queries, ned.NewSignature(g1, ned.NodeID(v), 3))
+	}
+	cands := make([]ned.NodeID, 0, o.Candidates)
+	for _, v := range rng.Perm(g2.NumNodes())[:min(o.Candidates, g2.NumNodes())] {
+		cands = append(cands, ned.NodeID(v))
+	}
+
+	ctx := context.Background()
+	var exact [][]ned.Neighbor
+	for _, backend := range []ned.Backend{
+		ned.BackendLinear, ned.BackendPrunedLinear, ned.BackendVP, ned.BackendBK,
+	} {
+		corpus, err := ned.NewCorpus(g2, 3, ned.WithBackend(backend), ned.WithNodes(cands))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		// Materialize the index outside the timed window.
+		if _, err := corpus.KNNSignature(ctx, queries[0], 1); err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		corpus.ResetStats()
+		start := time.Now()
+		res, err := corpus.BatchKNN(ctx, queries, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		mismatches := 0
+		if exact == nil {
+			exact = res
+		} else {
+			for i := range res {
+				if res[i][0].Dist != exact[i][0].Dist {
+					mismatches++
+				}
+			}
+		}
+		stats := corpus.Stats()
+		t.AddRow(backend.String(),
+			fmt.Sprintf("%.3f", float64(elapsed.Nanoseconds())/1e6/float64(len(queries))),
+			fmt.Sprint(stats.DistanceCalls/int64(len(queries))),
+			fmt.Sprint(mismatches))
+	}
+	return t
 }

@@ -1,20 +1,23 @@
 // Command nedquery answers inter-graph nearest-neighbor queries: given a
 // query node in one edge-list graph, it ranks the most NED-similar nodes
-// of another graph, optionally through a VP-tree index.
+// of another graph through the Corpus query engine.
 //
 // Usage:
 //
-//	nedquery -from a.edges -to b.edges -node 17 [-k 3] [-l 10] [-index]
+//	nedquery -from a.edges -to b.edges -node 17 [-k 3] [-l 10]
+//	         [-backend vp|bk|linear|pruned] [-timeout 30s] [-workers 0]
+//
+// Exit status: 0 on success, 1 on a query error (bad node, timeout,
+// ...), 2 on flag misuse.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"ned/internal/graph"
-	"ned/internal/ned"
-	"ned/internal/vptree"
+	"ned"
 )
 
 func main() {
@@ -24,7 +27,9 @@ func main() {
 		node     = flag.Int("node", 0, "query node ID (dense ID in the -from graph)")
 		k        = flag.Int("k", 3, "neighborhood depth (k-adjacent tree levels)")
 		l        = flag.Int("l", 10, "number of neighbors to report")
-		useIndex = flag.Bool("index", false, "build a VP-tree index instead of scanning")
+		backend  = flag.String("backend", "vp", "index backend: vp, bk, linear, or pruned")
+		timeout  = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *fromPath == "" || *toPath == "" {
@@ -33,41 +38,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	gFrom, _, err := graph.LoadEdgeListFile(*fromPath, false)
+	be, err := ned.ParseBackend(*backend)
 	if err != nil {
 		fatal(err)
 	}
-	gTo, _, err := graph.LoadEdgeListFile(*toPath, false)
+
+	gFrom, err := ned.LoadEdgeList(*fromPath, false)
+	if err != nil {
+		fatal(err)
+	}
+	gTo, err := ned.LoadEdgeList(*toPath, false)
 	if err != nil {
 		fatal(err)
 	}
 	if *node < 0 || *node >= gFrom.NumNodes() {
-		fatal(fmt.Errorf("node %d out of range [0, %d)", *node, gFrom.NumNodes()))
+		fatal(fmt.Errorf("%w: node %d not in [0, %d) of %s",
+			ned.ErrNodeOutOfRange, *node, gFrom.NumNodes(), *fromPath))
 	}
 
-	query := ned.NewSignature(gFrom, graph.NodeID(*node), *k)
-	nodes := make([]graph.NodeID, gTo.NumNodes())
-	for i := range nodes {
-		nodes[i] = graph.NodeID(i)
-	}
-	candidates := ned.Signatures(gTo, nodes, *k)
-
-	var results []ned.Neighbor
-	if *useIndex {
-		index := vptree.New(candidates, func(a, b ned.Signature) float64 {
-			return float64(ned.Between(a, b))
-		})
-		for _, r := range index.KNN(query, *l) {
-			results = append(results, ned.Neighbor{Node: r.Item.Node, Dist: int(r.Dist)})
-		}
-	} else {
-		results = ned.TopL(query, candidates, *l)
+	corpus, err := ned.NewCorpus(gTo, *k,
+		ned.WithBackend(be), ned.WithWorkers(*workers))
+	if err != nil {
+		fatal(err)
 	}
 
-	fmt.Printf("top-%d NED neighbors of %s:%d in %s (k=%d):\n", *l, *fromPath, *node, *toPath, *k)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	query := ned.NewSignature(gFrom, ned.NodeID(*node), *k)
+	results, err := corpus.KNNSignature(ctx, query, *l)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("top-%d NED neighbors of %s:%d in %s (k=%d, backend=%s):\n",
+		*l, *fromPath, *node, *toPath, *k, be)
 	for rank, r := range results {
 		fmt.Printf("  %2d. node %-8d distance %d\n", rank+1, r.Node, r.Dist)
 	}
+	stats := corpus.Stats()
+	fmt.Printf("(%d TED* evaluations over %d indexed nodes)\n", stats.DistanceCalls, stats.Nodes)
 }
 
 func fatal(err error) {

@@ -1,0 +1,450 @@
+package ned
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ned/internal/ned"
+)
+
+// Typed errors returned by the Corpus API. Wrap-aware: test with
+// errors.Is. Canceled or expired contexts surface as context.Canceled /
+// context.DeadlineExceeded, checked inside the distance loops so even
+// in-flight queries abort promptly.
+var (
+	// ErrNilGraph reports a nil graph passed to NewCorpus.
+	ErrNilGraph = errors.New("ned: nil graph")
+	// ErrBadK reports a neighborhood depth below 1.
+	ErrBadK = errors.New("ned: k must be >= 1")
+	// ErrBadL reports a result count below 1.
+	ErrBadL = errors.New("ned: l must be >= 1")
+	// ErrBadRadius reports a negative range radius.
+	ErrBadRadius = errors.New("ned: radius must be >= 0")
+	// ErrNodeOutOfRange reports a node ID outside [0, NumNodes).
+	ErrNodeOutOfRange = errors.New("ned: node out of range")
+	// ErrBadBackend reports an unknown Backend value.
+	ErrBadBackend = errors.New("ned: unknown backend")
+	// ErrKMismatch reports a query signature whose k differs from the
+	// corpus's k; cross-parameter distances are not comparable rankings.
+	ErrKMismatch = errors.New("ned: query signature k differs from corpus k")
+	// ErrBadSignature reports a query signature with no tree.
+	ErrBadSignature = errors.New("ned: query signature has no tree")
+	// ErrDirectedSignature reports a single-tree signature query against
+	// a directed corpus, whose distance needs incoming and outgoing
+	// trees; query directed corpora by node ID via KNN.
+	ErrDirectedSignature = errors.New("ned: directed corpus requires node queries")
+)
+
+// Backend selects the index structure a Corpus serves queries from. All
+// backends answer the same queries with the same distances; they differ
+// in build cost, per-query work, and parallelism.
+type Backend int
+
+const (
+	// BackendVP is the paper's VP-tree metric index (§13.4): sub-linear
+	// queries via triangle-inequality pruning. The default.
+	BackendVP Backend = iota
+	// BackendBK is a Burkhard–Keller tree specialized to NED's small
+	// integer distances.
+	BackendBK
+	// BackendLinear evaluates every candidate per query across the
+	// corpus worker pool — the exact baseline, and the fastest choice
+	// for small corpora.
+	BackendLinear
+	// BackendPrunedLinear scans sequentially, skipping candidates the
+	// padding lower bound proves out of range (§10).
+	BackendPrunedLinear
+
+	numBackends = iota
+)
+
+// String returns the flag-friendly backend name.
+func (b Backend) String() string {
+	switch b {
+	case BackendVP:
+		return "vp"
+	case BackendBK:
+		return "bk"
+	case BackendLinear:
+		return "linear"
+	case BackendPrunedLinear:
+		return "pruned"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// ParseBackend maps a name ("vp", "bk", "linear", "pruned") to its
+// Backend, for command-line flags.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "vp", "vptree", "vp-tree":
+		return BackendVP, nil
+	case "bk", "bktree", "bk-tree":
+		return BackendBK, nil
+	case "linear", "scan":
+		return BackendLinear, nil
+	case "pruned", "pruned-linear", "prunedlinear":
+		return BackendPrunedLinear, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want vp, bk, linear, or pruned)", ErrBadBackend, s)
+}
+
+// CorpusOption configures a Corpus at construction.
+type CorpusOption func(*corpusConfig)
+
+type corpusConfig struct {
+	backend  Backend
+	workers  int
+	directed bool
+	nodes    []NodeID
+	nodesSet bool
+}
+
+// WithBackend selects the index backend (default BackendVP).
+func WithBackend(b Backend) CorpusOption {
+	return func(c *corpusConfig) { c.backend = b }
+}
+
+// WithWorkers sets the worker pool size used for parallel signature
+// materialization, linear-backend scans, and BatchKNN fan-out. Values
+// <= 0 (the default) mean GOMAXPROCS.
+func WithWorkers(n int) CorpusOption {
+	return func(c *corpusConfig) { c.workers = n }
+}
+
+// WithDirected switches the corpus to the directed NED of Equation 2:
+// distances sum TED* over the incoming and outgoing k-adjacent trees.
+// Directed corpora are queried by node ID (KNN); single-tree signature
+// queries return ErrDirectedSignature.
+func WithDirected() CorpusOption {
+	return func(c *corpusConfig) { c.directed = true }
+}
+
+// WithNodes restricts the corpus to a node subset (for example a
+// candidate pool in a de-anonymization attack); an empty subset yields
+// an empty corpus. The default indexes every node of the graph. The
+// slice is copied.
+func WithNodes(nodes []NodeID) CorpusOption {
+	return func(c *corpusConfig) {
+		c.nodes = append([]NodeID(nil), nodes...)
+		c.nodesSet = true
+	}
+}
+
+// Corpus is a thread-safe, context-aware NED query engine over the
+// nodes of one graph: the top-l / nearest-set similarity workloads of
+// §13.3–13.4 behind a single API, served from an interchangeable index
+// backend. Build one with NewCorpus; all methods may be called
+// concurrently.
+//
+// Signatures and the backend index are materialized lazily, in
+// parallel, on the first query, so constructing a Corpus is cheap and
+// programs that only query a few of several corpora never pay for the
+// rest.
+type Corpus struct {
+	g   *Graph
+	k   int
+	cfg corpusConfig
+
+	buildOnce sync.Once
+	buildErr  error
+	ixVal     atomic.Value // holds ned.Index once built
+
+	queries atomic.Int64
+}
+
+// NewCorpus validates the configuration and returns a query engine over
+// g's nodes with neighborhood depth k. Errors are typed: ErrNilGraph,
+// ErrBadK, ErrNodeOutOfRange (a WithNodes entry out of range), or
+// ErrBadBackend.
+func NewCorpus(g *Graph, k int, opts ...CorpusOption) (*Corpus, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	cfg := corpusConfig{backend: BackendVP}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.backend < 0 || cfg.backend >= numBackends {
+		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
+	}
+	if !cfg.nodesSet {
+		cfg.nodes = make([]NodeID, g.NumNodes())
+		for i := range cfg.nodes {
+			cfg.nodes[i] = NodeID(i)
+		}
+	} else {
+		for _, v := range cfg.nodes {
+			if int(v) < 0 || int(v) >= g.NumNodes() {
+				return nil, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, g.NumNodes())
+			}
+		}
+	}
+	return &Corpus{g: g, k: k, cfg: cfg}, nil
+}
+
+// ensure materializes the signatures and index on first use.
+func (c *Corpus) ensure() (ned.Index, error) {
+	c.buildOnce.Do(func() {
+		items := ned.BuildItems(c.g, c.cfg.nodes, c.k, c.cfg.directed, c.cfg.workers)
+		var ix ned.Index
+		switch c.cfg.backend {
+		case BackendVP:
+			ix = ned.NewVPBackend(items)
+		case BackendBK:
+			ix = ned.NewBKBackend(items)
+		case BackendLinear:
+			ix = ned.NewLinearBackend(items, c.cfg.workers)
+		case BackendPrunedLinear:
+			ix = ned.NewPrunedLinearBackend(items)
+		default:
+			c.buildErr = fmt.Errorf("%w: %d", ErrBadBackend, int(c.cfg.backend))
+			return
+		}
+		c.ixVal.Store(ix)
+	})
+	if c.buildErr != nil {
+		return nil, c.buildErr
+	}
+	return c.ixVal.Load().(ned.Index), nil
+}
+
+// index returns the built index without forcing a build, or nil.
+func (c *Corpus) index() ned.Index {
+	if v := c.ixVal.Load(); v != nil {
+		return v.(ned.Index)
+	}
+	return nil
+}
+
+// queryItem validates and converts an external signature query.
+func (c *Corpus) queryItem(sig Signature) (ned.Item, error) {
+	if c.cfg.directed {
+		return ned.Item{}, ErrDirectedSignature
+	}
+	if sig.Tree == nil {
+		return ned.Item{}, ErrBadSignature
+	}
+	if sig.K != c.k {
+		return ned.Item{}, fmt.Errorf("%w: signature k=%d, corpus k=%d", ErrKMismatch, sig.K, c.k)
+	}
+	return sig.Item(), nil
+}
+
+// nodeItem extracts the query item for a node of the corpus graph.
+func (c *Corpus) nodeItem(v NodeID) (ned.Item, error) {
+	if int(v) < 0 || int(v) >= c.g.NumNodes() {
+		return ned.Item{}, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
+	}
+	return ned.NewItem(c.g, v, c.k, c.cfg.directed), nil
+}
+
+// KNN returns the l indexed nodes most NED-similar to node v of the
+// corpus graph, in ascending (distance, node) order. The query node
+// itself ranks first at distance 0 when it is part of the corpus.
+func (c *Corpus) KNN(ctx context.Context, v NodeID, l int) ([]Neighbor, error) {
+	q, err := c.nodeItem(v)
+	if err != nil {
+		return nil, err
+	}
+	return c.knnItem(ctx, q, l)
+}
+
+// KNNSignature is KNN for an external query signature — typically a
+// node of a different graph, the inter-graph workload NED exists for.
+// The signature's k must match the corpus's.
+func (c *Corpus) KNNSignature(ctx context.Context, sig Signature, l int) ([]Neighbor, error) {
+	q, err := c.queryItem(sig)
+	if err != nil {
+		return nil, err
+	}
+	return c.knnItem(ctx, q, l)
+}
+
+func (c *Corpus) knnItem(ctx context.Context, q ned.Item, l int) ([]Neighbor, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadL, l)
+	}
+	// Check before ensure() so a dead context never pays for the lazy
+	// index build.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ix, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	c.queries.Add(1)
+	return ix.KNN(ctx, q, l)
+}
+
+// Range returns every indexed node within NED distance r of the query
+// signature, in ascending (distance, node) order.
+func (c *Corpus) Range(ctx context.Context, sig Signature, r int) ([]Neighbor, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadRadius, r)
+	}
+	q, err := c.queryItem(sig)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ix, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	c.queries.Add(1)
+	return ix.Range(ctx, q, r)
+}
+
+// NearestSet returns every indexed node at the minimum NED distance
+// from the query signature — the "nearest neighbor result set" of
+// §13.3, which is rarely a single node because NED's integer distances
+// tie (Figure 8a).
+func (c *Corpus) NearestSet(ctx context.Context, sig Signature) ([]Neighbor, error) {
+	q, err := c.queryItem(sig)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ix, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	if ix.Len() == 0 {
+		return nil, ctx.Err()
+	}
+	c.queries.Add(1)
+	best, err := ix.KNN(ctx, q, 1)
+	if err != nil {
+		return nil, err
+	}
+	all, err := ix.Range(ctx, q, best[0].Dist)
+	if err != nil {
+		return nil, err
+	}
+	// The metric-tree backends can deviate from each other around the
+	// KNN(1) distance by a triangle-tie artifact (see the ted package
+	// faithfulness note): Range may surface a smaller stratum than
+	// KNN(1) found, or miss the minimum stratum entirely. Keep only the
+	// smallest stratum seen, falling back to the KNN(1) hit itself.
+	if len(all) == 0 {
+		return best, nil
+	}
+	minDist := all[0].Dist
+	out := all[:0]
+	for _, n := range all {
+		if n.Dist == minDist {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// BatchKNN answers one KNN query per signature, fanning the queries out
+// across the corpus worker pool. results[i] corresponds to sigs[i].
+// Cancelling ctx aborts the whole batch: queries not yet finished are
+// abandoned and the error is returned.
+func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Neighbor, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadL, l)
+	}
+	qs := make([]ned.Item, len(sigs))
+	for i, s := range sigs {
+		q, err := c.queryItem(s)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		qs[i] = q
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ix, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	c.queries.Add(int64(len(sigs)))
+	// The linear backend already spreads each scan across the worker
+	// pool; fanning queries out on top of that would run workers² TED*
+	// goroutines, so batch sequentially there and let each query
+	// parallelize instead.
+	batchWorkers := c.cfg.workers
+	if c.cfg.backend == BackendLinear {
+		batchWorkers = 1
+	}
+	results := make([][]Neighbor, len(sigs))
+	errs := make([]error, len(sigs))
+	if err := ned.ParallelForCtx(ctx, len(sigs), batchWorkers, func(i int) {
+		results[i], errs[i] = ix.KNN(ctx, qs[i], l)
+	}); err != nil {
+		return nil, err
+	}
+	for _, qerr := range errs {
+		if qerr != nil {
+			return nil, qerr
+		}
+	}
+	return results, nil
+}
+
+// CorpusStats is a point-in-time snapshot of a corpus's configuration
+// and serving counters.
+type CorpusStats struct {
+	Backend  Backend
+	K        int
+	Directed bool
+	Workers  int  // configured worker count; 0 means GOMAXPROCS
+	Nodes    int  // indexed node count
+	Built    bool // whether the index has been materialized yet
+
+	Queries       int64 // queries served (BatchKNN counts each signature)
+	DistanceCalls int64 // full TED* evaluations spent serving them
+}
+
+// Stats reports the corpus configuration and serving counters. Safe to
+// call concurrently with queries; counters are atomic snapshots.
+func (c *Corpus) Stats() CorpusStats {
+	s := CorpusStats{
+		Backend:  c.cfg.backend,
+		K:        c.k,
+		Directed: c.cfg.directed,
+		Workers:  c.cfg.workers,
+		Nodes:    len(c.cfg.nodes),
+		Queries:  c.queries.Load(),
+	}
+	if ix := c.index(); ix != nil {
+		s.Built = true
+		s.DistanceCalls = ix.DistanceCalls()
+	}
+	return s
+}
+
+// ResetStats zeroes the query and distance counters.
+func (c *Corpus) ResetStats() {
+	c.queries.Store(0)
+	if ix := c.index(); ix != nil {
+		ix.ResetStats()
+	}
+}
+
+// Signature of node v of the corpus graph at the corpus's k — a
+// convenience for cross-corpus queries: sig from corpus A's graph, then
+// b.KNNSignature(ctx, sig, l).
+func (c *Corpus) Signature(v NodeID) (Signature, error) {
+	if int(v) < 0 || int(v) >= c.g.NumNodes() {
+		return Signature{}, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
+	}
+	return NewSignature(c.g, v, c.k), nil
+}

@@ -1,6 +1,7 @@
 package ned_test
 
 import (
+	"context"
 	"fmt"
 
 	"ned"
@@ -63,6 +64,45 @@ func ExampleTopL() {
 	// Output:
 	// node 1 at distance 1
 	// node 2 at distance 1
+}
+
+func ExampleNewCorpus() {
+	path, star := fixtures()
+	// A Corpus serves similarity queries over one graph's nodes; the
+	// query arrives as a signature from any graph.
+	corpus, err := ned.NewCorpus(star, 1, ned.WithBackend(ned.BackendLinear))
+	if err != nil {
+		panic(err)
+	}
+	query := ned.NewSignature(path, 2, 1) // path interior: degree 2
+	top, err := corpus.KNNSignature(context.Background(), query, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range top {
+		fmt.Printf("node %d at distance %d\n", n.Node, n.Dist)
+	}
+	// Output:
+	// node 1 at distance 1
+	// node 2 at distance 1
+}
+
+func ExampleCorpus_NearestSet() {
+	path, star := fixtures()
+	corpus, err := ned.NewCorpus(star, 1)
+	if err != nil {
+		panic(err)
+	}
+	// Every spoke of the star ties at distance 1 from a path interior
+	// node: the nearest "neighbor" is a 4-node set (§13.3).
+	query := ned.NewSignature(path, 2, 1)
+	nearest, err := corpus.NearestSet(context.Background(), query)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(nearest), "nodes at distance", nearest[0].Dist)
+	// Output:
+	// 4 nodes at distance 1
 }
 
 func ExampleTEDStarLowerBound() {

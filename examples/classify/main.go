@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"ned"
 )
@@ -41,22 +43,34 @@ func main() {
 	for v := 0; v < trainN && v < source.NumNodes(); v++ {
 		trainNodes = append(trainNodes, ned.NodeID(v))
 	}
-	trainSigs := ned.Signatures(source, trainNodes, k)
 
-	// Index the training signatures in a VP-tree: NED is a metric, so the
-	// index returns exactly the nearest neighbor.
-	index := ned.NewVPIndex(trainSigs)
+	// Index the training nodes in a Corpus backed by a VP-tree: NED is a
+	// metric, so the index returns exactly the nearest neighbor. BatchKNN
+	// classifies every test node in one parallel, cancelable call.
+	corpus, err := ned.NewCorpus(source, k,
+		ned.WithBackend(ned.BackendVP), ned.WithNodes(trainNodes))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var testNodes []ned.NodeID
+	for v := 0; v < testN && v < target.NumNodes(); v++ {
+		testNodes = append(testNodes, ned.NodeID(v))
+	}
+	testSigs := ned.Signatures(target, testNodes, k)
+	nns, err := corpus.BatchKNN(context.Background(), testSigs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	correct, total := 0, 0
 	confusion := map[string]map[string]int{}
-	for v := 0; v < testN && v < target.NumNodes(); v++ {
-		q := ned.NewSignature(target, ned.NodeID(v), k)
-		nn := index.KNN(q, 1)
-		if len(nn) == 0 {
+	for i, v := range testNodes {
+		if len(nns[i]) == 0 {
 			continue
 		}
-		predicted := role(source, nn[0].Node)
-		actual := role(target, ned.NodeID(v))
+		predicted := role(source, nns[i][0].Node)
+		actual := role(target, v)
 		if confusion[actual] == nil {
 			confusion[actual] = map[string]int{}
 		}
@@ -73,6 +87,7 @@ func main() {
 	for _, actual := range []string{"hub", "connector", "peripheral"} {
 		fmt.Printf("  %-10s %v\n", actual, confusion[actual])
 	}
+	stats := corpus.Stats()
 	fmt.Printf("VP-tree distance calls: %d (vs %d for full scan)\n",
-		index.DistanceCalls(), total*len(trainSigs))
+		stats.DistanceCalls, total*len(trainNodes))
 }

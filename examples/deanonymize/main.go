@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
 
@@ -46,19 +48,33 @@ func main() {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 
-	candSigs := ned.Signatures(train, cands, k)
+	// The NED attack queries a Corpus over the training graph restricted
+	// to the candidate pool; the whole attack is one parallel BatchKNN.
+	corpus, err := ned.NewCorpus(train, k,
+		ned.WithBackend(ned.BackendPrunedLinear), ned.WithNodes(cands))
+	if err != nil {
+		log.Fatal(err)
+	}
+	querySigs := make([]ned.Signature, len(queryNodes))
+	for i, q := range queryNodes {
+		querySigs[i] = ned.NewSignature(anon.Graph, ned.NodeID(q), k)
+	}
+	rankings, err := corpus.BatchKNN(context.Background(), querySigs, topL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	candFeats := make([]ned.FeatureVector, len(cands))
 	for i, c := range cands {
 		candFeats[i] = ned.RegionalFeatures(train, c, 2)
 	}
 
 	nedHits, featHits := 0, 0
-	for _, q := range queryNodes {
+	for qi, q := range queryNodes {
 		truth := anon.Identity[q]
 
 		// NED attack.
-		qSig := ned.NewSignature(anon.Graph, ned.NodeID(q), k)
-		for _, n := range ned.TopL(qSig, candSigs, topL) {
+		for _, n := range rankings[qi] {
 			if n.Node == truth {
 				nedHits++
 				break

@@ -4,7 +4,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 
 	"ned"
@@ -58,4 +60,20 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println("\nexpect: road-road and social-social distances well below road-social.")
+
+	// The same cross-graph machinery node-level: the nearest-set query of
+	// §13.3 through the Corpus engine. NED's integer distances tie, so
+	// the "nearest neighbor" of a road node in another road graph is
+	// typically a whole set of equally-near nodes.
+	corpus, err := ned.NewCorpus(graphs[1].g, k, ned.WithNodes(sampled[1]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := ned.NewSignature(graphs[0].g, sampled[0][0], k)
+	nearest, err := corpus.NearestSet(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnearest set of %s:%d in %s: %d nodes at distance %d\n",
+		graphs[0].name, sampled[0][0], graphs[1].name, len(nearest), nearest[0].Dist)
 }

@@ -1,9 +1,12 @@
 // Quickstart: compute NED between nodes of two different graphs, inspect
-// the interpretable edit-cost breakdown, and run a nearest-neighbor query.
+// the interpretable edit-cost breakdown, and run a nearest-neighbor
+// query through the Corpus engine.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"ned"
 )
@@ -38,14 +41,19 @@ func main() {
 	}
 
 	// Nearest-neighbor query: which node of g2 is most similar to g1:0?
-	query := ned.NewSignature(g1, 0, 2)
-	var all []ned.NodeID
-	for v := 0; v < g2.NumNodes(); v++ {
-		all = append(all, ned.NodeID(v))
+	// The Corpus engine indexes g2's nodes once and serves concurrent,
+	// cancelable queries; the inter-graph query arrives as a signature.
+	corpus, err := ned.NewCorpus(g2, 2)
+	if err != nil {
+		log.Fatal(err)
 	}
-	candidates := ned.Signatures(g2, all, 2)
+	query := ned.NewSignature(g1, 0, 2)
+	top, err := corpus.KNNSignature(context.Background(), query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nnearest neighbors of g1:0 in g2:")
-	for _, n := range ned.TopL(query, candidates, 3) {
+	for _, n := range top {
 		fmt.Printf("  g2:%d at distance %d\n", n.Node, n.Dist)
 	}
 }

@@ -1,16 +1,19 @@
 package ned
 
 import (
+	"context"
+
 	"ned/internal/baseline"
 	"ned/internal/graph"
 	"ned/internal/ned"
 	"ned/internal/ted"
-	"ned/internal/vptree"
 )
 
 // This file exposes the optional extensions built on top of the paper:
 // query pruning via lower bounds, the BK-tree index alternative, the
-// graphlet feature baseline, and graph statistics.
+// graphlet feature baseline, and graph statistics. Like the rest of the
+// free functions, these are the low-level layer beneath the Corpus
+// query engine (see corpus.go).
 
 // TEDStarLowerBound returns the O(height) padding lower bound on the
 // TED* distance: the summed level-size differences. Every edit script
@@ -38,47 +41,40 @@ func PrunedTopL(query Signature, candidates []Signature, l int) ([]Neighbor, Pru
 	return ned.PrunedTopL(query, candidates, l)
 }
 
-// BKIndex is a Burkhard–Keller tree over node signatures: an alternative
-// metric index specialized to the integer distances NED produces.
+// BKIndex is the low-level Burkhard–Keller tree index over node
+// signatures: an alternative metric index specialized to the integer
+// distances NED produces. It is a thin wrapper over the same backend
+// Corpus serves from with BackendBK; prefer NewCorpus for serving
+// workloads.
 type BKIndex struct {
-	t *vptree.BKTree[Signature]
+	ix ned.Index
 }
 
 // NewBKIndex builds a BK-tree over the signatures.
 func NewBKIndex(sigs []Signature) *BKIndex {
-	return &BKIndex{t: vptree.NewBK(sigs, func(a, b Signature) int {
-		return ned.Between(a, b)
-	})}
+	return &BKIndex{ix: ned.NewBKBackend(ned.ItemsOf(sigs))}
 }
 
 // KNN returns the l nearest indexed signatures to the query.
 func (ix *BKIndex) KNN(query Signature, l int) []Neighbor {
-	res := ix.t.KNN(query, l)
-	out := make([]Neighbor, len(res))
-	for i, r := range res {
-		out[i] = Neighbor{Node: r.Item.Node, Dist: r.Dist}
-	}
-	return out
+	res, _ := ix.ix.KNN(context.Background(), query.Item(), l)
+	return res
 }
 
 // Range returns all indexed signatures within NED distance r.
 func (ix *BKIndex) Range(query Signature, r int) []Neighbor {
-	res := ix.t.Range(query, r)
-	out := make([]Neighbor, len(res))
-	for i, rr := range res {
-		out[i] = Neighbor{Node: rr.Item.Node, Dist: rr.Dist}
-	}
-	return out
+	res, _ := ix.ix.Range(context.Background(), query.Item(), r)
+	return res
 }
 
 // Len reports how many signatures are indexed.
-func (ix *BKIndex) Len() int { return ix.t.Len() }
+func (ix *BKIndex) Len() int { return ix.ix.Len() }
 
 // DistanceCalls reports metric evaluations since the last ResetStats.
-func (ix *BKIndex) DistanceCalls() int { return ix.t.DistanceCalls() }
+func (ix *BKIndex) DistanceCalls() int64 { return ix.ix.DistanceCalls() }
 
 // ResetStats zeroes the metric-evaluation counter.
-func (ix *BKIndex) ResetStats() { ix.t.ResetStats() }
+func (ix *BKIndex) ResetStats() { ix.ix.ResetStats() }
 
 // GraphletFeatures computes the graphlet-degree feature vector of a node
 // (the §2 graphlet baseline family, up to 4-node patterns).

@@ -1,0 +1,3 @@
+module ned
+
+go 1.24

@@ -1,96 +1,65 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ned/internal/datasets"
 	"ned/internal/ned"
-	"ned/internal/vptree"
 )
 
-// AblationIndexes compares the nearest-neighbor query strategies this
-// library offers on the same NED workload: full scan, padding-bound
-// pruned scan, VP-tree, and BK-tree. All four return the same nearest
-// distance (asserted); the table reports per-query time and metric
-// evaluations. DESIGN.md lists this ablation alongside the Figure 9b
-// reproduction.
+// AblationIndexes compares the nearest-neighbor query backends this
+// library offers on the same NED workload — full scan, padding-bound
+// pruned scan, VP-tree, and BK-tree — all driven through the unified
+// ned.Index interface that the Corpus query engine serves from. The
+// scan backend is the exact reference; the table reports per-query time
+// and metric evaluations, counting any optimum misses the metric-tree
+// backends incur from TED* triangle-tie artifacts (see the ted package
+// faithfulness note) instead of asserting equality.
 func AblationIndexes(o Options) Table {
 	o.defaults()
 	t := Table{
-		Title:  "Ablation: NN query strategies over NED (per-query mean)",
+		Title:  "Ablation: NN query backends over NED (per-query mean)",
 		Note:   fmt.Sprintf("%d candidates, %d queries, PGP analog, k=3", o.Candidates, o.Queries),
-		Header: []string{"strategy", "time (ms)", "TED* evals/query"},
+		Header: []string{"backend", "time (ms)", "TED* evals/query", "scan-optimum misses"},
 	}
 	g1 := o.dataset(datasets.PGP)
 	g2 := datasets.MustGenerate(datasets.PGP, datasets.Options{Scale: o.Scale, Seed: o.Seed + 999})
 	rng := rand.New(rand.NewSource(o.Seed + 61))
 	queries := sampleNodes(g1, o.Queries, rng)
 	cands := sampleNodes(g2, o.Candidates, rng)
-	qs := ned.Signatures(g1, queries, 3)
-	cs := ned.Signatures(g2, cands, 3)
+	qs := ned.ItemsOf(ned.Signatures(g1, queries, 3))
+	cs := ned.ItemsOf(ned.Signatures(g2, cands, 3))
 
-	// Full scan.
-	var wScan stopwatch
+	ctx := context.Background()
+	backends := []struct {
+		name string
+		ix   ned.Index
+	}{
+		{"linear scan", ned.NewLinearBackend(cs, 1)},
+		{"pruned scan", ned.NewPrunedLinearBackend(cs)},
+		{"VP-tree", ned.NewVPBackend(cs)},
+		{"BK-tree", ned.NewBKBackend(cs)},
+	}
+
 	scanBest := make([]int, len(qs))
-	for i, q := range qs {
-		wScan.time(func() { scanBest[i] = ned.TopL(q, cs, 1)[0].Dist })
-	}
-	t.AddRow("full scan", ms(wScan.mean()), fmt.Sprint(len(cs)))
-
-	// Pruned scan (exact by construction: the padding bound is valid).
-	var wPruned stopwatch
-	evals := 0
-	for i, q := range qs {
-		var res []ned.Neighbor
-		var stats ned.PruneStats
-		wPruned.time(func() { res, stats = ned.PrunedTopL(q, cs, 1) })
-		evals += stats.FullEvaluations
-		if res[0].Dist != scanBest[i] {
-			panic("pruned scan diverged from full scan")
+	for bi, b := range backends {
+		b.ix.ResetStats()
+		var w stopwatch
+		misses := 0
+		for i, q := range qs {
+			var res []ned.Neighbor
+			w.time(func() { res, _ = b.ix.KNN(ctx, q, 1) })
+			switch {
+			case bi == 0:
+				scanBest[i] = res[0].Dist
+			case res[0].Dist != scanBest[i]:
+				misses++
+			}
 		}
+		t.AddRow(b.name, ms(w.mean()),
+			fmt.Sprint(b.ix.DistanceCalls()/int64(len(qs))), fmt.Sprint(misses))
 	}
-	t.AddRow("pruned scan", ms(wPruned.mean()), fmt.Sprint(evals/len(qs)))
-
-	// VP-tree.
-	vp := vptree.New(cs, func(a, b ned.Signature) float64 {
-		return float64(ned.Between(a, b))
-	})
-	vp.ResetStats()
-	var wVP stopwatch
-	vpMiss := 0
-	for i, q := range qs {
-		var res []vptree.Result[ned.Signature]
-		wVP.time(func() { res = vp.KNN(q, 1) })
-		// Metric-index pruning relies on the triangle inequality, which
-		// the Algorithm-1 TED* can violate at a sub-percent rate (see the
-		// ted package faithfulness note); count any resulting misses
-		// instead of asserting equality.
-		if int(res[0].Dist) != scanBest[i] {
-			vpMiss++
-		}
-	}
-	t.AddRow("VP-tree", ms(wVP.mean()), fmt.Sprint(vp.DistanceCalls()/len(qs)))
-	if vpMiss > 0 {
-		t.Note += fmt.Sprintf("; VP-tree missed the scan optimum on %d/%d queries (triangle-tie artifacts)", vpMiss, len(qs))
-	}
-
-	// BK-tree.
-	bk := vptree.NewBK(cs, ned.Between)
-	bk.ResetStats()
-	var wBK stopwatch
-	bkMiss := 0
-	for i, q := range qs {
-		var res []vptree.IntResult[ned.Signature]
-		wBK.time(func() { res = bk.KNN(q, 1) })
-		if res[0].Dist != scanBest[i] {
-			bkMiss++
-		}
-	}
-	t.AddRow("BK-tree", ms(wBK.mean()), fmt.Sprint(bk.DistanceCalls()/len(qs)))
-	if bkMiss > 0 {
-		t.Note += fmt.Sprintf("; BK-tree missed on %d/%d queries", bkMiss, len(qs))
-	}
-
 	return t
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -9,7 +10,6 @@ import (
 	"ned/internal/datasets"
 	"ned/internal/graph"
 	"ned/internal/ned"
-	"ned/internal/vptree"
 )
 
 // datasetK mirrors §13.4: "5-adjacent trees for the nodes in (CAR) and
@@ -126,16 +126,16 @@ func Figure9b(o Options) Table {
 
 		qs := ned.Signatures(g1, queries, k)
 		cs := ned.Signatures(g2, cands, k)
-		index := vptree.New(cs, func(a, b ned.Signature) float64 {
-			return float64(ned.Between(a, b))
-		})
+		index := ned.NewVPBackend(ned.ItemsOf(cs))
 
+		ctx := context.Background()
 		var wVP, wScan, wFeatScan stopwatch
 		index.ResetStats()
 		for _, q := range qs {
-			wVP.time(func() { index.KNN(q, 1) })
+			qi := q.Item()
+			wVP.time(func() { index.KNN(ctx, qi, 1) })
 		}
-		calls := index.DistanceCalls() / max(1, len(qs))
+		calls := index.DistanceCalls() / int64(max(1, len(qs)))
 		for _, q := range qs {
 			wScan.time(func() { ned.TopL(q, cs, 1) })
 		}

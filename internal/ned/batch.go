@@ -1,6 +1,7 @@
 package ned
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -50,20 +51,14 @@ func DistanceMatrix(as, bs []Signature, opts BatchOptions) [][]int {
 }
 
 // TopLParallel is TopL with the candidate distances evaluated across
-// workers. Results are identical to TopL.
+// workers. Results are identical to TopL. It is the low-level form of
+// the parallel linear index backend (NewLinearBackend).
 func TopLParallel(query Signature, candidates []Signature, l int, opts BatchOptions) []Neighbor {
 	if l <= 0 || len(candidates) == 0 {
 		return nil
 	}
-	all := make([]Neighbor, len(candidates))
-	parallelFor(len(candidates), opts.workers(), func(i int) {
-		all[i] = Neighbor{candidates[i].Node, ted.Distance(query.Tree, candidates[i].Tree)}
-	})
-	sortNeighbors(all)
-	if l > len(all) {
-		l = len(all)
-	}
-	return all[:l]
+	res, _ := NewLinearBackend(ItemsOf(candidates), opts.Workers).KNN(context.Background(), query.Item(), l)
+	return res
 }
 
 // parallelFor runs fn(i) for i in [0, n) across the given worker count.

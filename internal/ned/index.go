@@ -1,0 +1,421 @@
+package ned
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ned/internal/graph"
+	"ned/internal/ted"
+	"ned/internal/tree"
+	"ned/internal/vptree"
+)
+
+// This file defines the unified index layer behind the public Corpus
+// query engine: one Index interface that the VP-tree, BK-tree, parallel
+// linear scan, and pruned linear scan all implement, so query-serving
+// code is written once against the interface and backends stay
+// interchangeable.
+
+// Item is what an index backend stores and queries: a node plus the
+// signature trees its distance needs — the single k-adjacent tree for
+// undirected NED (Equation 1), or the outgoing and incoming trees for
+// the directed variant (Equation 2).
+type Item struct {
+	Node graph.NodeID
+	K    int
+	Out  *tree.Tree // the k-adjacent tree (outgoing tree when directed)
+	In   *tree.Tree // incoming k-adjacent tree; nil for undirected NED
+}
+
+// Item converts a signature into its index representation.
+func (s Signature) Item() Item { return Item{Node: s.Node, K: s.K, Out: s.Tree} }
+
+// ItemDistance is the NED distance between two items: TED* over the
+// out-trees, plus TED* over the in-trees when both items carry one.
+func ItemDistance(a, b Item) int {
+	d := ted.Distance(a.Out, b.Out)
+	if a.In != nil && b.In != nil {
+		d += ted.Distance(a.In, b.In)
+	}
+	return d
+}
+
+// ItemLowerBound is the padding lower bound on ItemDistance — cheap and
+// never exceeding the true distance, so valid for pruning.
+func ItemLowerBound(a, b Item) int {
+	lb := ted.LowerBound(a.Out, b.Out)
+	if a.In != nil && b.In != nil {
+		lb += ted.LowerBound(a.In, b.In)
+	}
+	return lb
+}
+
+// BuildItems materializes index items for the given nodes of g in
+// parallel: one BFS tree extraction per node (two when directed).
+// Output order matches the input order.
+func BuildItems(g *graph.Graph, nodes []graph.NodeID, k int, directed bool, workers int) []Item {
+	out := make([]Item, len(nodes))
+	parallelFor(len(nodes), BatchOptions{Workers: workers}.workers(), func(i int) {
+		out[i] = NewItem(g, nodes[i], k, directed)
+	})
+	return out
+}
+
+// NewItem extracts the index item of one node: its k-adjacent tree, or
+// the outgoing and incoming trees when directed.
+func NewItem(g *graph.Graph, v graph.NodeID, k int, directed bool) Item {
+	if !directed {
+		t, _ := tree.KAdjacent(g, v, k)
+		return Item{Node: v, K: k, Out: t}
+	}
+	to, _ := tree.KAdjacentOutgoing(g, v, k)
+	ti, _ := tree.KAdjacentIncoming(g, v, k)
+	return Item{Node: v, K: k, Out: to, In: ti}
+}
+
+// Index is the unified query surface of every NED index backend. All
+// methods are safe for concurrent use, report typed errors instead of
+// panicking, and check the context inside their distance loops so
+// expensive queries abort promptly on cancellation.
+type Index interface {
+	// KNN returns the l nearest indexed items to the query in ascending
+	// (distance, node) order. l larger than Len returns everything.
+	KNN(ctx context.Context, query Item, l int) ([]Neighbor, error)
+	// Range returns every indexed item within distance r of the query in
+	// ascending (distance, node) order.
+	Range(ctx context.Context, query Item, r int) ([]Neighbor, error)
+	// Len reports how many items are indexed.
+	Len() int
+	// DistanceCalls reports full metric evaluations since the last
+	// ResetStats (cheap lower-bound evaluations are not counted).
+	DistanceCalls() int64
+	// ResetStats zeroes the metric-evaluation counter.
+	ResetStats()
+}
+
+// sortNeighborsCanonical orders query results by (distance, node), the
+// deterministic presentation every backend normalizes to.
+func sortNeighborsCanonical(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].Node < ns[j].Node
+	})
+}
+
+// --- VP-tree backend ---
+
+type vpBackend struct {
+	t *vptree.Tree[Item]
+}
+
+// NewVPBackend indexes the items in a vantage-point tree (§13.4): exact
+// sub-linear queries via floating-point triangle-inequality pruning.
+func NewVPBackend(items []Item) Index {
+	return &vpBackend{t: vptree.New(items, func(a, b Item) float64 {
+		return float64(ItemDistance(a, b))
+	})}
+}
+
+func (b *vpBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
+	res, err := b.t.KNNContext(ctx, query, l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{Node: r.Item.Node, Dist: int(r.Dist)}
+	}
+	sortNeighborsCanonical(out)
+	return out, nil
+}
+
+func (b *vpBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, error) {
+	res, err := b.t.RangeContext(ctx, query, float64(r))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, rr := range res {
+		out[i] = Neighbor{Node: rr.Item.Node, Dist: int(rr.Dist)}
+	}
+	sortNeighborsCanonical(out)
+	return out, nil
+}
+
+func (b *vpBackend) Len() int             { return b.t.Len() }
+func (b *vpBackend) DistanceCalls() int64 { return b.t.DistanceCalls() }
+func (b *vpBackend) ResetStats()          { b.t.ResetStats() }
+
+// --- BK-tree backend ---
+
+type bkBackend struct {
+	t *vptree.BKTree[Item]
+}
+
+// NewBKBackend indexes the items in a Burkhard–Keller tree: integer
+// distance buckets, often faster than the VP-tree on the small integer
+// range NED produces.
+func NewBKBackend(items []Item) Index {
+	return &bkBackend{t: vptree.NewBK(items, ItemDistance)}
+}
+
+func (b *bkBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
+	res, err := b.t.KNNContext(ctx, query, l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{Node: r.Item.Node, Dist: r.Dist}
+	}
+	sortNeighborsCanonical(out)
+	return out, nil
+}
+
+func (b *bkBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, error) {
+	res, err := b.t.RangeContext(ctx, query, r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, rr := range res {
+		out[i] = Neighbor{Node: rr.Item.Node, Dist: rr.Dist}
+	}
+	sortNeighborsCanonical(out)
+	return out, nil
+}
+
+func (b *bkBackend) Len() int             { return b.t.Len() }
+func (b *bkBackend) DistanceCalls() int64 { return b.t.DistanceCalls() }
+func (b *bkBackend) ResetStats()          { b.t.ResetStats() }
+
+// --- parallel linear-scan backend ---
+
+type linearBackend struct {
+	items     []Item
+	workers   int
+	distCalls atomic.Int64
+}
+
+// NewLinearBackend evaluates every indexed item per query across the
+// given worker count (<= 0 means GOMAXPROCS). The exact baseline every
+// metric index is measured against; still the fastest option for small
+// corpora where tree traversal overhead dominates.
+func NewLinearBackend(items []Item, workers int) Index {
+	return &linearBackend{items: items, workers: BatchOptions{Workers: workers}.workers()}
+}
+
+func (b *linearBackend) scan(ctx context.Context, query Item) ([]Neighbor, error) {
+	all := make([]Neighbor, len(b.items))
+	err := ParallelForCtx(ctx, len(b.items), b.workers, func(i int) {
+		all[i] = Neighbor{Node: b.items[i].Node, Dist: ItemDistance(query, b.items[i])}
+		b.distCalls.Add(1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+func (b *linearBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
+	if l <= 0 || len(b.items) == 0 {
+		return nil, ctx.Err()
+	}
+	all, err := b.scan(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	sortNeighborsCanonical(all)
+	if l > len(all) {
+		l = len(all)
+	}
+	return all[:l], nil
+}
+
+func (b *linearBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, error) {
+	all, err := b.scan(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, n := range all {
+		if n.Dist <= r {
+			out = append(out, n)
+		}
+	}
+	sortNeighborsCanonical(out)
+	return out, nil
+}
+
+func (b *linearBackend) Len() int             { return len(b.items) }
+func (b *linearBackend) DistanceCalls() int64 { return b.distCalls.Load() }
+func (b *linearBackend) ResetStats()          { b.distCalls.Store(0) }
+
+// --- pruned linear-scan backend ---
+
+type prunedBackend struct {
+	items     []Item
+	distCalls atomic.Int64
+}
+
+// NewPrunedLinearBackend scans sequentially but skips full TED*
+// evaluations for items the padding lower bound proves out of range
+// (the §10 pruning strategy PrunedTopL pioneered, behind the unified
+// interface).
+func NewPrunedLinearBackend(items []Item) Index {
+	return &prunedBackend{items: items}
+}
+
+func (b *prunedBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
+	res, _, err := prunedKNN(ctx, query, b.items, l, &b.distCalls)
+	return res, err
+}
+
+func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out []Neighbor
+	for i, it := range b.items {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if ItemLowerBound(query, it) > r {
+			continue
+		}
+		b.distCalls.Add(1)
+		if d := ItemDistance(query, it); d <= r {
+			out = append(out, Neighbor{Node: it.Node, Dist: d})
+		}
+	}
+	sortNeighborsCanonical(out)
+	return out, nil
+}
+
+func (b *prunedBackend) Len() int             { return len(b.items) }
+func (b *prunedBackend) DistanceCalls() int64 { return b.distCalls.Load() }
+func (b *prunedBackend) ResetStats()          { b.distCalls.Store(0) }
+
+// cancelCheckStride is how many candidates a sequential scan processes
+// between context checks.
+const cancelCheckStride = 16
+
+// prunedKNN is the lower-bound-pruned top-l scan shared by the pruned
+// backend and the legacy PrunedTopL free function. The returned ranking
+// is exact with respect to the full TED* distance: every reported
+// neighbor carries its true distance, and the set equals the plain
+// scan's up to equal-distance ties.
+func prunedKNN(ctx context.Context, query Item, items []Item, l int, calls *atomic.Int64) ([]Neighbor, PruneStats, error) {
+	var stats PruneStats
+	if l <= 0 || len(items) == 0 {
+		return nil, stats, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	// Order candidates by the cheap lower bound so likely-close ones are
+	// evaluated first, which tightens the pruning threshold early.
+	type cand struct {
+		it Item
+		lb int
+	}
+	cs := make([]cand, len(items))
+	for i, it := range items {
+		cs[i] = cand{it, ItemLowerBound(query, it)}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].lb != cs[j].lb {
+			return cs[i].lb < cs[j].lb
+		}
+		return cs[i].it.Node < cs[j].it.Node
+	})
+
+	var results []Neighbor
+	kth := func() int {
+		if len(results) < l {
+			return -1 // no threshold yet
+		}
+		return results[len(results)-1].Dist
+	}
+	insert := func(n Neighbor) {
+		results = append(results, n)
+		sortNeighborsCanonical(results)
+		if len(results) > l {
+			results = results[:l]
+		}
+	}
+	for i, c := range cs {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
+		if t := kth(); t >= 0 && c.lb > t {
+			stats.PrunedByBound++
+			continue
+		}
+		stats.FullEvaluations++
+		if calls != nil {
+			calls.Add(1)
+		}
+		d := ItemDistance(query, c.it)
+		if t := kth(); t < 0 || d < t || (d == t && len(results) < l) {
+			insert(Neighbor{Node: c.it.Node, Dist: d})
+		}
+	}
+	return results, stats, nil
+}
+
+// ParallelForCtx runs fn(i) for i in [0, n) across workers (<= 0 means
+// GOMAXPROCS), stopping early when ctx is canceled; it returns
+// ctx.Err() in that case. Slots already handed to workers still
+// complete, so fn must stay safe to run after cancellation.
+func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers = BatchOptions{Workers: workers}.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if i%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	done := ctx.Done()
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return ctx.Err()
+}

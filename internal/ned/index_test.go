@@ -1,0 +1,180 @@
+package ned
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ned/internal/graph"
+)
+
+func randomTestGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, false)
+	added := 0
+	for added < m {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		added++
+	}
+	return b.Build()
+}
+
+func allTestBackends(items []Item) map[string]Index {
+	return map[string]Index{
+		"vp":     NewVPBackend(items),
+		"bk":     NewBKBackend(items),
+		"linear": NewLinearBackend(items, 2),
+		"pruned": NewPrunedLinearBackend(items),
+	}
+}
+
+// TestBackendsAgree checks the unified Index contract directly: every
+// backend returns the same KNN distance multiset and the same Range
+// result set on random graphs.
+func TestBackendsAgree(t *testing.T) {
+	ctx := context.Background()
+	for trial := int64(0); trial < 3; trial++ {
+		g := randomTestGraph(70, 150, 40+trial)
+		var nodes []graph.NodeID
+		for v := 0; v < g.NumNodes(); v++ {
+			nodes = append(nodes, graph.NodeID(v))
+		}
+		items := BuildItems(g, nodes, 2, false, 2)
+		backends := allTestBackends(items)
+		query := NewItem(randomTestGraph(50, 100, 90+trial), 0, 2, false)
+
+		ref, err := backends["linear"].KNN(ctx, query, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRange, err := backends["linear"].Range(ctx, query, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, ix := range backends {
+			if ix.Len() != len(items) {
+				t.Errorf("%s: Len = %d, want %d", name, ix.Len(), len(items))
+			}
+			got, err := ix.KNN(ctx, query, 9)
+			if err != nil {
+				t.Fatalf("%s KNN: %v", name, err)
+			}
+			for i := range got {
+				if got[i].Dist != ref[i].Dist {
+					t.Errorf("trial %d %s: KNN dists %v, linear %v", trial, name, got, ref)
+					break
+				}
+			}
+			gotRange, err := ix.Range(ctx, query, 3)
+			if err != nil {
+				t.Fatalf("%s Range: %v", name, err)
+			}
+			if fmt.Sprint(gotRange) != fmt.Sprint(refRange) {
+				t.Errorf("trial %d %s: Range %v, linear %v", trial, name, gotRange, refRange)
+			}
+			if ix.DistanceCalls() == 0 {
+				t.Errorf("%s: DistanceCalls stayed 0 after queries", name)
+			}
+			ix.ResetStats()
+			if ix.DistanceCalls() != 0 {
+				t.Errorf("%s: ResetStats did not zero the counter", name)
+			}
+		}
+	}
+}
+
+func TestBackendsPreCanceled(t *testing.T) {
+	g := randomTestGraph(30, 60, 8)
+	var nodes []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		nodes = append(nodes, graph.NodeID(v))
+	}
+	items := BuildItems(g, nodes, 2, false, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	query := items[0]
+	for name, ix := range allTestBackends(items) {
+		if _, err := ix.KNN(ctx, query, 3); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s KNN: got %v, want context.Canceled", name, err)
+		}
+		if _, err := ix.Range(ctx, query, 2); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s Range: got %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestParallelForCtxCancelMidFlight proves deterministically that an
+// in-flight parallel loop aborts on cancellation: workers block until
+// the context is canceled, so the loop can only finish early.
+func TestParallelForCtxCancelMidFlight(t *testing.T) {
+	const n = 1 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var startOnce sync.Once
+	started := make(chan struct{})
+	var ran atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ParallelForCtx(ctx, n, 2, func(i int) {
+			startOnce.Do(func() { close(started) })
+			<-ctx.Done() // block until the main goroutine cancels
+			ran.Add(1)
+		})
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Errorf("loop ran all %d iterations despite cancellation", got)
+	}
+}
+
+func TestDirectedItemsDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(25, true)
+	for i := 0; i < 60; i++ {
+		u, v := graph.NodeID(rng.Intn(25)), graph.NodeID(rng.Intn(25))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	a := NewItem(g, 1, 2, true)
+	c := NewItem(g, 2, 2, true)
+	if got, want := ItemDistance(a, c), DistanceDirected(g, 1, g, 2, 2); got != want {
+		t.Errorf("directed ItemDistance = %d, want DistanceDirected = %d", got, want)
+	}
+	if lb := ItemLowerBound(a, c); lb > ItemDistance(a, c) {
+		t.Errorf("lower bound %d exceeds distance %d", lb, ItemDistance(a, c))
+	}
+}
+
+func TestPrunedBackendMatchesPrunedTopL(t *testing.T) {
+	g := randomTestGraph(50, 110, 11)
+	var nodes []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		nodes = append(nodes, graph.NodeID(v))
+	}
+	sigs := Signatures(g, nodes, 2)
+	query := NewSignature(randomTestGraph(30, 60, 12), 0, 2)
+	want, _ := PrunedTopL(query, sigs, 5)
+	ix := NewPrunedLinearBackend(ItemsOf(sigs))
+	got, err := ix.KNN(context.Background(), query.Item(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("pruned backend %v != PrunedTopL %v", got, want)
+	}
+}

@@ -1,83 +1,41 @@
 package ned
 
 import (
-	"sort"
+	"context"
 
 	"ned/internal/ted"
 	"ned/internal/tree"
 )
 
 // PrunedTopL answers the same query as TopL but skips full TED*
-// evaluations for candidates that provably cannot enter the result:
-//
-//  1. the O(height) padding lower bound of ted.LowerBound prunes any
-//     candidate whose bound already exceeds the current l-th distance;
-//  2. the §10 monotonicity heuristic evaluates a truncated prefix of the
-//     trees first (cheap, usually tight) before paying for the full
-//     depth. Because Algorithm-1 values can violate monotonicity by a
-//     small tie-artifact margin (see the ted package faithfulness note),
-//     the prefix estimate is used with a safety slack rather than as a
-//     hard bound, keeping results identical to TopL whenever the final
-//     full evaluation confirms membership.
+// evaluations for candidates that provably cannot enter the result: the
+// O(height) padding lower bound of ted.LowerBound prunes any candidate
+// whose bound already exceeds the current l-th distance. It is the
+// low-level form of the pruned-linear index backend (NewPrunedLinearBackend);
+// both share one implementation.
 //
 // The returned ranking is exact with respect to the full TED* distance:
 // every reported neighbor carries its true distance, and the set equals
 // TopL's up to equal-distance ties. Stats reports how much work was
 // saved.
 func PrunedTopL(query Signature, candidates []Signature, l int) ([]Neighbor, PruneStats) {
-	var stats PruneStats
-	if l <= 0 || len(candidates) == 0 {
-		return nil, stats
-	}
-	// Order candidates by the cheap lower bound so likely-close ones are
-	// evaluated first, which tightens the pruning threshold early.
-	type cand struct {
-		sig Signature
-		lb  int
-	}
-	cs := make([]cand, len(candidates))
-	for i, c := range candidates {
-		cs[i] = cand{c, ted.LowerBound(query.Tree, c.Tree)}
-	}
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].lb != cs[j].lb {
-			return cs[i].lb < cs[j].lb
-		}
-		return cs[i].sig.Node < cs[j].sig.Node
-	})
-
-	var results []Neighbor
-	kth := func() int {
-		if len(results) < l {
-			return -1 // no threshold yet
-		}
-		return results[len(results)-1].Dist
-	}
-	insert := func(n Neighbor) {
-		results = append(results, n)
-		sortNeighbors(results)
-		if len(results) > l {
-			results = results[:l]
-		}
-	}
-	for _, c := range cs {
-		if t := kth(); t >= 0 && c.lb > t {
-			stats.PrunedByBound++
-			continue
-		}
-		stats.FullEvaluations++
-		d := ted.Distance(query.Tree, c.sig.Tree)
-		if t := kth(); t < 0 || d < t || (d == t && len(results) < l) {
-			insert(Neighbor{c.sig.Node, d})
-		}
-	}
-	return results, stats
+	res, stats, _ := prunedKNN(context.Background(), query.Item(), ItemsOf(candidates), l, nil)
+	return res, stats
 }
 
 // PruneStats reports the work profile of a pruned query.
 type PruneStats struct {
 	FullEvaluations int // candidates that paid a full TED* computation
 	PrunedByBound   int // candidates skipped via the padding lower bound
+}
+
+// ItemsOf converts precomputed signatures into index items.
+func ItemsOf(sigs []Signature) []Item {
+	items := make([]Item, len(sigs))
+	for i, s := range sigs {
+		items[i] = s.Item()
+	}
+	return items
 }
 
 // LowerBound exposes the padding lower bound on NED between two

@@ -1,5 +1,10 @@
 package vptree
 
+import (
+	"context"
+	"sync/atomic"
+)
+
 // BKTree is a Burkhard–Keller tree: a metric index specialized to
 // integer-valued metrics such as TED*/NED. Children of a node are keyed
 // by their exact distance to the node, which gives cheap exact pruning
@@ -10,12 +15,15 @@ package vptree
 // BK-trees often beat VP-trees on small-range integer metrics because no
 // floating-point radii or medians are involved; the ablation benchmark
 // in internal/bench compares the two on NED workloads.
+//
+// Queries are safe for concurrent use once inserts stop: the statistics
+// counter is atomic and searches never mutate the tree.
 type BKTree[T any] struct {
 	dist  func(a, b T) int
 	root  *bkNode[T]
 	count int
 
-	distCalls int
+	distCalls atomic.Int64
 }
 
 type bkNode[T any] struct {
@@ -33,7 +41,8 @@ func NewBK[T any](items []T, dist func(a, b T) int) *BKTree[T] {
 	return t
 }
 
-// Insert adds one item to the index.
+// Insert adds one item to the index. Insert is not safe to call
+// concurrently with queries.
 func (t *BKTree[T]) Insert(item T) {
 	t.count++
 	if t.root == nil {
@@ -60,10 +69,10 @@ func (t *BKTree[T]) Len() int { return t.count }
 
 // DistanceCalls returns metric evaluations since the last ResetStats
 // (queries only; Insert calls are not counted).
-func (t *BKTree[T]) DistanceCalls() int { return t.distCalls }
+func (t *BKTree[T]) DistanceCalls() int64 { return t.distCalls.Load() }
 
 // ResetStats zeroes the metric-evaluation counter.
-func (t *BKTree[T]) ResetStats() { t.distCalls = 0 }
+func (t *BKTree[T]) ResetStats() { t.distCalls.Store(0) }
 
 // IntResult is a BK-tree search hit.
 type IntResult[T any] struct {
@@ -73,11 +82,34 @@ type IntResult[T any] struct {
 
 // Range returns all items within distance r of the query.
 func (t *BKTree[T]) Range(query T, r int) []IntResult[T] {
+	res, _ := t.RangeContext(context.Background(), query, r)
+	return res
+}
+
+// RangeContext is Range with cancellation: the search checks ctx between
+// batches of metric evaluations and returns ctx.Err() with a nil result
+// if the context is done before the search completes.
+func (t *BKTree[T]) RangeContext(ctx context.Context, query T, r int) ([]IntResult[T], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []IntResult[T]
+	evals := 0
+	var searchErr error
 	var visit func(n *bkNode[T])
 	visit = func(n *bkNode[T]) {
+		if searchErr != nil {
+			return
+		}
+		if evals%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				return
+			}
+		}
 		d := t.dist(query, n.point)
-		t.distCalls++
+		evals++
+		t.distCalls.Add(1)
 		if d <= r {
 			out = append(out, IntResult[T]{n.point, d})
 		}
@@ -90,14 +122,26 @@ func (t *BKTree[T]) Range(query T, r int) []IntResult[T] {
 	if t.root != nil {
 		visit(t.root)
 	}
-	return out
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	return out, nil
 }
 
 // KNN returns the k nearest items in ascending distance order. Ties are
 // broken by visit order; the distance multiset matches a linear scan.
 func (t *BKTree[T]) KNN(query T, k int) []IntResult[T] {
+	res, _ := t.KNNContext(context.Background(), query, k)
+	return res
+}
+
+// KNNContext is KNN with cancellation semantics matching RangeContext.
+func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult[T], error) {
 	if k <= 0 || t.root == nil {
-		return nil
+		return nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Max-heap by distance, fixed capacity k (small k: slice is fine).
 	var best []IntResult[T]
@@ -116,10 +160,22 @@ func (t *BKTree[T]) KNN(query T, k int) []IntResult[T] {
 			best = best[:k]
 		}
 	}
+	evals := 0
+	var searchErr error
 	var visit func(n *bkNode[T])
 	visit = func(n *bkNode[T]) {
+		if searchErr != nil {
+			return
+		}
+		if evals%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				return
+			}
+		}
 		d := t.dist(query, n.point)
-		t.distCalls++
+		evals++
+		t.distCalls.Add(1)
 		if len(best) < k || d < worst() {
 			add(IntResult[T]{n.point, d})
 		}
@@ -137,5 +193,8 @@ func (t *BKTree[T]) KNN(query T, k int) []IntResult[T] {
 		}
 	}
 	visit(t.root)
-	return best
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	return best, nil
 }

@@ -120,7 +120,7 @@ func TestBKSavesDistanceCalls(t *testing.T) {
 	for q := 0; q < queries; q++ {
 		tr.Range(rng.Intn(10000), 3)
 	}
-	if per := tr.DistanceCalls() / queries; per >= len(items) {
+	if per := tr.DistanceCalls() / queries; per >= int64(len(items)) {
 		t.Errorf("BK-tree did %d calls/query on %d items — no pruning", per, len(items))
 	}
 }

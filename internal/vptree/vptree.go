@@ -5,17 +5,29 @@
 // a full scan.
 //
 // The tree is generic over the item type; callers supply the metric.
+// Queries are safe for concurrent use: the structure is immutable after
+// New and the statistics counter is atomic. The Context variants check
+// for cancellation inside the search loop so long queries over expensive
+// metrics can be aborted.
 package vptree
 
 import (
 	"container/heap"
+	"context"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 )
 
 // Metric computes the distance between two items. It must satisfy the
 // metric axioms for search results to be exact.
 type Metric[T any] func(a, b T) float64
+
+// cancelCheckStride is how many metric evaluations a search performs
+// between context checks. TED* evaluations dominate the cost of a visit,
+// so a small stride keeps cancellation prompt without measurable
+// overhead.
+const cancelCheckStride = 16
 
 // Tree is an immutable vantage-point tree.
 type Tree[T any] struct {
@@ -24,8 +36,9 @@ type Tree[T any] struct {
 	count int
 
 	// distCalls counts metric evaluations since the last ResetStats; the
-	// Figure 9b experiment uses it to compare index vs scan work.
-	distCalls int
+	// Figure 9b experiment uses it to compare index vs scan work. Atomic
+	// so concurrent queries may share the tree.
+	distCalls atomic.Int64
 }
 
 type node[T any] struct {
@@ -89,10 +102,10 @@ func (t *Tree[T]) Len() int { return t.count }
 
 // DistanceCalls returns the number of metric evaluations since the last
 // ResetStats (not counting the build).
-func (t *Tree[T]) DistanceCalls() int { return t.distCalls }
+func (t *Tree[T]) DistanceCalls() int64 { return t.distCalls.Load() }
 
 // ResetStats zeroes the metric-evaluation counter.
-func (t *Tree[T]) ResetStats() { t.distCalls = 0 }
+func (t *Tree[T]) ResetStats() { t.distCalls.Store(0) }
 
 // Result is a search hit.
 type Result[T any] struct {
@@ -118,18 +131,38 @@ func (h *resultHeap[T]) Pop() interface{} {
 // KNN returns the k nearest neighbors of query in ascending distance
 // order. Ties are resolved by visit order, which is deterministic.
 func (t *Tree[T]) KNN(query T, k int) []Result[T] {
+	res, _ := t.KNNContext(context.Background(), query, k)
+	return res
+}
+
+// KNNContext is KNN with cancellation: the search checks ctx between
+// batches of metric evaluations and returns ctx.Err() with a nil result
+// if the context is done before the search completes.
+func (t *Tree[T]) KNNContext(ctx context.Context, query T, k int) ([]Result[T], error) {
 	if k <= 0 || t.root == nil {
-		return nil
+		return nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	h := &resultHeap[T]{}
 	tau := inf()
+	evals := 0
+	var searchErr error
 	var visit func(n *node[T])
 	visit = func(n *node[T]) {
-		if n == nil {
+		if n == nil || searchErr != nil {
 			return
 		}
+		if evals%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				return
+			}
+		}
 		d := t.dist(query, n.point)
-		t.distCalls++
+		evals++
+		t.distCalls.Add(1)
 		if d < tau || h.Len() < k {
 			heap.Push(h, Result[T]{n.point, d})
 			if h.Len() > k {
@@ -155,24 +188,45 @@ func (t *Tree[T]) KNN(query T, k int) []Result[T] {
 		}
 	}
 	visit(t.root)
+	if searchErr != nil {
+		return nil, searchErr
+	}
 	out := make([]Result[T], h.Len())
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Result[T])
 	}
-	return out
+	return out, nil
 }
 
 // Range returns every indexed item within distance r of query,
 // in no particular order.
 func (t *Tree[T]) Range(query T, r float64) []Result[T] {
+	res, _ := t.RangeContext(context.Background(), query, r)
+	return res
+}
+
+// RangeContext is Range with cancellation semantics matching KNNContext.
+func (t *Tree[T]) RangeContext(ctx context.Context, query T, r float64) ([]Result[T], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []Result[T]
+	evals := 0
+	var searchErr error
 	var visit func(n *node[T])
 	visit = func(n *node[T]) {
-		if n == nil {
+		if n == nil || searchErr != nil {
 			return
 		}
+		if evals%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				return
+			}
+		}
 		d := t.dist(query, n.point)
-		t.distCalls++
+		evals++
+		t.distCalls.Add(1)
 		if d <= r {
 			out = append(out, Result[T]{n.point, d})
 		}
@@ -184,7 +238,10 @@ func (t *Tree[T]) Range(query T, r float64) []Result[T] {
 		}
 	}
 	visit(t.root)
-	return out
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	return out, nil
 }
 
 func inf() float64 { return 1e308 }

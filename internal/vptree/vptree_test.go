@@ -139,8 +139,8 @@ func TestDistanceCallsSavedVsScan(t *testing.T) {
 	for q := 0; q < queries; q++ {
 		tr.KNN(point{rng.Float64() * 100, rng.Float64() * 100}, 1)
 	}
-	perQuery := tr.DistanceCalls() / queries
-	if perQuery >= len(pts) {
+	perQuery := tr.DistanceCalls() / int64(queries)
+	if perQuery >= int64(len(pts)) {
 		t.Errorf("VP-tree evaluated %d distances/query, no better than a %d-point scan",
 			perQuery, len(pts))
 	}

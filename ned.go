@@ -12,24 +12,49 @@
 //
 // This package is the public facade over the implementation packages:
 //
+//   - the Corpus query engine: one thread-safe, context-aware API over
+//     interchangeable NED index backends (§13.3–13.4 workloads)
 //   - TED* and its weighted variant (§4–5, §12 of the paper)
 //   - NED for undirected and directed graphs (§3)
 //   - exact TED/GED/TED* baselines for validation (§13.1)
 //   - HITS-based and ReFeX-style feature baselines (§2, §13.4)
-//   - a VP-tree metric index for similarity queries (§13.4)
+//   - VP-tree and BK-tree metric indexes for similarity queries (§13.4)
 //   - graph anonymization and the de-anonymization harness (§13.5)
 //   - deterministic synthetic analogs of the paper's six datasets
 //
 // # Quick start
 //
+// Similarity queries are served by a Corpus, the query engine built
+// over one graph's nodes. Queries take a context, return typed errors
+// instead of panicking, and are safe to issue concurrently:
+//
 //	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{})
 //	g2 := ned.MustGenerateDataset(ned.DatasetGNU, ned.DatasetOptions{})
+//
+//	// Index g2's nodes once (lazily, in parallel, on first query).
+//	corpus, err := ned.NewCorpus(g2, 3, ned.WithBackend(ned.BackendVP))
+//	if err != nil { ... }
+//
+//	// Which nodes of g2 are most similar to node 7 of g1?
+//	query := ned.NewSignature(g1, 7, 3)
+//	top, err := corpus.KNNSignature(ctx, query, 10)
+//
+//	// One-off distances need no engine:
 //	d := ned.Distance(g1, 7, g2, 42, 3) // NED with k = 3
 //
-// See the examples directory for complete programs.
+// Everything below Corpus — Distance, Signatures, TopL, NearestSet,
+// VPIndex, and friends — is the low-level layer: synchronous,
+// allocation-light building blocks with no cancellation or concurrency
+// contract. Prefer Corpus for serving queries; drop to the low-level
+// layer inside tight loops that manage their own scheduling.
+//
+// See the examples directory for complete programs and README.md for
+// the facade-vs-low-level API map.
 package ned
 
 import (
+	"context"
+
 	"ned/internal/anonymize"
 	"ned/internal/baseline"
 	"ned/internal/exact"
@@ -37,7 +62,6 @@ import (
 	"ned/internal/ned"
 	"ned/internal/ted"
 	"ned/internal/tree"
-	"ned/internal/vptree"
 )
 
 // Re-exported core types. Aliases keep the internal packages as the
@@ -171,44 +195,36 @@ func ExactGED(g1, g2 *Graph) (d int, ok bool) { return exact.GED(g1, g2) }
 // trees with narrow levels; ok is false when a level is too wide.
 func ExactTEDStar(t1, t2 *Tree) (d int, ok bool) { return exact.TEDStar(t1, t2) }
 
-// VPIndex is a metric index over node signatures for fast NED
-// nearest-neighbor queries (§13.4).
+// VPIndex is the low-level VP-tree metric index over node signatures
+// (§13.4): synchronous queries, no cancellation. It is a thin wrapper
+// over the same backend Corpus serves from with BackendVP; prefer
+// NewCorpus for serving workloads.
 type VPIndex struct {
-	t *vptree.Tree[Signature]
+	ix ned.Index
 }
 
 // NewVPIndex builds a VP-tree over the signatures.
 func NewVPIndex(sigs []Signature) *VPIndex {
-	return &VPIndex{t: vptree.New(sigs, func(a, b Signature) float64 {
-		return float64(ned.Between(a, b))
-	})}
+	return &VPIndex{ix: ned.NewVPBackend(ned.ItemsOf(sigs))}
 }
 
 // KNN returns the l nearest indexed signatures to the query.
 func (ix *VPIndex) KNN(query Signature, l int) []Neighbor {
-	res := ix.t.KNN(query, l)
-	out := make([]Neighbor, len(res))
-	for i, r := range res {
-		out[i] = Neighbor{Node: r.Item.Node, Dist: int(r.Dist)}
-	}
-	return out
+	res, _ := ix.ix.KNN(context.Background(), query.Item(), l)
+	return res
 }
 
 // Range returns all indexed signatures within NED distance r of query.
 func (ix *VPIndex) Range(query Signature, r int) []Neighbor {
-	res := ix.t.Range(query, float64(r))
-	out := make([]Neighbor, len(res))
-	for i, rr := range res {
-		out[i] = Neighbor{Node: rr.Item.Node, Dist: int(rr.Dist)}
-	}
-	return out
+	res, _ := ix.ix.Range(context.Background(), query.Item(), r)
+	return res
 }
 
 // Len reports how many signatures are indexed.
-func (ix *VPIndex) Len() int { return ix.t.Len() }
+func (ix *VPIndex) Len() int { return ix.ix.Len() }
 
 // DistanceCalls reports metric evaluations since the last ResetStats.
-func (ix *VPIndex) DistanceCalls() int { return ix.t.DistanceCalls() }
+func (ix *VPIndex) DistanceCalls() int64 { return ix.ix.DistanceCalls() }
 
 // ResetStats zeroes the metric-evaluation counter.
-func (ix *VPIndex) ResetStats() { ix.t.ResetStats() }
+func (ix *VPIndex) ResetStats() { ix.ix.ResetStats() }
