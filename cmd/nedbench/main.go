@@ -1,18 +1,23 @@
 // Command nedbench regenerates the tables and figures of the NED paper's
 // evaluation section (§13) on the synthetic dataset analogs and prints
-// them as plain-text tables.
+// them as plain-text tables (see EXPERIMENTS.md for the catalog).
 //
 // Usage:
 //
 //	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
+//	         [-json results.json]
 //
 // The defaults run every experiment at laptop scale in a few minutes;
-// -scale trades fidelity for speed.
+// -scale trades fidelity for speed. -json additionally writes every
+// produced table to a machine-readable JSON file (use "-" for stdout),
+// the BENCH_*.json-style artifact the perf trajectory across PRs is
+// tracked with.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,6 +30,15 @@ import (
 	"ned/internal/datasets"
 )
 
+// jsonResult is the machine-readable form of one nedbench invocation.
+type jsonResult struct {
+	Experiment string        `json:"experiment"`
+	Scale      float64       `json:"scale"`
+	Seed       int64         `json:"seed"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	Tables     []bench.Table `json:"tables"`
+}
+
 func main() {
 	var (
 		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus)")
@@ -33,6 +47,7 @@ func main() {
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
 		candidates = flag.Int("candidates", 1000, "candidate pool size")
 		seed       = flag.Int64("seed", 1, "random seed")
+		jsonPath   = flag.String("json", "", "also write results as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -44,67 +59,70 @@ func main() {
 		Seed:       *seed,
 	}
 
+	var tables []bench.Table
+	emit := func(ts ...bench.Table) {
+		for _, t := range ts {
+			t.Fprint(os.Stdout)
+			tables = append(tables, t)
+		}
+	}
+
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	start := time.Now()
 	ran := 0
 
 	if run("table2") {
-		bench.Table2(o).Fprint(os.Stdout)
+		emit(bench.Table2(o))
 		ran++
 	}
 	if run("fig5") {
 		t1, t2 := bench.Figure5(o)
-		t1.Fprint(os.Stdout)
-		t2.Fprint(os.Stdout)
+		emit(t1, t2)
 		ran++
 	}
 	if run("fig6") {
-		bench.Figure6(o).Fprint(os.Stdout)
+		emit(bench.Figure6(o))
 		ran++
 	}
 	if run("fig7") {
-		bench.Figure7a(o).Fprint(os.Stdout)
-		bench.Figure7b(o).Fprint(os.Stdout)
+		emit(bench.Figure7a(o), bench.Figure7b(o))
 		ran++
 	}
 	if run("fig8") {
-		bench.Figure8(o, 10).Fprint(os.Stdout)
+		emit(bench.Figure8(o, 10))
 		ran++
 	}
 	if run("fig9") {
-		bench.Figure9a(o).Fprint(os.Stdout)
-		bench.Figure9b(o).Fprint(os.Stdout)
+		emit(bench.Figure9a(o), bench.Figure9b(o))
 		ran++
 	}
 	if run("fig10") {
-		bench.Figure10(o, datasets.PGP, 5, 0.01).Fprint(os.Stdout)
-		bench.Figure10(o, datasets.DBLP, 10, 0.05).Fprint(os.Stdout)
+		emit(bench.Figure10(o, datasets.PGP, 5, 0.01))
+		emit(bench.Figure10(o, datasets.DBLP, 10, 0.05))
 		ran++
 	}
 	if run("fig11") {
-		bench.Figure11a(o).Fprint(os.Stdout)
-		bench.Figure11b(o).Fprint(os.Stdout)
+		emit(bench.Figure11a(o), bench.Figure11b(o))
 		ran++
 	}
 	if run("hausdorff") {
-		bench.AppendixHausdorff(o).Fprint(os.Stdout)
+		emit(bench.AppendixHausdorff(o))
 		ran++
 	}
 	if run("directed") {
-		bench.ExtensionDirected(o).Fprint(os.Stdout)
+		emit(bench.ExtensionDirected(o))
 		ran++
 	}
 	if run("weighted") {
-		bench.ExtensionWeighted(o).Fprint(os.Stdout)
+		emit(bench.ExtensionWeighted(o))
 		ran++
 	}
 	if run("ablation") {
-		bench.AblationMatching(o).Fprint(os.Stdout)
-		bench.AblationIndexes(o).Fprint(os.Stdout)
+		emit(bench.AblationMatching(o), bench.AblationIndexes(o))
 		ran++
 	}
 	if run("corpus") {
-		corpusExperiment(o).Fprint(os.Stdout)
+		emit(corpusExperiment(o))
 		ran++
 	}
 	if ran == 0 {
@@ -112,19 +130,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus\n")
 		os.Exit(2)
 	}
-	fmt.Printf("%s\ncompleted in %s\n", strings.Repeat("-", 40), time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("%s\ncompleted in %s\n", strings.Repeat("-", 40), elapsed.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		res := jsonResult{
+			Experiment: *exp,
+			Scale:      *scale,
+			Seed:       *seed,
+			ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
+			Tables:     tables,
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
 }
 
 // corpusExperiment drives the public Corpus query engine end to end:
 // the same batch of inter-graph KNN queries served by each backend,
-// reporting wall time and TED* evaluations per query. Distances are
-// asserted equal across backends against the exact linear scan.
+// reporting wall time, TED* evaluations per query, and how much of the
+// candidate work the budget pipeline skipped (early exits mid-TED* and
+// padding-lower-bound prunes). Distances are asserted equal across
+// backends against the exact linear scan.
 func corpusExperiment(o bench.Options) bench.Table {
 	o.Normalize()
 	t := bench.Table{
 		Title:  "Corpus engine: BatchKNN across backends (per-query mean)",
 		Note:   fmt.Sprintf("%d candidates, %d queries, PGP analog, k=3", o.Candidates, o.Queries),
-		Header: []string{"backend", "time (ms)", "TED* evals/query", "scan mismatches"},
+		Header: []string{"backend", "time (ms)", "TED* evals/query", "early exits/query", "lb prunes/query", "scan mismatches"},
 	}
 	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed})
 	g2 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed + 999})
@@ -173,9 +216,12 @@ func corpusExperiment(o bench.Options) bench.Table {
 			}
 		}
 		stats := corpus.Stats()
+		nq := int64(len(queries))
 		t.AddRow(backend.String(),
 			fmt.Sprintf("%.3f", float64(elapsed.Nanoseconds())/1e6/float64(len(queries))),
-			fmt.Sprint(stats.DistanceCalls/int64(len(queries))),
+			fmt.Sprint(stats.DistanceCalls/nq),
+			fmt.Sprint(stats.EarlyExits/nq),
+			fmt.Sprint(stats.LowerBoundPrunes/nq),
 			fmt.Sprint(mismatches))
 	}
 	return t

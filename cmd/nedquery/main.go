@@ -81,7 +81,8 @@ func main() {
 		fmt.Printf("  %2d. node %-8d distance %d\n", rank+1, r.Node, r.Dist)
 	}
 	stats := corpus.Stats()
-	fmt.Printf("(%d TED* evaluations over %d indexed nodes)\n", stats.DistanceCalls, stats.Nodes)
+	fmt.Printf("(%d TED* evaluations over %d indexed nodes; %d early exits, %d lower-bound prunes)\n",
+		stats.DistanceCalls, stats.Nodes, stats.EarlyExits, stats.LowerBoundPrunes)
 }
 
 func fatal(err error) {

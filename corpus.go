@@ -410,7 +410,16 @@ type CorpusStats struct {
 	Built    bool // whether the index has been materialized yet
 
 	Queries       int64 // queries served (BatchKNN counts each signature)
-	DistanceCalls int64 // full TED* evaluations spent serving them
+	DistanceCalls int64 // TED* evaluations started serving them (incl. early-exited)
+
+	// EarlyExits counts TED* evaluations the budget pipeline abandoned
+	// mid-computation: the candidate's running cost provably crossed the
+	// search threshold (kth-best, tau, or ring radius) before the full
+	// O(k·n³) work was spent.
+	EarlyExits int64
+	// LowerBoundPrunes counts candidates dismissed by the O(height)
+	// padding lower bound alone, before any matching work.
+	LowerBoundPrunes int64
 }
 
 // Stats reports the corpus configuration and serving counters. Safe to
@@ -426,7 +435,10 @@ func (c *Corpus) Stats() CorpusStats {
 	}
 	if ix := c.index(); ix != nil {
 		s.Built = true
-		s.DistanceCalls = ix.DistanceCalls()
+		counters := ix.Counters()
+		s.DistanceCalls = counters.DistanceCalls
+		s.EarlyExits = counters.EarlyExits
+		s.LowerBoundPrunes = counters.LowerBoundPrunes
 	}
 	return s
 }

@@ -1,0 +1,53 @@
+package ned
+
+// BenchmarkCorpusKNN measures the serving hot path of the Corpus query
+// engine: one batch of inter-graph KNN queries against a prebuilt index,
+// per backend. Run with -benchmem; the allocs/op trajectory across PRs
+// tracks how close the TED* pipeline is to allocation-free.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchmarkCorpus(b *testing.B, backend Backend) {
+	g1 := MustGenerateDataset(DatasetPGP, DatasetOptions{Scale: 0.1, Seed: 7})
+	g2 := MustGenerateDataset(DatasetPGP, DatasetOptions{Scale: 0.1, Seed: 8})
+	rng := rand.New(rand.NewSource(9))
+
+	const k, nQueries, nCands, l = 3, 16, 300, 5
+	queries := make([]Signature, 0, nQueries)
+	for _, v := range rng.Perm(g1.NumNodes())[:nQueries] {
+		queries = append(queries, NewSignature(g1, NodeID(v), k))
+	}
+	cands := make([]NodeID, 0, nCands)
+	for _, v := range rng.Perm(g2.NumNodes())[:min(nCands, g2.NumNodes())] {
+		cands = append(cands, NodeID(v))
+	}
+	corpus, err := NewCorpus(g2, k, WithBackend(backend), WithNodes(cands))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Materialize the index outside the timed window.
+	if _, err := corpus.KNNSignature(ctx, queries[0], 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := corpus.KNNSignature(ctx, q, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCorpusKNN(b *testing.B) {
+	for _, backend := range []Backend{BackendVP, BackendBK, BackendLinear, BackendPrunedLinear} {
+		b.Run(fmt.Sprint(backend), func(b *testing.B) { benchmarkCorpus(b, backend) })
+	}
+}

@@ -13,12 +13,13 @@ import (
 )
 
 // Table is a printable experiment artifact: one paper table or figure
-// series rendered as rows.
+// series rendered as rows. It marshals cleanly to JSON for the
+// machine-readable results nedbench -json emits.
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of stringified cells.

@@ -13,130 +13,66 @@ import "math"
 // callers must be finite and small enough that row sums do not overflow.
 const Inf = math.MaxInt64 / 4
 
-// Solve computes a minimum-cost perfect matching of the n×n cost matrix
-// cost (cost[i][j] = weight of assigning row i to column j). It returns
-// the total cost and the assignment vector rowToCol where rowToCol[i] is
-// the column matched to row i. Costs must be non-negative. An empty
-// matrix yields (0, nil).
-//
-// The matrix must be square; TED* always pads levels to equal size before
-// matching (§5.2), so the square case is the only one it needs. Rectangular
-// callers can pad with zero rows/columns via SolveRect.
-func Solve(cost [][]int64) (total int64, rowToCol []int) {
-	n := len(cost)
-	if n == 0 {
-		return 0, nil
-	}
-	// Potentials u (rows) and v (columns), 1-indexed internally with a
-	// virtual row/column 0 as in the classic formulation.
-	u := make([]int64, n+1)
-	v := make([]int64, n+1)
-	p := make([]int, n+1) // p[j] = row matched to column j (0 = free)
-	way := make([]int, n+1)
+// Solver is a reusable workspace for the flat row-major assignment
+// problem. All buffers are preallocated and grown geometrically, so a
+// Solver amortizes to zero allocations across calls — the property the
+// TED* hot path depends on (one matching per tree level per candidate
+// pair). A Solver is not safe for concurrent use; pool one per worker.
+type Solver struct {
+	u, v   []int64
+	p, way []int
+	minv   []int64
+	used   []bool
+	assign []int
+}
 
-	minv := make([]int64, n+1)
-	used := make([]bool, n+1)
+// grow sizes every buffer for an n×n problem.
+func (s *Solver) grow(n int) {
+	if cap(s.u) < n+1 {
+		s.u = make([]int64, n+1)
+		s.v = make([]int64, n+1)
+		s.p = make([]int, n+1)
+		s.way = make([]int, n+1)
+		s.minv = make([]int64, n+1)
+		s.used = make([]bool, n+1)
+		s.assign = make([]int, n)
+	}
+	s.u = s.u[:n+1]
+	s.v = s.v[:n+1]
+	s.p = s.p[:n+1]
+	s.way = s.way[:n+1]
+	s.minv = s.minv[:n+1]
+	s.used = s.used[:n+1]
+	s.assign = s.assign[:n]
+	for i := range s.u {
+		s.u[i] = 0
+		s.v[i] = 0
+		s.p[i] = 0
+	}
+}
 
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		for j := 0; j <= n; j++ {
-			minv[j] = Inf
-			used[j] = false
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			var delta int64 = Inf
-			j1 := -1
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
-	}
-
-	rowToCol = make([]int, n)
-	for j := 1; j <= n; j++ {
-		rowToCol[p[j]-1] = j - 1
-	}
-	for i := 0; i < n; i++ {
-		total += cost[i][rowToCol[i]]
-	}
+// Solve computes the minimum-cost perfect matching of the row-major n×n
+// matrix cost. Semantics and results are identical to SolveFlat; the
+// returned assignment aliases the Solver's internal buffer and is valid
+// until the next call.
+func (s *Solver) Solve(cost []int64, n int) (total int64, rowToCol []int) {
+	total, rowToCol, _ = s.SolveAtMost(cost, n, Inf)
 	return total, rowToCol
 }
 
-// SolveRect handles rectangular matrices by padding the smaller dimension
-// with zero-cost dummy rows or columns. Rows matched to dummy columns
-// (and vice versa) appear as -1 in the returned assignments.
-func SolveRect(cost [][]int64) (total int64, rowToCol []int) {
-	rows := len(cost)
-	if rows == 0 {
-		return 0, nil
-	}
-	cols := len(cost[0])
-	n := rows
-	if cols > n {
-		n = cols
-	}
-	sq := make([][]int64, n)
-	for i := range sq {
-		sq[i] = make([]int64, n)
-		if i < rows {
-			copy(sq[i], cost[i])
-		}
-	}
-	t, assign := Solve(sq)
-	rowToCol = make([]int, rows)
-	for i := 0; i < rows; i++ {
-		if assign[i] < cols {
-			rowToCol[i] = assign[i]
-		} else {
-			rowToCol[i] = -1
-		}
-	}
-	return t, rowToCol
-}
-
-// SolveFlat is Solve for a row-major flattened n×n matrix; it avoids the
-// per-row slice headers on hot paths. Semantics match Solve.
-func SolveFlat(cost []int64, n int) (total int64, rowToCol []int) {
+// SolveAtMost is Solve with an early-abort budget: after each row's
+// augmentation the cost of the optimal partial matching built so far is
+// a lower bound on the final total (costs are non-negative, so adding
+// rows never cheapens the matching), and once that bound exceeds budget
+// the solver stops. It returns (partial, nil, false) in that case, where
+// partial > budget lower-bounds the true optimum; otherwise it returns
+// the exact (total, assignment, true), bit-identical to Solve.
+func (s *Solver) SolveAtMost(cost []int64, n int, budget int64) (total int64, rowToCol []int, complete bool) {
 	if n == 0 {
-		return 0, nil
+		return 0, nil, true
 	}
-	u := make([]int64, n+1)
-	v := make([]int64, n+1)
-	p := make([]int, n+1)
-	way := make([]int, n+1)
-	minv := make([]int64, n+1)
-	used := make([]bool, n+1)
+	s.grow(n)
+	u, v, p, way, minv, used := s.u, s.v, s.p, s.way, s.minv, s.used
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
@@ -183,16 +119,93 @@ func SolveFlat(cost []int64, n int) (total int64, rowToCol []int) {
 			p[j0] = p[j1]
 			j0 = j1
 		}
+		if budget < Inf {
+			// Cost of the optimal matching of the first i rows: a valid
+			// lower bound on the final total.
+			var partial int64
+			for j := 1; j <= n; j++ {
+				if p[j] != 0 {
+					partial += cost[(p[j]-1)*n+j-1]
+				}
+			}
+			if partial > budget {
+				return partial, nil, false
+			}
+		}
 	}
 
-	rowToCol = make([]int, n)
+	rowToCol = s.assign
 	for j := 1; j <= n; j++ {
 		rowToCol[p[j]-1] = j - 1
 	}
 	for i := 0; i < n; i++ {
 		total += cost[i*n+rowToCol[i]]
 	}
-	return total, rowToCol
+	return total, rowToCol, true
+}
+
+// Solve computes a minimum-cost perfect matching of the n×n cost matrix
+// cost (cost[i][j] = weight of assigning row i to column j). It returns
+// the total cost and the assignment vector rowToCol where rowToCol[i] is
+// the column matched to row i. Costs must be non-negative. An empty
+// matrix yields (0, nil).
+//
+// The matrix must be square; TED* always pads levels to equal size before
+// matching (§5.2), so the square case is the only one it needs. Rectangular
+// callers can pad with zero rows/columns via SolveRect.
+func Solve(cost [][]int64) (total int64, rowToCol []int) {
+	n := len(cost)
+	if n == 0 {
+		return 0, nil
+	}
+	flat := make([]int64, 0, n*n)
+	for _, row := range cost {
+		flat = append(flat, row...)
+	}
+	return SolveFlat(flat, n)
+}
+
+// SolveRect handles rectangular matrices by padding the smaller dimension
+// with zero-cost dummy rows or columns. Rows matched to dummy columns
+// (and vice versa) appear as -1 in the returned assignments.
+func SolveRect(cost [][]int64) (total int64, rowToCol []int) {
+	rows := len(cost)
+	if rows == 0 {
+		return 0, nil
+	}
+	cols := len(cost[0])
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	sq := make([][]int64, n)
+	for i := range sq {
+		sq[i] = make([]int64, n)
+		if i < rows {
+			copy(sq[i], cost[i])
+		}
+	}
+	t, assign := Solve(sq)
+	rowToCol = make([]int, rows)
+	for i := 0; i < rows; i++ {
+		if assign[i] < cols {
+			rowToCol[i] = assign[i]
+		} else {
+			rowToCol[i] = -1
+		}
+	}
+	return t, rowToCol
+}
+
+// SolveFlat is Solve for a row-major flattened n×n matrix; it avoids the
+// per-row slice headers on hot paths. Semantics match Solve. One-shot
+// form of Solver.Solve, which reuses its workspace across calls.
+func SolveFlat(cost []int64, n int) (total int64, rowToCol []int) {
+	if n == 0 {
+		return 0, nil
+	}
+	var s Solver
+	return s.Solve(cost, n)
 }
 
 // Greedy computes a (suboptimal) matching by repeatedly taking each row's

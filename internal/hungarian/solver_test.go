@@ -1,0 +1,116 @@
+package hungarian
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomFlat(rng *rand.Rand, n, maxCost int) []int64 {
+	cost := make([]int64, n*n)
+	for i := range cost {
+		cost[i] = int64(rng.Intn(maxCost))
+	}
+	return cost
+}
+
+// TestSolverMatchesSolveFlat: the reusable-workspace Solver must be
+// bit-identical to the one-shot SolveFlat — total AND assignment — even
+// when the same Solver is recycled across many differently-sized
+// problems.
+func TestSolverMatchesSolveFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var s Solver
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(24)
+		cost := randomFlat(rng, n, 12)
+		wantTotal, wantAssign := SolveFlat(cost, n)
+		gotTotal, gotAssign := s.Solve(cost, n)
+		if gotTotal != wantTotal {
+			t.Fatalf("trial %d n=%d: Solver total %d, SolveFlat %d", trial, n, gotTotal, wantTotal)
+		}
+		for i := range wantAssign {
+			if gotAssign[i] != wantAssign[i] {
+				t.Fatalf("trial %d n=%d row %d: Solver col %d, SolveFlat %d",
+					trial, n, i, gotAssign[i], wantAssign[i])
+			}
+		}
+	}
+}
+
+func TestSolverEmpty(t *testing.T) {
+	var s Solver
+	total, assign := s.Solve(nil, 0)
+	if total != 0 || assign != nil {
+		t.Fatalf("empty solve gave (%d, %v)", total, assign)
+	}
+}
+
+// TestSolveAtMostContract: for every budget, either the solver completes
+// with the exact optimum, or it aborts with a partial cost that is (a)
+// strictly above the budget and (b) never above the true optimum — so an
+// abort proves the optimum exceeds the budget.
+func TestSolveAtMostContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var s Solver
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(16)
+		cost := randomFlat(rng, n, 9)
+		want, wantAssign := SolveFlat(cost, n)
+		for budget := int64(0); budget <= want+2; budget++ {
+			got, assign, complete := s.SolveAtMost(cost, n, budget)
+			if complete {
+				if got != want {
+					t.Fatalf("trial %d budget %d: completed with %d, optimum %d", trial, budget, got, want)
+				}
+				for i := range wantAssign {
+					if assign[i] != wantAssign[i] {
+						t.Fatalf("trial %d budget %d: assignment differs at row %d", trial, budget, i)
+					}
+				}
+				continue
+			}
+			if got <= budget {
+				t.Fatalf("trial %d budget %d: aborted with partial %d <= budget", trial, budget, got)
+			}
+			if got > want {
+				t.Fatalf("trial %d budget %d: partial %d exceeds optimum %d", trial, budget, got, want)
+			}
+			if want <= budget {
+				t.Fatalf("trial %d budget %d: aborted although optimum %d fits", trial, budget, want)
+			}
+		}
+		// At the optimum itself the solve must complete.
+		if _, _, complete := s.SolveAtMost(cost, n, want); !complete {
+			t.Fatalf("trial %d: budget == optimum still aborted", trial)
+		}
+	}
+}
+
+// TestSolveAtMostActuallyAborts confirms the early exit fires on a
+// matrix whose optimum is far above a small budget.
+func TestSolveAtMostActuallyAborts(t *testing.T) {
+	const n = 32
+	cost := make([]int64, n*n)
+	for i := range cost {
+		cost[i] = 100
+	}
+	var s Solver
+	partial, _, complete := s.SolveAtMost(cost, n, 150)
+	if complete {
+		t.Fatal("expected an abort: optimum is 3200, budget 150")
+	}
+	if partial <= 150 {
+		t.Fatalf("partial %d not above the budget", partial)
+	}
+}
+
+func BenchmarkSolverReused64(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	cost := randomFlat(rng, 64, 50)
+	var s Solver
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(cost, 64)
+	}
+}

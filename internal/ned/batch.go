@@ -3,10 +3,8 @@ package ned
 import (
 	"context"
 	"runtime"
-	"sync"
 
 	"ned/internal/graph"
-	"ned/internal/ted"
 )
 
 // BatchOptions controls parallel batch computations. The zero value uses
@@ -37,13 +35,18 @@ func SignaturesParallel(g *graph.Graph, nodes []graph.NodeID, k int, opts BatchO
 // DistanceMatrix computes the full NED matrix between two signature
 // sets in parallel: m[i][j] = NED(as[i], bs[j]). Row-major [len(as)][len(bs)].
 // Useful for the Hausdorff distance, clustering, and assignment-based
-// graph matching on top of NED.
+// graph matching on top of NED. Each worker goroutine owns one pooled
+// ted.Computer, so the whole matrix reuses a fixed set of TED* scratch
+// buffers.
 func DistanceMatrix(as, bs []Signature, opts BatchOptions) [][]int {
 	m := make([][]int, len(as))
-	parallelFor(len(as), opts.workers(), func(i int) {
+	workers := opts.workers()
+	comps := acquireComputers(workers)
+	defer releaseComputers(comps)
+	parallelForWorkers(len(as), workers, func(w, i int) {
 		row := make([]int, len(bs))
 		for j, b := range bs {
-			row[j] = ted.Distance(as[i].Tree, b.Tree)
+			row[j] = comps[w].Distance(as[i].Tree, b.Tree)
 		}
 		m[i] = row
 	})
@@ -63,29 +66,13 @@ func TopLParallel(query Signature, candidates []Signature, l int, opts BatchOpti
 
 // parallelFor runs fn(i) for i in [0, n) across the given worker count.
 func parallelFor(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with the worker index exposed, so
+// callers can hand each goroutine its own scratch state. Worker indexes
+// are dense in [0, workers). It is the uncancellable form of
+// ParallelForCtxWorkers (index.go), which owns the loop implementation.
+func parallelForWorkers(n, workers int, fn func(worker, i int)) {
+	_ = ParallelForCtxWorkers(context.Background(), n, workers, fn)
 }

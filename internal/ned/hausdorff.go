@@ -45,11 +45,23 @@ func hausdorffSets(sa, sb []Signature) int {
 }
 
 func directedHausdorff(from, to []Signature) int {
+	comp := tedComputers.Get().(*ted.Computer)
+	defer tedComputers.Put(comp)
 	worst := 0
 	for _, a := range from {
 		best := -1
 		for _, b := range to {
-			d := ted.Distance(a.Tree, b.Tree)
+			// Only a strict improvement on the running minimum matters,
+			// so the TED* computation may abandon any pair that provably
+			// costs best or more.
+			budget := ted.Unbounded
+			if best >= 0 {
+				budget = best - 1
+			}
+			d, out := comp.DistanceAtMost(a.Tree, b.Tree, budget)
+			if out != ted.OutcomeExact {
+				continue // d >= best: cannot improve the minimum
+			}
 			if best == -1 || d < best {
 				best = d
 			}

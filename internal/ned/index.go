@@ -2,6 +2,7 @@ package ned
 
 import (
 	"context"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,13 @@ import (
 // linear scan, and pruned linear scan all implement, so query-serving
 // code is written once against the interface and backends stay
 // interchangeable.
+//
+// Every backend threads a distance budget into the TED* computation —
+// the current kth-best for the scans, tau for the VP-tree, the ring
+// radius for the BK-tree — so hopeless candidates are abandoned
+// mid-computation (see ted.Computer.DistanceAtMost). Budgets never
+// change results: an evaluation only aborts when the exact distance
+// provably exceeds every threshold that could admit the candidate.
 
 // Item is what an index backend stores and queries: a node plus the
 // signature trees its distance needs — the single k-adjacent tree for
@@ -32,14 +40,63 @@ type Item struct {
 // Item converts a signature into its index representation.
 func (s Signature) Item() Item { return Item{Node: s.Node, K: s.K, Out: s.Tree} }
 
+// tedComputers pools TED* computation engines so each worker goroutine
+// reuses one set of scratch buffers across candidates.
+var tedComputers = sync.Pool{New: func() any { return ted.NewComputer() }}
+
+// acquireComputers checks out one Computer per worker; the caller must
+// releaseComputers them when the parallel loop finishes.
+func acquireComputers(n int) []*ted.Computer {
+	if n < 1 {
+		n = 1
+	}
+	cs := make([]*ted.Computer, n)
+	for i := range cs {
+		cs[i] = tedComputers.Get().(*ted.Computer)
+	}
+	return cs
+}
+
+func releaseComputers(cs []*ted.Computer) {
+	for _, c := range cs {
+		tedComputers.Put(c)
+	}
+}
+
 // ItemDistance is the NED distance between two items: TED* over the
 // out-trees, plus TED* over the in-trees when both items carry one.
 func ItemDistance(a, b Item) int {
-	d := ted.Distance(a.Out, b.Out)
-	if a.In != nil && b.In != nil {
-		d += ted.Distance(a.In, b.In)
-	}
+	c := tedComputers.Get().(*ted.Computer)
+	d, _ := itemDistanceAtMost(c, a, b, ted.Unbounded)
+	tedComputers.Put(c)
 	return d
+}
+
+// itemDistanceAtMost is the budgeted NED between two items on a caller
+// supplied Computer. The contract mirrors ted.Computer.DistanceAtMost:
+// OutcomeExact means d is the exact ItemDistance; any other outcome
+// means d > budget and the true distance exceeds the budget too. For
+// directed items the in-tree comparison runs under whatever budget the
+// out-tree comparison left over.
+func itemDistanceAtMost(c *ted.Computer, a, b Item, budget int) (int, ted.Outcome) {
+	d, out := c.DistanceAtMost(a.Out, b.Out, budget)
+	if out != ted.OutcomeExact {
+		return d, out
+	}
+	if a.In != nil && b.In != nil {
+		rem := ted.Unbounded
+		if budget != ted.Unbounded {
+			rem = budget - d
+		}
+		d2, out2 := c.DistanceAtMost(a.In, b.In, rem)
+		if out2 == ted.OutcomePruned {
+			// The out-tree comparison already did matching work, so the
+			// pair as a whole was abandoned mid-computation.
+			out2 = ted.OutcomeAborted
+		}
+		return d + d2, out2
+	}
+	return d, ted.OutcomeExact
 }
 
 // ItemLowerBound is the padding lower bound on ItemDistance — cheap and
@@ -75,6 +132,51 @@ func NewItem(g *graph.Graph, v graph.NodeID, k int, directed bool) Item {
 	return Item{Node: v, K: k, Out: to, In: ti}
 }
 
+// Counters is a snapshot of an index's work profile since the last
+// ResetStats.
+type Counters struct {
+	// DistanceCalls counts TED* evaluations started (completed plus
+	// early-exited); cheap lower-bound evaluations are not counted.
+	DistanceCalls int64
+	// EarlyExits counts budgeted evaluations that bailed mid-computation
+	// once the running cost provably crossed the search threshold.
+	EarlyExits int64
+	// LowerBoundPrunes counts candidates dismissed by the O(height)
+	// padding lower bound alone, before any matching work.
+	LowerBoundPrunes int64
+}
+
+// counterSet is the atomic accumulator behind Counters.
+type counterSet struct {
+	distCalls, earlyExits, lbPrunes atomic.Int64
+}
+
+func (c *counterSet) observe(out ted.Outcome) {
+	switch out {
+	case ted.OutcomePruned:
+		c.lbPrunes.Add(1)
+	case ted.OutcomeAborted:
+		c.distCalls.Add(1)
+		c.earlyExits.Add(1)
+	default:
+		c.distCalls.Add(1)
+	}
+}
+
+func (c *counterSet) snapshot() Counters {
+	return Counters{
+		DistanceCalls:    c.distCalls.Load(),
+		EarlyExits:       c.earlyExits.Load(),
+		LowerBoundPrunes: c.lbPrunes.Load(),
+	}
+}
+
+func (c *counterSet) reset() {
+	c.distCalls.Store(0)
+	c.earlyExits.Store(0)
+	c.lbPrunes.Store(0)
+}
+
 // Index is the unified query surface of every NED index backend. All
 // methods are safe for concurrent use, report typed errors instead of
 // panicking, and check the context inside their distance loops so
@@ -88,10 +190,13 @@ type Index interface {
 	Range(ctx context.Context, query Item, r int) ([]Neighbor, error)
 	// Len reports how many items are indexed.
 	Len() int
-	// DistanceCalls reports full metric evaluations since the last
+	// DistanceCalls reports TED* evaluations started since the last
 	// ResetStats (cheap lower-bound evaluations are not counted).
 	DistanceCalls() int64
-	// ResetStats zeroes the metric-evaluation counter.
+	// Counters reports the full work profile: evaluations, budgeted
+	// early exits, and lower-bound prunes.
+	Counters() Counters
+	// ResetStats zeroes all work counters.
 	ResetStats()
 }
 
@@ -106,18 +211,50 @@ func sortNeighborsCanonical(ns []Neighbor) {
 	})
 }
 
+// itemLess is the canonical tie-break every backend shares: equal
+// distances resolve by node ID, so KNN answers are identical across
+// backends down to the node level, not just the distance multiset.
+func itemLess(a, b Item) bool { return a.Node < b.Node }
+
+// floatBudget converts a VP-tree float budget to the integer TED* one.
+// Flooring is safe: integer distances d <= budget iff d <= floor(budget).
+func floatBudget(b float64) int {
+	if b >= float64(ted.Unbounded) {
+		return ted.Unbounded
+	}
+	return int(math.Floor(b))
+}
+
 // --- VP-tree backend ---
 
 type vpBackend struct {
-	t *vptree.Tree[Item]
+	t        *vptree.Tree[Item]
+	counters counterSet
 }
 
 // NewVPBackend indexes the items in a vantage-point tree (§13.4): exact
 // sub-linear queries via floating-point triangle-inequality pruning.
+// Searches hand the metric a budget of radius + tau per node, so a
+// candidate that cannot rank or affect pruning is abandoned mid-TED*.
 func NewVPBackend(items []Item) Index {
-	return &vpBackend{t: vptree.New(items, func(a, b Item) float64 {
-		return float64(ItemDistance(a, b))
-	})}
+	b := &vpBackend{}
+	b.t = vptree.New(items, func(x, y Item) float64 {
+		c := tedComputers.Get().(*ted.Computer)
+		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
+		tedComputers.Put(c)
+		b.counters.observe(ted.OutcomeExact)
+		return float64(d)
+	})
+	b.t.SetBudgetedMetric(func(x, y Item, budget float64) (float64, bool) {
+		c := tedComputers.Get().(*ted.Computer)
+		d, out := itemDistanceAtMost(c, x, y, floatBudget(budget))
+		tedComputers.Put(c)
+		b.counters.observe(out)
+		return float64(d), out == ted.OutcomeExact
+	})
+	b.t.SetTieBreak(itemLess)
+	b.counters.reset() // the build's evaluations are not serving work
+	return b
 }
 
 func (b *vpBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
@@ -147,20 +284,44 @@ func (b *vpBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, e
 }
 
 func (b *vpBackend) Len() int             { return b.t.Len() }
-func (b *vpBackend) DistanceCalls() int64 { return b.t.DistanceCalls() }
-func (b *vpBackend) ResetStats()          { b.t.ResetStats() }
+func (b *vpBackend) DistanceCalls() int64 { return b.counters.distCalls.Load() }
+func (b *vpBackend) Counters() Counters   { return b.counters.snapshot() }
+func (b *vpBackend) ResetStats() {
+	b.counters.reset()
+	b.t.ResetStats()
+}
 
 // --- BK-tree backend ---
 
 type bkBackend struct {
-	t *vptree.BKTree[Item]
+	t        *vptree.BKTree[Item]
+	counters counterSet
 }
 
 // NewBKBackend indexes the items in a Burkhard–Keller tree: integer
 // distance buckets, often faster than the VP-tree on the small integer
-// range NED produces.
+// range NED produces. Searches hand the metric a budget of
+// maxChildKey + ringRadius per node, beyond which the exact distance is
+// provably irrelevant.
 func NewBKBackend(items []Item) Index {
-	return &bkBackend{t: vptree.NewBK(items, ItemDistance)}
+	b := &bkBackend{}
+	b.t = vptree.NewBK(items, func(x, y Item) int {
+		c := tedComputers.Get().(*ted.Computer)
+		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
+		tedComputers.Put(c)
+		b.counters.observe(ted.OutcomeExact)
+		return d
+	})
+	b.t.SetBudgetedMetric(func(x, y Item, budget int) (int, bool) {
+		c := tedComputers.Get().(*ted.Computer)
+		d, out := itemDistanceAtMost(c, x, y, budget)
+		tedComputers.Put(c)
+		b.counters.observe(out)
+		return d, out == ted.OutcomeExact
+	})
+	b.t.SetTieBreak(itemLess)
+	b.counters.reset() // the build's evaluations are not serving work
+	return b
 }
 
 func (b *bkBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
@@ -190,88 +351,142 @@ func (b *bkBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, e
 }
 
 func (b *bkBackend) Len() int             { return b.t.Len() }
-func (b *bkBackend) DistanceCalls() int64 { return b.t.DistanceCalls() }
-func (b *bkBackend) ResetStats()          { b.t.ResetStats() }
+func (b *bkBackend) DistanceCalls() int64 { return b.counters.distCalls.Load() }
+func (b *bkBackend) Counters() Counters   { return b.counters.snapshot() }
+func (b *bkBackend) ResetStats() {
+	b.counters.reset()
+	b.t.ResetStats()
+}
 
 // --- parallel linear-scan backend ---
 
 type linearBackend struct {
-	items     []Item
-	workers   int
-	distCalls atomic.Int64
+	items    []Item
+	workers  int
+	counters counterSet
 }
 
 // NewLinearBackend evaluates every indexed item per query across the
 // given worker count (<= 0 means GOMAXPROCS). The exact baseline every
 // metric index is measured against; still the fastest option for small
-// corpora where tree traversal overhead dominates.
+// corpora where tree traversal overhead dominates. KNN workers share the
+// running kth-best distance, so late candidates are lower-bound pruned
+// or abandoned mid-TED* once they provably cannot rank.
 func NewLinearBackend(items []Item, workers int) Index {
 	return &linearBackend{items: items, workers: BatchOptions{Workers: workers}.workers()}
 }
 
-func (b *linearBackend) scan(ctx context.Context, query Item) ([]Neighbor, error) {
-	all := make([]Neighbor, len(b.items))
-	err := ParallelForCtx(ctx, len(b.items), b.workers, func(i int) {
-		all[i] = Neighbor{Node: b.items[i].Node, Dist: ItemDistance(query, b.items[i])}
-		b.distCalls.Add(1)
-	})
-	if err != nil {
-		return nil, err
+// topLCollector accumulates the l canonically-smallest neighbors across
+// concurrent workers and publishes the current kth-best distance as a
+// lock-free threshold for budgeting.
+type topLCollector struct {
+	mu      sync.Mutex
+	l       int
+	results []Neighbor
+	thr     atomic.Int64
+}
+
+func newTopLCollector(l int) *topLCollector {
+	c := &topLCollector{l: l}
+	c.thr.Store(int64(ted.Unbounded))
+	return c
+}
+
+// threshold returns the current kth-best distance, or ted.Unbounded
+// until l results exist. Any candidate with distance strictly above it
+// cannot enter the final result.
+func (c *topLCollector) threshold() int { return int(c.thr.Load()) }
+
+func (c *topLCollector) offer(n Neighbor) {
+	c.mu.Lock()
+	i := len(c.results)
+	c.results = append(c.results, n)
+	for ; i > 0; i-- {
+		p := c.results[i-1]
+		if p.Dist < n.Dist || (p.Dist == n.Dist && p.Node < n.Node) {
+			break
+		}
+		c.results[i] = p
 	}
-	return all, nil
+	c.results[i] = n
+	if len(c.results) > c.l {
+		c.results = c.results[:c.l]
+	}
+	if len(c.results) == c.l {
+		c.thr.Store(int64(c.results[c.l-1].Dist))
+	}
+	c.mu.Unlock()
 }
 
 func (b *linearBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
 	if l <= 0 || len(b.items) == 0 {
 		return nil, ctx.Err()
 	}
-	all, err := b.scan(ctx, query)
+	col := newTopLCollector(l)
+	comps := acquireComputers(b.workers)
+	defer releaseComputers(comps)
+	err := ParallelForCtxWorkers(ctx, len(b.items), b.workers, func(w, i int) {
+		it := b.items[i]
+		d, out := itemDistanceAtMost(comps[w], query, it, col.threshold())
+		b.counters.observe(out)
+		if out != ted.OutcomeExact {
+			return
+		}
+		if d <= col.threshold() {
+			col.offer(Neighbor{Node: it.Node, Dist: d})
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	sortNeighborsCanonical(all)
-	if l > len(all) {
-		l = len(all)
-	}
-	return all[:l], nil
+	return col.results, nil
 }
 
 func (b *linearBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, error) {
-	all, err := b.scan(ctx, query)
+	var mu sync.Mutex
+	var out []Neighbor
+	comps := acquireComputers(b.workers)
+	defer releaseComputers(comps)
+	err := ParallelForCtxWorkers(ctx, len(b.items), b.workers, func(w, i int) {
+		it := b.items[i]
+		d, o := itemDistanceAtMost(comps[w], query, it, r)
+		b.counters.observe(o)
+		if o == ted.OutcomeExact && d <= r {
+			mu.Lock()
+			out = append(out, Neighbor{Node: it.Node, Dist: d})
+			mu.Unlock()
+		}
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := all[:0]
-	for _, n := range all {
-		if n.Dist <= r {
-			out = append(out, n)
-		}
 	}
 	sortNeighborsCanonical(out)
 	return out, nil
 }
 
 func (b *linearBackend) Len() int             { return len(b.items) }
-func (b *linearBackend) DistanceCalls() int64 { return b.distCalls.Load() }
-func (b *linearBackend) ResetStats()          { b.distCalls.Store(0) }
+func (b *linearBackend) DistanceCalls() int64 { return b.counters.distCalls.Load() }
+func (b *linearBackend) Counters() Counters   { return b.counters.snapshot() }
+func (b *linearBackend) ResetStats()          { b.counters.reset() }
 
 // --- pruned linear-scan backend ---
 
 type prunedBackend struct {
-	items     []Item
-	distCalls atomic.Int64
+	items    []Item
+	counters counterSet
 }
 
 // NewPrunedLinearBackend scans sequentially but skips full TED*
 // evaluations for items the padding lower bound proves out of range
 // (the §10 pruning strategy PrunedTopL pioneered, behind the unified
-// interface).
+// interface), and abandons the survivors mid-computation once their
+// running cost crosses the threshold.
 func NewPrunedLinearBackend(items []Item) Index {
 	return &prunedBackend{items: items}
 }
 
 func (b *prunedBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
-	res, _, err := prunedKNN(ctx, query, b.items, l, &b.distCalls)
+	res, _, err := prunedKNN(ctx, query, b.items, l, &b.counters)
 	return res, err
 }
 
@@ -279,6 +494,8 @@ func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbo
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	comp := tedComputers.Get().(*ted.Computer)
+	defer tedComputers.Put(comp)
 	var out []Neighbor
 	for i, it := range b.items {
 		if i%cancelCheckStride == 0 {
@@ -286,11 +503,9 @@ func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbo
 				return nil, err
 			}
 		}
-		if ItemLowerBound(query, it) > r {
-			continue
-		}
-		b.distCalls.Add(1)
-		if d := ItemDistance(query, it); d <= r {
+		d, o := itemDistanceAtMost(comp, query, it, r)
+		b.counters.observe(o)
+		if o == ted.OutcomeExact && d <= r {
 			out = append(out, Neighbor{Node: it.Node, Dist: d})
 		}
 	}
@@ -299,8 +514,9 @@ func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbo
 }
 
 func (b *prunedBackend) Len() int             { return len(b.items) }
-func (b *prunedBackend) DistanceCalls() int64 { return b.distCalls.Load() }
-func (b *prunedBackend) ResetStats()          { b.distCalls.Store(0) }
+func (b *prunedBackend) DistanceCalls() int64 { return b.counters.distCalls.Load() }
+func (b *prunedBackend) Counters() Counters   { return b.counters.snapshot() }
+func (b *prunedBackend) ResetStats()          { b.counters.reset() }
 
 // cancelCheckStride is how many candidates a sequential scan processes
 // between context checks.
@@ -309,9 +525,9 @@ const cancelCheckStride = 16
 // prunedKNN is the lower-bound-pruned top-l scan shared by the pruned
 // backend and the legacy PrunedTopL free function. The returned ranking
 // is exact with respect to the full TED* distance: every reported
-// neighbor carries its true distance, and the set equals the plain
-// scan's up to equal-distance ties.
-func prunedKNN(ctx context.Context, query Item, items []Item, l int, calls *atomic.Int64) ([]Neighbor, PruneStats, error) {
+// neighbor carries its true distance and the set is the canonical
+// (distance, node) top-l, identical to a full scan's.
+func prunedKNN(ctx context.Context, query Item, items []Item, l int, counters *counterSet) ([]Neighbor, PruneStats, error) {
 	var stats PruneStats
 	if l <= 0 || len(items) == 0 {
 		return nil, stats, ctx.Err()
@@ -336,6 +552,9 @@ func prunedKNN(ctx context.Context, query Item, items []Item, l int, calls *atom
 		return cs[i].it.Node < cs[j].it.Node
 	})
 
+	comp := tedComputers.Get().(*ted.Computer)
+	defer tedComputers.Put(comp)
+
 	var results []Neighbor
 	kth := func() int {
 		if len(results) < l {
@@ -356,17 +575,32 @@ func prunedKNN(ctx context.Context, query Item, items []Item, l int, calls *atom
 				return nil, stats, err
 			}
 		}
-		if t := kth(); t >= 0 && c.lb > t {
+		t := kth()
+		if t >= 0 && c.lb > t {
 			stats.PrunedByBound++
+			if counters != nil {
+				counters.lbPrunes.Add(1)
+			}
 			continue
 		}
-		stats.FullEvaluations++
-		if calls != nil {
-			calls.Add(1)
+		budget := ted.Unbounded
+		if t >= 0 {
+			budget = t
 		}
-		d := ItemDistance(query, c.it)
-		if t := kth(); t < 0 || d < t || (d == t && len(results) < l) {
-			insert(Neighbor{Node: c.it.Node, Dist: d})
+		d, out := itemDistanceAtMost(comp, query, c.it, budget)
+		if counters != nil {
+			counters.observe(out)
+		}
+		switch out {
+		case ted.OutcomeExact:
+			stats.FullEvaluations++
+			if t < 0 || d <= t {
+				insert(Neighbor{Node: c.it.Node, Dist: d})
+			}
+		case ted.OutcomeAborted:
+			stats.EarlyExits++
+		default:
+			stats.PrunedByBound++
 		}
 	}
 	return results, stats, nil
@@ -377,6 +611,13 @@ func prunedKNN(ctx context.Context, query Item, items []Item, l int, calls *atom
 // ctx.Err() in that case. Slots already handed to workers still
 // complete, so fn must stay safe to run after cancellation.
 func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ParallelForCtxWorkers(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
+// ParallelForCtxWorkers is ParallelForCtx with the worker index exposed,
+// so callers can give each goroutine its own scratch state (for example
+// a pooled ted.Computer). Worker indexes are dense in [0, workers).
+func ParallelForCtxWorkers(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -391,7 +632,7 @@ func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 					return err
 				}
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return ctx.Err()
 	}
@@ -399,12 +640,12 @@ func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	done := ctx.Done()
 feed:

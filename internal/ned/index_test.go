@@ -37,9 +37,25 @@ func allTestBackends(items []Item) map[string]Index {
 	}
 }
 
+// exhaustiveKNN is the trusted oracle: every distance evaluated in full
+// with the plain (unbudgeted) ItemDistance, canonically sorted.
+func exhaustiveKNN(query Item, items []Item, l int) []Neighbor {
+	all := make([]Neighbor, len(items))
+	for i, it := range items {
+		all[i] = Neighbor{Node: it.Node, Dist: ItemDistance(query, it)}
+	}
+	sortNeighborsCanonical(all)
+	if l > len(all) {
+		l = len(all)
+	}
+	return all[:l]
+}
+
 // TestBackendsAgree checks the unified Index contract directly: every
-// backend returns the same KNN distance multiset and the same Range
-// result set on random graphs.
+// backend returns results identical — distances AND nodes, not just the
+// distance multiset — to the exhaustive unbudgeted scan, on both KNN
+// and Range. This is what makes the budget pipeline safe: thresholds
+// may only skip work, never change answers.
 func TestBackendsAgree(t *testing.T) {
 	ctx := context.Background()
 	for trial := int64(0); trial < 3; trial++ {
@@ -52,14 +68,14 @@ func TestBackendsAgree(t *testing.T) {
 		backends := allTestBackends(items)
 		query := NewItem(randomTestGraph(50, 100, 90+trial), 0, 2, false)
 
-		ref, err := backends["linear"].KNN(ctx, query, 9)
-		if err != nil {
-			t.Fatal(err)
+		ref := exhaustiveKNN(query, items, 9)
+		var refRange []Neighbor
+		for _, it := range items {
+			if d := ItemDistance(query, it); d <= 3 {
+				refRange = append(refRange, Neighbor{Node: it.Node, Dist: d})
+			}
 		}
-		refRange, err := backends["linear"].Range(ctx, query, 3)
-		if err != nil {
-			t.Fatal(err)
-		}
+		sortNeighborsCanonical(refRange)
 		for name, ix := range backends {
 			if ix.Len() != len(items) {
 				t.Errorf("%s: Len = %d, want %d", name, ix.Len(), len(items))
@@ -68,25 +84,26 @@ func TestBackendsAgree(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s KNN: %v", name, err)
 			}
-			for i := range got {
-				if got[i].Dist != ref[i].Dist {
-					t.Errorf("trial %d %s: KNN dists %v, linear %v", trial, name, got, ref)
-					break
-				}
+			if fmt.Sprint(got) != fmt.Sprint(ref) {
+				t.Errorf("trial %d %s: KNN %v, exhaustive %v", trial, name, got, ref)
 			}
 			gotRange, err := ix.Range(ctx, query, 3)
 			if err != nil {
 				t.Fatalf("%s Range: %v", name, err)
 			}
 			if fmt.Sprint(gotRange) != fmt.Sprint(refRange) {
-				t.Errorf("trial %d %s: Range %v, linear %v", trial, name, gotRange, refRange)
+				t.Errorf("trial %d %s: Range %v, exhaustive %v", trial, name, gotRange, refRange)
 			}
 			if ix.DistanceCalls() == 0 {
 				t.Errorf("%s: DistanceCalls stayed 0 after queries", name)
 			}
+			c := ix.Counters()
+			if c.DistanceCalls != ix.DistanceCalls() {
+				t.Errorf("%s: Counters.DistanceCalls %d != DistanceCalls %d", name, c.DistanceCalls, ix.DistanceCalls())
+			}
 			ix.ResetStats()
-			if ix.DistanceCalls() != 0 {
-				t.Errorf("%s: ResetStats did not zero the counter", name)
+			if ix.DistanceCalls() != 0 || ix.Counters() != (Counters{}) {
+				t.Errorf("%s: ResetStats did not zero the counters", name)
 			}
 		}
 	}

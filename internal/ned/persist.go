@@ -2,6 +2,7 @@ package ned
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -33,10 +34,18 @@ func WriteSignatures(w io.Writer, sigs []Signature) error {
 	return nil
 }
 
-// ReadSignatures parses the WriteSignatures format.
+// maxSignatureLine caps how long one serialized signature line may be.
+// A line is ~7 bytes per tree node, so 64 MiB accommodates signatures of
+// several million nodes — far beyond any k-adjacent tree this library
+// produces — while still bounding memory against corrupt input.
+const maxSignatureLine = 64 << 20
+
+// ReadSignatures parses the WriteSignatures format. Lines longer than
+// maxSignatureLine yield an error naming the offending line rather than
+// a silent truncation.
 func ReadSignatures(r io.Reader) ([]Signature, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxSignatureLine)
 	var out []Signature
 	lineNo := 0
 	for sc.Scan() {
@@ -68,7 +77,10 @@ func ReadSignatures(r io.Reader) ([]Signature, error) {
 		out = append(out, Signature{Node: graph.NodeID(node), K: k, Tree: t})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ned: scanning signatures: %w", err)
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("ned: line %d: signature line exceeds %d bytes: %w", lineNo+1, maxSignatureLine, err)
+		}
+		return nil, fmt.Errorf("ned: line %d: scanning signatures: %w", lineNo+1, err)
 	}
 	return out, nil
 }

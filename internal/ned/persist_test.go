@@ -1,0 +1,103 @@
+package ned
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ned/internal/graph"
+	"ned/internal/tree"
+)
+
+// TestSignaturesRoundTripLarge serializes a signature whose encoded line
+// is far past the old 1 MiB scanner cap (which used to fail the whole
+// read) and checks it survives a round trip bit-for-bit.
+func TestSignaturesRoundTripLarge(t *testing.T) {
+	// A 600k-node star encodes as ~1.2 MB of "0," repetitions.
+	const n = 600_000
+	parent := make([]int32, n)
+	parent[0] = -1
+	big := tree.MustNew(parent)
+	sigs := []Signature{
+		{Node: 7, K: 3, Tree: big},
+		{Node: 8, K: 3, Tree: tree.Path(5)},
+	}
+	var buf bytes.Buffer
+	if err := WriteSignatures(&buf, sigs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1<<20 {
+		t.Fatalf("test line only %d bytes; expected to exceed the old 1 MiB cap", buf.Len())
+	}
+	got, err := ReadSignatures(&buf)
+	if err != nil {
+		t.Fatalf("ReadSignatures: %v", err)
+	}
+	if len(got) != len(sigs) {
+		t.Fatalf("got %d signatures, want %d", len(got), len(sigs))
+	}
+	for i, g := range got {
+		if g.Node != sigs[i].Node || g.K != sigs[i].K {
+			t.Errorf("signature %d header mismatch: %+v", i, g)
+		}
+		if !tree.Isomorphic(g.Tree, sigs[i].Tree) || g.Tree.Size() != sigs[i].Tree.Size() {
+			t.Errorf("signature %d tree did not round-trip", i)
+		}
+	}
+}
+
+// TestReadSignaturesTooLongNamesLine: a line exceeding the cap must
+// produce an error naming the offending line, not a silent truncation.
+func TestReadSignaturesTooLongNamesLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# header\n")
+	sb.WriteString("1 2 0\n")
+	sb.WriteString("2 2 ")
+	sb.WriteString(strings.Repeat("0,", maxSignatureLine/2+8))
+	sb.WriteString("\n")
+	_, err := ReadSignatures(strings.NewReader(sb.String()))
+	if err == nil {
+		t.Fatal("expected an error for an over-long line")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error does not name the offending line: %v", err)
+	}
+	if !strings.Contains(err.Error(), "too long") && !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("error does not explain the length cap: %v", err)
+	}
+}
+
+func TestReadSignaturesMalformedNamesLine(t *testing.T) {
+	in := "# header\n1 2 0\nnot-a-number 2 0\n"
+	_, err := ReadSignatures(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("malformed line not named: %v", err)
+	}
+}
+
+func TestSignaturesFileRoundTrip(t *testing.T) {
+	g := randomTestGraph(40, 90, 21)
+	var nodes []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		nodes = append(nodes, graph.NodeID(v))
+	}
+	sigs := Signatures(g, nodes, 2)
+	path := t.TempDir() + "/sigs.txt"
+	if err := SaveSignaturesFile(path, sigs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSignaturesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sigs) {
+		t.Fatalf("got %d signatures, want %d", len(got), len(sigs))
+	}
+	for i := range got {
+		if fmt.Sprint(got[i].Node, got[i].K, tree.Encode(got[i].Tree)) !=
+			fmt.Sprint(sigs[i].Node, sigs[i].K, tree.Encode(sigs[i].Tree)) {
+			t.Fatalf("signature %d did not round-trip", i)
+		}
+	}
+}

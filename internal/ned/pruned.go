@@ -25,8 +25,9 @@ func PrunedTopL(query Signature, candidates []Signature, l int) ([]Neighbor, Pru
 
 // PruneStats reports the work profile of a pruned query.
 type PruneStats struct {
-	FullEvaluations int // candidates that paid a full TED* computation
+	FullEvaluations int // candidates whose TED* computation ran to completion
 	PrunedByBound   int // candidates skipped via the padding lower bound
+	EarlyExits      int // candidates abandoned mid-TED* once the budget was crossed
 }
 
 // ItemsOf converts precomputed signatures into index items.

@@ -1,0 +1,172 @@
+package ted
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ned/internal/tree"
+)
+
+// TestDistanceAtMostUnboundedEqualsDistance is the core budget
+// equivalence property: with no budget, the budgeted path must be
+// bit-identical to the plain Distance on random trees.
+func TestDistanceAtMostUnboundedEqualsDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewComputer()
+	for trial := 0; trial < 300; trial++ {
+		t1 := tree.Random(rng, 1+rng.Intn(40), 1+rng.Intn(5))
+		t2 := tree.Random(rng, 1+rng.Intn(40), 1+rng.Intn(5))
+		want := Distance(t1, t2)
+		got, out := c.DistanceAtMost(t1, t2, Unbounded)
+		if out != OutcomeExact {
+			t.Fatalf("trial %d: unbounded budget gave outcome %d", trial, out)
+		}
+		if got != want {
+			t.Fatalf("trial %d: DistanceAtMost(∞) = %d, Distance = %d", trial, got, want)
+		}
+	}
+}
+
+// TestDistanceAtMostBudgetContract sweeps every budget from 0 past the
+// true distance on random pairs: an exact outcome must reproduce
+// Distance bit-for-bit, and any early exit must (a) return a value
+// strictly above the budget that (b) never exceeds the true distance —
+// so an early exit proves the true distance exceeds the budget.
+func TestDistanceAtMostBudgetContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := NewComputer()
+	for trial := 0; trial < 120; trial++ {
+		t1 := tree.Random(rng, 1+rng.Intn(35), 1+rng.Intn(5))
+		t2 := tree.Random(rng, 1+rng.Intn(35), 1+rng.Intn(5))
+		want := Distance(t1, t2)
+		for budget := 0; budget <= want+2; budget++ {
+			got, out := c.DistanceAtMost(t1, t2, budget)
+			if out == OutcomeExact {
+				if got != want {
+					t.Fatalf("trial %d budget %d: exact %d != Distance %d", trial, budget, got, want)
+				}
+				continue
+			}
+			if got <= budget {
+				t.Fatalf("trial %d budget %d: early exit returned %d <= budget", trial, budget, got)
+			}
+			if got > want {
+				t.Fatalf("trial %d budget %d: early exit bound %d exceeds true distance %d", trial, budget, got, want)
+			}
+			if want <= budget {
+				t.Fatalf("trial %d budget %d: early exit but true distance %d fits the budget", trial, budget, want)
+			}
+		}
+		// At exactly the true distance the computation must go exact.
+		if got, out := c.DistanceAtMost(t1, t2, want); out != OutcomeExact || got != want {
+			t.Fatalf("trial %d: budget == distance gave (%d, %d)", trial, got, out)
+		}
+	}
+}
+
+// TestDistanceAtMostWideLevels drives the in-matching Hungarian abort:
+// wide same-size levels force large matchings whose partial cost crosses
+// small budgets mid-solve.
+func TestDistanceAtMostWideLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := NewComputer()
+	for trial := 0; trial < 20; trial++ {
+		t1 := tree.RandomShape(rng, []int{1, 4, 12, 24})
+		t2 := tree.RandomShape(rng, []int{1, 4, 12, 24})
+		want := Distance(t1, t2)
+		for _, budget := range []int{0, 1, want / 2, want - 1, want, want + 5} {
+			if budget < 0 {
+				continue
+			}
+			got, out := c.DistanceAtMost(t1, t2, budget)
+			if out == OutcomeExact {
+				if got != want {
+					t.Fatalf("trial %d budget %d: exact %d != %d", trial, budget, got, want)
+				}
+			} else if got <= budget || got > want {
+				t.Fatalf("trial %d budget %d: bad bound %d (true %d)", trial, budget, got, want)
+			}
+		}
+	}
+}
+
+// TestComputerReuseMatchesFresh checks that a Computer's recycled
+// scratch never leaks state between comparisons: interleaved pairs give
+// the same answers as fresh computations.
+func TestComputerReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c := NewComputer()
+	pairs := make([][2]*tree.Tree, 40)
+	for i := range pairs {
+		pairs[i] = [2]*tree.Tree{
+			tree.Random(rng, 1+rng.Intn(30), 1+rng.Intn(4)),
+			tree.Random(rng, 1+rng.Intn(30), 1+rng.Intn(4)),
+		}
+	}
+	want := make([]int, len(pairs))
+	for i, p := range pairs {
+		want[i] = Distance(p[0], p[1])
+	}
+	for round := 0; round < 3; round++ {
+		for i, p := range pairs {
+			if got := c.Distance(p[0], p[1]); got != want[i] {
+				t.Fatalf("round %d pair %d: reused computer gave %d, want %d", round, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestDistanceAtMostSeedsFromLowerBound: a budget below the padding
+// lower bound must be rejected without any matching work.
+func TestDistanceAtMostSeedsFromLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	c := NewComputer()
+	for trial := 0; trial < 60; trial++ {
+		t1 := tree.Random(rng, 5+rng.Intn(30), 1+rng.Intn(4))
+		t2 := tree.Random(rng, 5+rng.Intn(30), 1+rng.Intn(4))
+		lb := LowerBound(t1, t2)
+		if lb == 0 {
+			continue
+		}
+		d, out := c.DistanceAtMost(t1, t2, lb-1)
+		if out != OutcomePruned {
+			t.Fatalf("trial %d: budget %d below bound %d gave outcome %d", trial, lb-1, lb, out)
+		}
+		if d != lb {
+			t.Fatalf("trial %d: pruned value %d, want the lower bound %d", trial, d, lb)
+		}
+	}
+}
+
+func BenchmarkComputerDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	t1 := tree.RandomShape(rng, []int{1, 8, 40, 120})
+	t2 := tree.RandomShape(rng, []int{1, 8, 44, 110})
+	c := NewComputer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Distance(t1, t2)
+	}
+}
+
+// ExampleComputer demonstrates the budget-aware hot path: one Computer
+// per worker, exact distances when affordable, early exits otherwise.
+func ExampleComputer() {
+	star := tree.Star(9) // root + 8 leaves
+	path := tree.Path(9) // a chain of 9 nodes
+	c := NewComputer()
+
+	exact := c.Distance(star, path)
+	fmt.Println("exact:", exact)
+
+	// A KNN search whose current kth-best is 3 only needs to know
+	// whether this pair beats it; the computation stops the moment it
+	// provably cannot.
+	d, outcome := c.DistanceAtMost(star, path, 3)
+	fmt.Println("within budget 3:", outcome == OutcomeExact, "bound:", d > 3)
+	// Output:
+	// exact: 15
+	// within budget 3: false bound: true
+}

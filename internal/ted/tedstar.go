@@ -35,9 +35,7 @@ package ted
 
 import (
 	"fmt"
-	"sort"
 
-	"ned/internal/hungarian"
 	"ned/internal/tree"
 )
 
@@ -61,9 +59,13 @@ type Report struct {
 // pair is evaluated in a canonical orientation (smaller tree first, ties
 // broken by height then AHU encoding), which makes the function exactly
 // symmetric and independent of argument order.
+//
+// Distance borrows a pooled Computer; hot loops that can hold one per
+// worker should use Computer.Distance directly.
 func Distance(t1, t2 *tree.Tree) int {
-	t1, t2 = orient(t1, t2)
-	d, _ := compute(t1, t2)
+	c := computerPool.Get().(*Computer)
+	d := c.Distance(t1, t2)
+	computerPool.Put(c)
 	return d
 }
 
@@ -74,8 +76,19 @@ func Distance(t1, t2 *tree.Tree) int {
 // Under matching ties DistanceOrdered(a,b) may differ slightly from
 // DistanceOrdered(b,a); both are valid edit-script costs.
 func DistanceOrdered(t1, t2 *tree.Tree) int {
-	d, _ := compute(t1, t2)
+	c := computerPool.Get().(*Computer)
+	d := c.DistanceOrdered(t1, t2)
+	computerPool.Put(c)
 	return d
+}
+
+// DistanceAtMost is the budgeted TED* on a pooled Computer; see
+// Computer.DistanceAtMost for the contract.
+func DistanceAtMost(t1, t2 *tree.Tree, budget int) (int, Outcome) {
+	c := computerPool.Get().(*Computer)
+	d, out := c.DistanceAtMost(t1, t2, budget)
+	computerPool.Put(c)
+	return d, out
 }
 
 // DistanceReport returns the TED* distance together with the per-level
@@ -175,15 +188,14 @@ func WeightedDistance(t1, t2 *tree.Tree, w Weights) float64 {
 }
 
 // compute runs Algorithm 1 and returns the integer distance plus report.
+// The matching machinery itself — children collections, canonization,
+// equal-label pre-match, and the budgeted level sweep — lives on
+// Computer (computer.go); this wrapper only arranges the report.
 func compute(t1, t2 *tree.Tree) (int, Report) {
-	s := newSession(t1, t2)
+	c := computerPool.Get().(*Computer)
 	rep := Report{}
-	total := 0
-	for d := s.maxDepth; d >= 0; d-- {
-		p, m := s.level(d)
-		total += p + m
-		rep.Levels = append(rep.Levels, LevelCost{Depth: d, Padding: p, Matching: m})
-	}
+	total, _ := c.run(t1, t2, int64(Unbounded), &rep)
+	computerPool.Put(c)
 	// Report levels in root-down order for readability.
 	for i, j := 0, len(rep.Levels)-1; i < j; i, j = i+1, j-1 {
 		rep.Levels[i], rep.Levels[j] = rep.Levels[j], rep.Levels[i]
@@ -193,285 +205,16 @@ func compute(t1, t2 *tree.Tree) (int, Report) {
 }
 
 func computeWeighted(t1, t2 *tree.Tree, w Weights) (float64, Report) {
-	s := newSession(t1, t2)
+	c := computerPool.Get().(*Computer)
 	rep := Report{}
+	c.run(t1, t2, int64(Unbounded), &rep)
+	computerPool.Put(c)
 	total := 0.0
-	for d := s.maxDepth; d >= 0; d-- {
-		p, m := s.level(d)
-		total += w.Pad(d)*float64(p) + w.Move(d)*float64(m)
-		rep.Levels = append(rep.Levels, LevelCost{Depth: d, Padding: p, Matching: m})
+	for _, lc := range rep.Levels {
+		total += w.Pad(lc.Depth)*float64(lc.Padding) + w.Move(lc.Depth)*float64(lc.Matching)
 	}
 	rep.Distance = int(total)
 	return total, rep
-}
-
-// session holds the mutable per-comparison state: current canonization
-// labels for the most recently processed level of each tree.
-type session struct {
-	t1, t2   *tree.Tree
-	maxDepth int
-
-	// Labels of nodes at the previously processed depth (depth+1 when
-	// level(depth) runs), indexed by tree-node ID. Only entries for that
-	// depth are meaningful.
-	lab1, lab2 []int32
-
-	// prevPad is P_{i+1}: the padding cost of the previously processed
-	// (deeper) level.
-	prevPad int
-
-	// scratch
-	costBuf []int64
-}
-
-func newSession(t1, t2 *tree.Tree) *session {
-	maxD := t1.Height()
-	if h := t2.Height(); h > maxD {
-		maxD = h
-	}
-	return &session{
-		t1:       t1,
-		t2:       t2,
-		maxDepth: maxD,
-		lab1:     make([]int32, t1.Size()),
-		lab2:     make([]int32, t2.Size()),
-	}
-}
-
-// level executes the six steps of Algorithm 1 for one depth and returns
-// (P_d, M_d). It must be called with strictly decreasing depths starting
-// at maxDepth.
-func (s *session) level(d int) (padding, matching int) {
-	lo1, hi1 := s.t1.LevelRange(d)
-	lo2, hi2 := s.t2.LevelRange(d)
-	n1 := int(hi1 - lo1)
-	n2 := int(hi2 - lo2)
-
-	// Step 1: node padding (lines 2–6). The smaller side is padded with
-	// leaf nodes that have no parent and no children.
-	padding = n1 - n2
-	if padding < 0 {
-		padding = -padding
-	}
-	n := n1
-	if n2 > n {
-		n = n2
-	}
-	if n == 0 {
-		s.prevPad = padding
-		return padding, 0
-	}
-
-	// Step 2: node canonization (lines 7–8, Algorithm 2). Children
-	// collections use the labels assigned when depth d+1 was processed
-	// (after its re-canonization), exactly as §5.3 prescribes.
-	coll1 := s.collections(s.t1, s.lab1, lo1, hi1)
-	coll2 := s.collections(s.t2, s.lab2, lo2, hi2)
-	canonize(coll1, coll2, s.lab1[lo1:hi1], s.lab2[lo2:hi2])
-
-	// Steps 3–4: complete weighted bipartite graph + minimum matching
-	// (lines 9–14, Algorithm 3). Row r = node lo1+r of t1 (rows >= n1 are
-	// padded), column c = node lo2+c of t2 (columns >= n2 are padded).
-	// Padded nodes have empty collections.
-	//
-	// Optimization over the naive O(n³) matching: the edge weight is the
-	// symmetric multiset difference, which is a metric on collections, so
-	// any zero-weight pair (equal canonization labels — padded nodes
-	// share the label of childless real nodes) belongs to some optimal
-	// matching by a standard exchange argument. Greedily pre-matching
-	// equal-label pairs leaves the Hungarian solver only the mismatched
-	// residue, which is typically a small fraction of a level. The
-	// pre-matched pairs are label-identical, so re-canonization is a
-	// no-op for them and the choice within a label group is unobservable.
-	rows, cols := s.leftovers(coll1, coll2, lo1, lo2, n1, n2, n)
-	ln := len(rows)
-	var m int64
-	var assign []int
-	if ln > 0 {
-		if cap(s.costBuf) < ln*ln {
-			s.costBuf = make([]int64, ln*ln)
-		}
-		cost := s.costBuf[:ln*ln]
-		for ri, r := range rows {
-			var sr []int32
-			if r < n1 {
-				sr = coll1[r]
-			}
-			for ci, c := range cols {
-				var sc []int32
-				if c < n2 {
-					sc = coll2[c]
-				}
-				cost[ri*ln+ci] = symmetricDifference(sr, sc)
-			}
-		}
-		m, assign = hungarian.SolveFlat(cost, ln)
-	}
-
-	// Step 5: matching cost (line 15, Equation 5).
-	diff := int(m) - s.prevPad
-	if diff < 0 {
-		// Cannot happen per the correctness proof (§6); clamp defensively
-		// so arithmetic noise can never produce a negative distance.
-		diff = 0
-	}
-	matching = diff / 2
-
-	// Step 6: node re-canonization (lines 16–19). The smaller level's
-	// real nodes adopt the labels of their matched partners so the next
-	// (shallower) level sees identical child-label multisets. Labels of
-	// padded nodes never propagate (they have no parent), so only real
-	// leftover nodes need updating (pre-matched pairs already agree).
-	if n1 < n2 {
-		for ri, r := range rows {
-			if r < n1 {
-				s.lab1[lo1+int32(r)] = s.lab2[lo2+int32(cols[assign[ri]])]
-			}
-		}
-	} else {
-		for ri, r := range rows {
-			if c := cols[assign[ri]]; c < n2 && r < n1 {
-				s.lab2[lo2+int32(c)] = s.lab1[lo1+int32(r)]
-			}
-		}
-	}
-	s.prevPad = padding
-	return padding, matching
-}
-
-// leftovers pre-matches equal-label pairs across the two (padded) levels
-// and returns the residual row and column indices that still need the
-// optimal matcher. Indices >= n1 (rows) or >= n2 (cols) denote padded
-// nodes, whose label is the label shared by childless nodes (or a
-// reserved fresh label when no real node is childless).
-func (s *session) leftovers(coll1, coll2 [][]int32, lo1, lo2 int32, n1, n2, n int) (rows, cols []int) {
-	// Label of a padded node: pads have empty collections. canonize
-	// assigned the empty collection the smallest label IF any real node
-	// at this level is childless; otherwise pads get a label below every
-	// real label. Empty collections sort first in lessCollections, so
-	// label 0 is the empty collection's label whenever one exists; use
-	// -1 as the pad label when no real node is childless.
-	padLabel := int32(-1)
-	for r := 0; r < n1; r++ {
-		if len(coll1[r]) == 0 {
-			padLabel = s.lab1[lo1+int32(r)]
-			break
-		}
-	}
-	if padLabel == -1 {
-		for c := 0; c < n2; c++ {
-			if len(coll2[c]) == 0 {
-				padLabel = s.lab2[lo2+int32(c)]
-				break
-			}
-		}
-	}
-	labelOfRow := func(r int) int32 {
-		if r < n1 {
-			return s.lab1[lo1+int32(r)]
-		}
-		return padLabel
-	}
-	labelOfCol := func(c int) int32 {
-		if c < n2 {
-			return s.lab2[lo2+int32(c)]
-		}
-		return padLabel
-	}
-	// Count labels on the column side, then stream rows against it.
-	colCount := make(map[int32]int, n)
-	for c := 0; c < n; c++ {
-		colCount[labelOfCol(c)]++
-	}
-	for r := 0; r < n; r++ {
-		l := labelOfRow(r)
-		if colCount[l] > 0 {
-			colCount[l]--
-		} else {
-			rows = append(rows, r)
-		}
-	}
-	// Columns not consumed by the pre-match are leftovers. Recount.
-	rowCount := make(map[int32]int, n)
-	for r := 0; r < n; r++ {
-		rowCount[labelOfRow(r)]++
-	}
-	for c := 0; c < n; c++ {
-		l := labelOfCol(c)
-		if rowCount[l] > 0 {
-			rowCount[l]--
-		} else {
-			cols = append(cols, c)
-		}
-	}
-	return rows, cols
-}
-
-// collections builds S(x) (Definition 6) for every real node in
-// [lo, hi): the sorted multiset of the node's children's current labels.
-func (s *session) collections(t *tree.Tree, lab []int32, lo, hi int32) [][]int32 {
-	out := make([][]int32, hi-lo)
-	for v := lo; v < hi; v++ {
-		kids := t.Children(v)
-		if len(kids) == 0 {
-			continue
-		}
-		c := make([]int32, len(kids))
-		for i, k := range kids {
-			c[i] = lab[k]
-		}
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
-		out[v-lo] = c
-	}
-	return out
-}
-
-// canonize implements Algorithm 2: it assigns dense labels to the nodes
-// of both levels such that two nodes receive equal labels iff their
-// children-label collections are equivalent multisets (Lemma 1). The
-// collections are ordered lexicographically (size first) and ranks become
-// labels, giving O(n log n) behaviour.
-func canonize(coll1, coll2 [][]int32, out1, out2 []int32) {
-	type entry struct {
-		coll []int32
-		side int // 0 = t1, 1 = t2
-		idx  int
-	}
-	entries := make([]entry, 0, len(coll1)+len(coll2))
-	for i, c := range coll1 {
-		entries = append(entries, entry{c, 0, i})
-	}
-	for i, c := range coll2 {
-		entries = append(entries, entry{c, 1, i})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		return lessCollections(entries[i].coll, entries[j].coll)
-	})
-	label := int32(0)
-	for i, e := range entries {
-		if i > 0 && !equalCollections(entries[i-1].coll, e.coll) {
-			label++
-		}
-		if e.side == 0 {
-			out1[e.idx] = label
-		} else {
-			out2[e.idx] = label
-		}
-	}
-}
-
-// lessCollections orders collections by size then lexicographically, the
-// order Algorithm 2 prescribes ("(2) < (0,0) < (0,1)").
-func lessCollections(a, b []int32) bool {
-	if len(a) != len(b) {
-		return len(a) < len(b)
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }
 
 func equalCollections(a, b []int32) bool {

@@ -7,12 +7,20 @@ import (
 
 // Canonical returns the AHU canonical encoding of the unordered tree: a
 // parenthesization in which each node's child encodings are sorted, so
-// two trees are isomorphic iff their encodings are equal. Runs in
-// O(n log n) amortized.
+// two trees are isomorphic iff their encodings are equal. The encoding
+// is derived once per tree and cached (TED*'s canonical pair
+// orientation consults it on every same-size, same-height comparison),
+// so repeated queries against the same signatures never re-derive it.
 //
 // This is the test oracle for TED* identity (δ = 0 iff isomorphic, §7.1)
 // and for Lemma 1's canonization-label semantics.
 func Canonical(t *Tree) string {
+	t.canonOnce.Do(func() { t.canon = computeCanonical(t) })
+	return t.canon
+}
+
+// computeCanonical derives the AHU encoding in O(n log n) amortized.
+func computeCanonical(t *Tree) string {
 	enc := make([]string, t.Size())
 	// Level order guarantees children have larger IDs, so a reverse
 	// sweep sees every child before its parent.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Tree is an unordered rooted tree in level order. Node 0 is the root;
@@ -30,6 +31,13 @@ type Tree struct {
 	// children in CSR form, derived from parent.
 	childOff []int32
 	childIDs []int32
+
+	// canon caches the AHU canonical encoding. Signatures are queried
+	// repeatedly (every canonical orientation of a TED* pair may consult
+	// it), so it is derived once, lazily, and shared by concurrent
+	// queries.
+	canonOnce sync.Once
+	canon     string
 }
 
 // New constructs a Tree from a parent vector. parent[0] must be -1 and

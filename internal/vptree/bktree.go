@@ -2,6 +2,7 @@ package vptree
 
 import (
 	"context"
+	"math"
 	"sync/atomic"
 )
 
@@ -20,6 +21,8 @@ import (
 // counter is atomic and searches never mutate the tree.
 type BKTree[T any] struct {
 	dist  func(a, b T) int
+	bdist func(a, b T, budget int) (int, bool) // optional; see SetBudgetedMetric
+	less  func(a, b T) bool                    // optional; see SetTieBreak
 	root  *bkNode[T]
 	count int
 
@@ -29,6 +32,46 @@ type BKTree[T any] struct {
 type bkNode[T any] struct {
 	point    T
 	children map[int]*bkNode[T]
+
+	// maxKey is the largest child bucket key, maintained on Insert: once
+	// the query's distance to point provably exceeds maxKey + w (w the
+	// search ring radius), no child window can overlap and the exact
+	// distance is irrelevant — the basis of the budgeted search.
+	maxKey int
+}
+
+// SetBudgetedMetric installs a budget-aware metric variant returning
+// either the exact distance (exact == true) or, when the distance
+// provably exceeds budget, any lower bound on it (exact == false).
+// Searches pass each node the largest distance that could still matter:
+// maxKey + w, beyond which the node is not a hit and no child ring
+// intersects the search window. Call before the first query; not safe
+// concurrently with searches.
+func (t *BKTree[T]) SetBudgetedMetric(b func(a, b T, budget int) (int, bool)) { t.bdist = b }
+
+// SetTieBreak installs a strict total order resolving equal distances in
+// KNN, making the result the k smallest (distance, less) pairs. Without
+// it, ties at the kth distance resolve by visit order. Call before the
+// first query; not safe concurrently with searches.
+func (t *BKTree[T]) SetTieBreak(less func(a, b T) bool) { t.less = less }
+
+// eval computes the query-to-node distance under the largest budget that
+// could matter there given ring radius w.
+func (t *BKTree[T]) eval(query T, n *bkNode[T], w int) (int, bool) {
+	t.distCalls.Add(1)
+	if t.bdist == nil || w == math.MaxInt {
+		return t.dist(query, n.point), true
+	}
+	budget := w
+	if n.children != nil {
+		if w >= math.MaxInt-n.maxKey {
+			return t.dist(query, n.point), true
+		}
+		if n.maxKey+w > budget {
+			budget = n.maxKey + w
+		}
+	}
+	return t.bdist(query, n.point, budget)
 }
 
 // NewBK builds a BK-tree by successive insertion. Insertion order is the
@@ -54,6 +97,9 @@ func (t *BKTree[T]) Insert(item T) {
 		d := t.dist(cur.point, item)
 		if cur.children == nil {
 			cur.children = make(map[int]*bkNode[T])
+		}
+		if d > cur.maxKey {
+			cur.maxKey = d
 		}
 		next, ok := cur.children[d]
 		if !ok {
@@ -107,9 +153,13 @@ func (t *BKTree[T]) RangeContext(ctx context.Context, query T, r int) ([]IntResu
 				return
 			}
 		}
-		d := t.dist(query, n.point)
+		d, exact := t.eval(query, n, r)
 		evals++
-		t.distCalls.Add(1)
+		if !exact {
+			// d > maxKey + r: not a hit, and no child ring [cd-r, cd+r]
+			// can reach the query's distance.
+			return
+		}
 		if d <= r {
 			out = append(out, IntResult[T]{n.point, d})
 		}
@@ -143,17 +193,24 @@ func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Max-heap by distance, fixed capacity k (small k: slice is fine).
+	// Sorted slice by (distance, tie-break), fixed capacity k (small k:
+	// a slice beats a heap).
 	var best []IntResult[T]
 	worst := func() int {
 		if len(best) < k {
-			return int(^uint(0) >> 1)
+			return math.MaxInt
 		}
 		return best[len(best)-1].Dist
 	}
+	before := func(a, b IntResult[T]) bool {
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		return t.less != nil && t.less(a.Item, b.Item)
+	}
 	add := func(r IntResult[T]) {
 		best = append(best, r)
-		for i := len(best) - 1; i > 0 && best[i].Dist < best[i-1].Dist; i-- {
+		for i := len(best) - 1; i > 0 && before(best[i], best[i-1]); i-- {
 			best[i], best[i-1] = best[i-1], best[i]
 		}
 		if len(best) > k {
@@ -173,10 +230,15 @@ func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult
 				return
 			}
 		}
-		d := t.dist(query, n.point)
+		d, exact := t.eval(query, n, worst())
 		evals++
-		t.distCalls.Add(1)
-		if len(best) < k || d < worst() {
+		if !exact {
+			// d > maxKey + worst: the point cannot rank and no child
+			// ring can overlap the current search window.
+			return
+		}
+		if len(best) < k || d < worst() ||
+			(t.less != nil && d == worst() && t.less(n.point, best[len(best)-1].Item)) {
 			add(IntResult[T]{n.point, d})
 		}
 		for cd, child := range n.children {

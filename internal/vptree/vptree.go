@@ -23,6 +23,16 @@ import (
 // metric axioms for search results to be exact.
 type Metric[T any] func(a, b T) float64
 
+// BudgetedMetric is a Metric that may stop early: it returns the exact
+// distance with exact == true, or — when the distance provably exceeds
+// budget — any lower bound on it with exact == false. Searches use the
+// budget to skip the tail of expensive evaluations (a TED* computation
+// can abandon a hopeless candidate mid-way) while staying exact: a
+// search only requests a budget when any distance above it can neither
+// enter the result set nor change a pruning decision it is about to
+// make.
+type BudgetedMetric[T any] func(a, b T, budget float64) (d float64, exact bool)
+
 // cancelCheckStride is how many metric evaluations a search performs
 // between context checks. TED* evaluations dominate the cost of a visit,
 // so a small stride keeps cancellation prompt without measurable
@@ -32,6 +42,8 @@ const cancelCheckStride = 16
 // Tree is an immutable vantage-point tree.
 type Tree[T any] struct {
 	dist  Metric[T]
+	bdist BudgetedMetric[T] // optional; see SetBudgetedMetric
+	less  func(a, b T) bool // optional; see SetTieBreak
 	root  *node[T]
 	count int
 
@@ -39,6 +51,38 @@ type Tree[T any] struct {
 	// Figure 9b experiment uses it to compare index vs scan work. Atomic
 	// so concurrent queries may share the tree.
 	distCalls atomic.Int64
+}
+
+// SetBudgetedMetric installs a budget-aware variant of the metric. KNN
+// passes each node the largest distance that could still matter there —
+// radius + tau for an internal node (beyond that the vantage ball is
+// provably sterile and the point itself cannot rank), tau alone for a
+// leaf — and Range does the same with r in place of tau. An evaluation
+// that exceeds its budget skips the inside subtree and the result set
+// without affecting exactness. Call before the first query; not safe
+// concurrently with searches.
+func (t *Tree[T]) SetBudgetedMetric(b BudgetedMetric[T]) { t.bdist = b }
+
+// SetTieBreak installs a strict total order used to resolve equal
+// distances in KNN, making the returned set deterministic and
+// backend-independent: the k smallest (distance, less) pairs. Without
+// it, ties at the kth distance resolve by visit order. Call before the
+// first query; not safe concurrently with searches.
+func (t *Tree[T]) SetTieBreak(less func(a, b T) bool) { t.less = less }
+
+// eval computes the distance from query to n's point under the largest
+// budget that could still matter at this node given the current search
+// radius tau.
+func (t *Tree[T]) eval(query T, n *node[T], tau float64) (d float64, exact bool) {
+	t.distCalls.Add(1)
+	if t.bdist == nil || tau >= inf() {
+		return t.dist(query, n.point), true
+	}
+	budget := tau
+	if n.inside != nil || n.beyond != nil {
+		budget = n.radius + tau
+	}
+	return t.bdist(query, n.point, budget)
 }
 
 type node[T any] struct {
@@ -113,18 +157,29 @@ type Result[T any] struct {
 	Dist float64
 }
 
-// resultHeap is a max-heap on Dist so the worst current hit is at the top.
-type resultHeap[T any] []Result[T]
+// resultHeap is a max-heap on (Dist, tie-break) so the worst current hit
+// is at the top. Without a tie-break, equal distances order by heap
+// mechanics alone, reproducing the historical visit-order ties.
+type resultHeap[T any] struct {
+	items []Result[T]
+	less  func(a, b T) bool
+}
 
-func (h resultHeap[T]) Len() int            { return len(h) }
-func (h resultHeap[T]) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h resultHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap[T]) Push(x interface{}) { *h = append(*h, x.(Result[T])) }
+func (h *resultHeap[T]) Len() int { return len(h.items) }
+func (h *resultHeap[T]) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return h.less != nil && h.less(b.Item, a.Item)
+}
+func (h *resultHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *resultHeap[T]) Push(x interface{}) { h.items = append(h.items, x.(Result[T])) }
 func (h *resultHeap[T]) Pop() interface{} {
-	old := *h
+	old := h.items
 	n := len(old)
 	x := old[n-1]
-	*h = old[:n-1]
+	h.items = old[:n-1]
 	return x
 }
 
@@ -145,7 +200,7 @@ func (t *Tree[T]) KNNContext(ctx context.Context, query T, k int) ([]Result[T], 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	h := &resultHeap[T]{}
+	h := &resultHeap[T]{less: t.less}
 	tau := inf()
 	evals := 0
 	var searchErr error
@@ -160,21 +215,30 @@ func (t *Tree[T]) KNNContext(ctx context.Context, query T, k int) ([]Result[T], 
 				return
 			}
 		}
-		d := t.dist(query, n.point)
+		d, exact := t.eval(query, n, tau)
 		evals++
-		t.distCalls.Add(1)
-		if d < tau || h.Len() < k {
+		if !exact {
+			// d exceeds every budget that matters here: it cannot enter
+			// the result set (d > tau) and the inside ball is provably
+			// sterile (d - tau > radius); only beyond can hold hits.
+			visit(n.beyond)
+			return
+		}
+		if h.Len() < k || d < tau ||
+			(t.less != nil && d == tau && t.less(n.point, h.items[0].Item)) {
 			heap.Push(h, Result[T]{n.point, d})
 			if h.Len() > k {
 				heap.Pop(h)
 			}
 			if h.Len() == k {
-				tau = (*h)[0].Dist
+				tau = h.items[0].Dist
 			}
 		}
 		// Visit the more promising side first; prune with the triangle
 		// inequality: the inside ball can contain a better hit only if
-		// d - tau < radius, the beyond region only if d + tau >= radius.
+		// d - tau < radius (its membership is strict, so even an exact
+		// tie on the bound cannot reach distance tau), the beyond region
+		// only if d + tau >= radius.
 		if d < n.radius {
 			visit(n.inside)
 			if h.Len() < k || d+tau >= n.radius {
@@ -224,9 +288,14 @@ func (t *Tree[T]) RangeContext(ctx context.Context, query T, r float64) ([]Resul
 				return
 			}
 		}
-		d := t.dist(query, n.point)
+		d, exact := t.eval(query, n, r)
 		evals++
-		t.distCalls.Add(1)
+		if !exact {
+			// d > radius + r: not a hit, and the inside ball cannot
+			// reach back within r; only beyond can hold hits.
+			visit(n.beyond)
+			return
+		}
 		if d <= r {
 			out = append(out, Result[T]{n.point, d})
 		}

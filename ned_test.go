@@ -348,7 +348,7 @@ func TestPublicPrunedQueries(t *testing.T) {
 			t.Fatalf("rank %d: %d vs %d", i, got[i].Dist, want[i].Dist)
 		}
 	}
-	if stats.FullEvaluations+stats.PrunedByBound != len(cands) {
+	if stats.FullEvaluations+stats.PrunedByBound+stats.EarlyExits != len(cands) {
 		t.Errorf("stats incomplete: %+v", stats)
 	}
 	if lb := DistanceLowerBound(q, cands[0]); lb > SignatureDistance(q, cands[0]) {
