@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus]
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
 //	         [-json results.json]
 //
@@ -41,7 +41,7 @@ type jsonResult struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
 		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
@@ -125,9 +125,13 @@ func main() {
 		emit(corpusExperiment(o))
 		ran++
 	}
+	if run("churn") {
+		emit(churnExperiment(o))
+		ran++
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus\n")
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn\n")
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
@@ -154,6 +158,138 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// churnExperiment measures the dynamic corpus under a mixed
+// insert/remove/query workload: each round removes a batch of indexed
+// nodes, re-inserts the batch evicted the round before, and times the
+// query set — so query latency is sampled while tombstones and append
+// tails accumulate and amortized rebuilds fire. After the final round
+// every backend's answers are checked node-for-node against a corpus
+// freshly built over the same live node set (the churn-equivalence
+// contract, here verified at benchmark scale).
+func churnExperiment(o bench.Options) bench.Table {
+	o.Normalize()
+	const kDepth = 3
+	const rounds = 6
+	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed})
+	g2 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed + 999})
+	rng := rand.New(rand.NewSource(o.Seed + 71))
+
+	queries := make([]ned.Signature, 0, o.Queries)
+	for _, v := range rng.Perm(g1.NumNodes())[:min(o.Queries, g1.NumNodes())] {
+		queries = append(queries, ned.NewSignature(g1, ned.NodeID(v), kDepth))
+	}
+	cands := make([]ned.NodeID, 0, o.Candidates)
+	for _, v := range rng.Perm(g2.NumNodes())[:min(o.Candidates, g2.NumNodes())] {
+		cands = append(cands, ned.NodeID(v))
+	}
+	batch := max(1, len(cands)/12)
+	t := bench.Table{
+		Title: "Dynamic corpus: KNN latency under churn",
+		Note: fmt.Sprintf("%d candidates, %d rounds x (%d removed + %d re-inserted + %d queries), PGP analog, k=%d",
+			len(cands), rounds, batch, batch, len(queries), kDepth),
+		Header: []string{"backend", "static ms/query", "churn ms/query", "mutations", "rebuilds", "final stale", "mismatches"},
+	}
+
+	ctx := context.Background()
+	for _, backend := range []ned.Backend{
+		ned.BackendLinear, ned.BackendPrunedLinear, ned.BackendVP, ned.BackendBK,
+	} {
+		corpus, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(backend), ned.WithNodes(cands))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		// Static baseline: the same queries against the untouched index.
+		if _, err := corpus.BatchKNN(ctx, queries, 1); err != nil { // materialize
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if _, err := corpus.BatchKNN(ctx, queries, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		staticPerQuery := float64(time.Since(start).Nanoseconds()) / 1e6 / float64(len(queries))
+
+		live := append([]ned.NodeID(nil), cands...)
+		var evicted []ned.NodeID
+		mutations := 0
+		var churnTotal time.Duration
+		for round := 0; round < rounds; round++ {
+			// Re-insert last round's eviction, then evict a fresh batch.
+			if err := corpus.Insert(evicted...); err != nil {
+				fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+				os.Exit(1)
+			}
+			live = append(live, evicted...)
+			mutations += len(evicted)
+			idx := rng.Perm(len(live))[:batch]
+			evicted = evicted[:0]
+			for _, i := range idx {
+				evicted = append(evicted, live[i])
+			}
+			if err := corpus.Remove(evicted...); err != nil {
+				fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+				os.Exit(1)
+			}
+			kept := live[:0]
+			gone := map[ned.NodeID]bool{}
+			for _, v := range evicted {
+				gone[v] = true
+			}
+			for _, v := range live {
+				if !gone[v] {
+					kept = append(kept, v)
+				}
+			}
+			live = kept
+			mutations += len(evicted)
+
+			start := time.Now()
+			if _, err := corpus.BatchKNN(ctx, queries, 1); err != nil {
+				fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+				os.Exit(1)
+			}
+			churnTotal += time.Since(start)
+		}
+		churnPerQuery := float64(churnTotal.Nanoseconds()) / 1e6 / float64(rounds*len(queries))
+
+		// Equivalence check against a from-scratch rebuild.
+		res, err := corpus.BatchKNN(ctx, queries, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		fresh, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(ned.BackendLinear), ned.WithNodes(live))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		want, err := fresh.BatchKNN(ctx, queries, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		mismatches := 0
+		for i := range res {
+			if len(res[i]) != len(want[i]) ||
+				(len(res[i]) > 0 && res[i][0] != want[i][0]) {
+				mismatches++
+			}
+		}
+
+		stats := corpus.Stats()
+		t.AddRow(backend.String(),
+			fmt.Sprintf("%.3f", staticPerQuery),
+			fmt.Sprintf("%.3f", churnPerQuery),
+			fmt.Sprint(mutations),
+			fmt.Sprint(stats.Rebuilds),
+			fmt.Sprintf("%.2f", stats.StaleRatio),
+			fmt.Sprint(mismatches))
+	}
+	return t
 }
 
 // corpusExperiment drives the public Corpus query engine end to end:

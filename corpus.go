@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,14 @@ var (
 	// a directed corpus, whose distance needs incoming and outgoing
 	// trees; query directed corpora by node ID via KNN.
 	ErrDirectedSignature = errors.New("ned: directed corpus requires node queries")
+	// ErrNoGraph reports a graph-requiring operation (Insert, UpdateGraph,
+	// Signature, KNN of an unindexed node) on a corpus loaded from a
+	// snapshot without WithGraph.
+	ErrNoGraph = errors.New("ned: corpus has no graph")
+	// ErrBadSnapshot reports a corpus snapshot LoadCorpus could not
+	// parse: corrupt input, an unsupported format version, or metadata
+	// disagreeing with the items.
+	ErrBadSnapshot = errors.New("ned: bad corpus snapshot")
 )
 
 // Backend selects the index structure a Corpus serves queries from. All
@@ -93,15 +102,21 @@ func ParseBackend(s string) (Backend, error) {
 	return 0, fmt.Errorf("%w: %q (want vp, bk, linear, or pruned)", ErrBadBackend, s)
 }
 
+// defaultRebuildThreshold is the staleness ratio above which a mutation
+// triggers an amortized full rebuild of tombstone-accumulating backends.
+const defaultRebuildThreshold = 0.25
+
 // CorpusOption configures a Corpus at construction.
 type CorpusOption func(*corpusConfig)
 
 type corpusConfig struct {
-	backend  Backend
-	workers  int
-	directed bool
-	nodes    []NodeID
-	nodesSet bool
+	backend   Backend
+	workers   int
+	directed  bool
+	nodes     []NodeID
+	nodesSet  bool
+	rebuildAt float64
+	graph     *Graph // LoadCorpus only; see WithGraph
 }
 
 // WithBackend selects the index backend (default BackendVP).
@@ -127,7 +142,8 @@ func WithDirected() CorpusOption {
 // WithNodes restricts the corpus to a node subset (for example a
 // candidate pool in a de-anonymization attack); an empty subset yields
 // an empty corpus. The default indexes every node of the graph. The
-// slice is copied.
+// slice is copied and deduplicated. LoadCorpus ignores this option (a
+// snapshot's items define its node set; Remove can shrink it).
 func WithNodes(nodes []NodeID) CorpusOption {
 	return func(c *corpusConfig) {
 		c.nodes = append([]NodeID(nil), nodes...)
@@ -135,24 +151,72 @@ func WithNodes(nodes []NodeID) CorpusOption {
 	}
 }
 
+// WithRebuildThreshold sets the staleness ratio above which a mutation
+// triggers an amortized full rebuild of the index (default 0.25). The
+// VP-tree and BK-tree serve removals via tombstones and (VP) insertions
+// via a linearly-scanned append tail; both cost every query a little
+// until a rebuild folds them back into tree structure. The ratio is
+// stale slots over total structure, so r = 0.25 rebuilds once a quarter
+// of the index is dead weight. r >= 1 disables amortized rebuilds
+// (call Rebuild yourself); r <= 0 restores the default. The in-place
+// scan backends never go stale and ignore the threshold.
+//
+// A rebuild reconstructs the metric tree under the corpus write lock,
+// so queries issued during it wait for the build to finish; workloads
+// that cannot absorb that pause should raise the threshold and call
+// Rebuild in their own maintenance windows.
+func WithRebuildThreshold(r float64) CorpusOption {
+	return func(c *corpusConfig) { c.rebuildAt = r }
+}
+
+// WithGraph attaches the backing graph to a corpus restored by
+// LoadCorpus, re-enabling the graph-requiring operations: Insert,
+// UpdateGraph, Signature, and queries for nodes outside the index. The
+// graph must be the one the snapshot was taken from (node IDs are
+// resolved against it). NewCorpus ignores this option — its graph
+// parameter wins.
+func WithGraph(g *Graph) CorpusOption {
+	return func(c *corpusConfig) { c.graph = g }
+}
+
 // Corpus is a thread-safe, context-aware NED query engine over the
 // nodes of one graph: the top-l / nearest-set similarity workloads of
 // §13.3–13.4 behind a single API, served from an interchangeable index
-// backend. Build one with NewCorpus; all methods may be called
-// concurrently.
+// backend. Build one with NewCorpus (or restore one with LoadCorpus);
+// all methods may be called concurrently.
 //
 // Signatures and the backend index are materialized lazily, in
 // parallel, on the first query, so constructing a Corpus is cheap and
 // programs that only query a few of several corpora never pay for the
 // rest.
+//
+// A Corpus is dynamic: Insert and Remove churn the indexed node set
+// with live index maintenance (in-place for the scan backends,
+// tombstone + append with amortized rebuilds for the metric trees — see
+// WithRebuildThreshold), UpdateGraph follows the graph through version
+// changes re-extracting only the signatures an edit actually affected,
+// and Snapshot/LoadCorpus persist the built index across processes.
+// Results after any mutation sequence are identical to a freshly built
+// corpus over the same live nodes. Mutations serialize behind a write
+// lock and wait for in-flight queries to drain.
 type Corpus struct {
-	g   *Graph
 	k   int
 	cfg corpusConfig
 
-	buildOnce sync.Once
-	buildErr  error
-	ixVal     atomic.Value // holds ned.Index once built
+	// mu orders mutations against queries: queries hold the read side
+	// for their whole duration (so the index they resolved cannot be
+	// swapped or edited under them), mutations and snapshots the write
+	// side.
+	mu      sync.RWMutex
+	g       *Graph              // nil for snapshot-loaded corpora without WithGraph
+	members map[NodeID]bool     // the current indexed node set
+	byNode  map[NodeID]ned.Item // live items; nil until materialized
+	ix      ned.DynamicIndex    // nil until the first query (or Rebuild)
+
+	// base accumulates serving counters absorbed from index generations
+	// retired by rebuilds, keeping Stats monotone across mutation.
+	base     ned.Counters
+	rebuilds int64
 
 	queries atomic.Int64
 }
@@ -168,60 +232,108 @@ func NewCorpus(g *Graph, k int, opts ...CorpusOption) (*Corpus, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
 	}
-	cfg := corpusConfig{backend: BackendVP}
+	cfg := corpusConfig{backend: BackendVP, rebuildAt: defaultRebuildThreshold}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	cfg.graph = nil // LoadCorpus only
+	if cfg.rebuildAt <= 0 {
+		cfg.rebuildAt = defaultRebuildThreshold
 	}
 	if cfg.backend < 0 || cfg.backend >= numBackends {
 		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
 	}
+	members := make(map[NodeID]bool)
 	if !cfg.nodesSet {
-		cfg.nodes = make([]NodeID, g.NumNodes())
-		for i := range cfg.nodes {
-			cfg.nodes[i] = NodeID(i)
+		for v := 0; v < g.NumNodes(); v++ {
+			members[NodeID(v)] = true
 		}
 	} else {
 		for _, v := range cfg.nodes {
 			if int(v) < 0 || int(v) >= g.NumNodes() {
 				return nil, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, g.NumNodes())
 			}
+			members[v] = true
 		}
 	}
-	return &Corpus{g: g, k: k, cfg: cfg}, nil
+	cfg.nodes = nil
+	return &Corpus{k: k, cfg: cfg, g: g, members: members}, nil
 }
 
-// ensure materializes the signatures and index on first use.
-func (c *Corpus) ensure() (ned.Index, error) {
-	c.buildOnce.Do(func() {
-		items := ned.BuildItems(c.g, c.cfg.nodes, c.k, c.cfg.directed, c.cfg.workers)
-		var ix ned.Index
-		switch c.cfg.backend {
-		case BackendVP:
-			ix = ned.NewVPBackend(items)
-		case BackendBK:
-			ix = ned.NewBKBackend(items)
-		case BackendLinear:
-			ix = ned.NewLinearBackend(items, c.cfg.workers)
-		case BackendPrunedLinear:
-			ix = ned.NewPrunedLinearBackend(items)
-		default:
-			c.buildErr = fmt.Errorf("%w: %d", ErrBadBackend, int(c.cfg.backend))
-			return
-		}
-		c.ixVal.Store(ix)
-	})
-	if c.buildErr != nil {
-		return nil, c.buildErr
+// sortedMembersLocked returns the indexed node set in ascending order —
+// the deterministic build and snapshot order. Callers hold mu.
+func (c *Corpus) sortedMembersLocked() []NodeID {
+	nodes := make([]NodeID, 0, len(c.members))
+	for v := range c.members {
+		nodes = append(nodes, v)
 	}
-	return c.ixVal.Load().(ned.Index), nil
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
 }
 
-// index returns the built index without forcing a build, or nil.
-func (c *Corpus) index() ned.Index {
-	if v := c.ixVal.Load(); v != nil {
-		return v.(ned.Index)
+// sortedItemsLocked returns the live items in ascending node order.
+// Callers hold mu and have materialized byNode.
+func (c *Corpus) sortedItemsLocked() []ned.Item {
+	items := make([]ned.Item, 0, len(c.byNode))
+	for _, it := range c.byNode {
+		items = append(items, it)
 	}
-	return nil
+	sort.Slice(items, func(i, j int) bool { return items[i].Node < items[j].Node })
+	return items
+}
+
+// materializeLocked extracts the signatures of every member in parallel
+// (a no-op once done, and for snapshot-loaded corpora, whose items
+// arrived with the snapshot). Callers hold mu for writing.
+func (c *Corpus) materializeLocked() {
+	if c.byNode != nil {
+		return
+	}
+	nodes := c.sortedMembersLocked()
+	items := ned.BuildItems(c.g, nodes, c.k, c.cfg.directed, c.cfg.workers)
+	c.byNode = make(map[NodeID]ned.Item, len(items))
+	for _, it := range items {
+		c.byNode[it.Node] = it
+	}
+}
+
+// newIndexLocked builds the configured backend over the live items.
+// Callers hold mu for writing and have materialized byNode.
+func (c *Corpus) newIndexLocked() ned.DynamicIndex {
+	items := c.sortedItemsLocked()
+	switch c.cfg.backend {
+	case BackendVP:
+		return ned.NewVPBackend(items)
+	case BackendBK:
+		return ned.NewBKBackend(items)
+	case BackendLinear:
+		return ned.NewLinearBackend(items, c.cfg.workers)
+	case BackendPrunedLinear:
+		return ned.NewPrunedLinearBackend(items)
+	}
+	// Unreachable: NewCorpus and LoadCorpus validate the backend.
+	panic(fmt.Sprintf("ned: invalid backend %d past construction", int(c.cfg.backend)))
+}
+
+// acquire returns the built index with the read lock held; the caller
+// must call release when its query completes. The first acquisition
+// pays for the lazy materialization and build.
+func (c *Corpus) acquire() (ned.Index, func()) {
+	c.mu.RLock()
+	if c.ix != nil {
+		return c.ix, c.mu.RUnlock
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	if c.ix == nil {
+		c.materializeLocked()
+		c.ix = c.newIndexLocked()
+	}
+	c.mu.Unlock()
+	c.mu.RLock()
+	// Reread under the read lock: a rebuild may have swapped the index,
+	// but it can never become nil again.
+	return c.ix, c.mu.RUnlock
 }
 
 // queryItem validates and converts an external signature query.
@@ -238,10 +350,41 @@ func (c *Corpus) queryItem(sig Signature) (ned.Item, error) {
 	return sig.Item(), nil
 }
 
-// nodeItem extracts the query item for a node of the corpus graph.
-func (c *Corpus) nodeItem(v NodeID) (ned.Item, error) {
+// checkNode validates a node query target without forcing the lazy
+// build, so an out-of-range node on a never-queried corpus errors
+// immediately instead of paying the full materialization first.
+func (c *Corpus) checkNode(v NodeID) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.checkNodeLocked(v)
+}
+
+// checkNodeLocked is the one validity check behind every node-query
+// path: indexed nodes are always valid; anything else needs a graph
+// and an in-range ID. Callers hold mu (either side).
+func (c *Corpus) checkNodeLocked(v NodeID) error {
+	if _, ok := c.byNode[v]; ok {
+		return nil
+	}
+	if c.g == nil {
+		return fmt.Errorf("%w: node %d is not indexed (restore with WithGraph to query arbitrary nodes)", ErrNoGraph, v)
+	}
 	if int(v) < 0 || int(v) >= c.g.NumNodes() {
-		return ned.Item{}, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
+		return fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
+	}
+	return nil
+}
+
+// nodeItemLocked resolves the query item for a node: the cached index
+// item when the node is indexed, a fresh extraction from the graph
+// otherwise. Snapshot-loaded corpora without WithGraph can only query
+// indexed nodes. Callers hold mu (either side).
+func (c *Corpus) nodeItemLocked(v NodeID) (ned.Item, error) {
+	if it, ok := c.byNode[v]; ok {
+		return it, nil
+	}
+	if err := c.checkNodeLocked(v); err != nil {
+		return ned.Item{}, err
 	}
 	return ned.NewItem(c.g, v, c.k, c.cfg.directed), nil
 }
@@ -250,37 +393,43 @@ func (c *Corpus) nodeItem(v NodeID) (ned.Item, error) {
 // corpus graph, in ascending (distance, node) order. The query node
 // itself ranks first at distance 0 when it is part of the corpus.
 func (c *Corpus) KNN(ctx context.Context, v NodeID, l int) ([]Neighbor, error) {
-	q, err := c.nodeItem(v)
+	if l < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadL, l)
+	}
+	// Check before acquire so a dead context or a bad node never pays
+	// for the lazy index build.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.checkNode(v); err != nil {
+		return nil, err
+	}
+	ix, release := c.acquire()
+	defer release()
+	q, err := c.nodeItemLocked(v)
 	if err != nil {
 		return nil, err
 	}
-	return c.knnItem(ctx, q, l)
+	c.queries.Add(1)
+	return ix.KNN(ctx, q, l)
 }
 
 // KNNSignature is KNN for an external query signature — typically a
 // node of a different graph, the inter-graph workload NED exists for.
 // The signature's k must match the corpus's.
 func (c *Corpus) KNNSignature(ctx context.Context, sig Signature, l int) ([]Neighbor, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadL, l)
+	}
 	q, err := c.queryItem(sig)
 	if err != nil {
 		return nil, err
 	}
-	return c.knnItem(ctx, q, l)
-}
-
-func (c *Corpus) knnItem(ctx context.Context, q ned.Item, l int) ([]Neighbor, error) {
-	if l < 1 {
-		return nil, fmt.Errorf("%w: got %d", ErrBadL, l)
-	}
-	// Check before ensure() so a dead context never pays for the lazy
-	// index build.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, err := c.ensure()
-	if err != nil {
-		return nil, err
-	}
+	ix, release := c.acquire()
+	defer release()
 	c.queries.Add(1)
 	return ix.KNN(ctx, q, l)
 }
@@ -298,10 +447,8 @@ func (c *Corpus) Range(ctx context.Context, sig Signature, r int) ([]Neighbor, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, err := c.ensure()
-	if err != nil {
-		return nil, err
-	}
+	ix, release := c.acquire()
+	defer release()
 	c.queries.Add(1)
 	return ix.Range(ctx, q, r)
 }
@@ -318,10 +465,8 @@ func (c *Corpus) NearestSet(ctx context.Context, sig Signature) ([]Neighbor, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, err := c.ensure()
-	if err != nil {
-		return nil, err
-	}
+	ix, release := c.acquire()
+	defer release()
 	if ix.Len() == 0 {
 		return nil, ctx.Err()
 	}
@@ -371,10 +516,8 @@ func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Nei
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, err := c.ensure()
-	if err != nil {
-		return nil, err
-	}
+	ix, release := c.acquire()
+	defer release()
 	c.queries.Add(int64(len(sigs)))
 	// The linear backend already spreads each scan across the worker
 	// pool; fanning queries out on top of that would run workers² TED*
@@ -420,34 +563,54 @@ type CorpusStats struct {
 	// LowerBoundPrunes counts candidates dismissed by the O(height)
 	// padding lower bound alone, before any matching work.
 	LowerBoundPrunes int64
+
+	// Rebuilds counts index rebuilds since construction: amortized ones
+	// triggered by the staleness threshold plus explicit Rebuild calls
+	// (a Rebuild on a never-built corpus performs the first build and
+	// is not counted). Serving counters accumulate across rebuilds
+	// (they never reset except through ResetStats).
+	Rebuilds int64
+	// StaleRatio is the current fraction of the index structure occupied
+	// by tombstones or unindexed appends (0 for in-place backends and
+	// freshly built indexes). See WithRebuildThreshold.
+	StaleRatio float64
 }
 
 // Stats reports the corpus configuration and serving counters. Safe to
 // call concurrently with queries; counters are atomic snapshots.
 func (c *Corpus) Stats() CorpusStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	s := CorpusStats{
 		Backend:  c.cfg.backend,
 		K:        c.k,
 		Directed: c.cfg.directed,
 		Workers:  c.cfg.workers,
-		Nodes:    len(c.cfg.nodes),
+		Nodes:    len(c.members),
 		Queries:  c.queries.Load(),
+		Rebuilds: c.rebuilds,
 	}
-	if ix := c.index(); ix != nil {
+	counters := c.base
+	if c.ix != nil {
 		s.Built = true
-		counters := ix.Counters()
-		s.DistanceCalls = counters.DistanceCalls
-		s.EarlyExits = counters.EarlyExits
-		s.LowerBoundPrunes = counters.LowerBoundPrunes
+		counters = counters.Add(c.ix.Counters())
+		s.StaleRatio = c.ix.StaleRatio()
 	}
+	s.DistanceCalls = counters.DistanceCalls
+	s.EarlyExits = counters.EarlyExits
+	s.LowerBoundPrunes = counters.LowerBoundPrunes
 	return s
 }
 
-// ResetStats zeroes the query and distance counters.
+// ResetStats zeroes the query and distance counters (including the
+// portion accumulated by retired index generations).
 func (c *Corpus) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.queries.Store(0)
-	if ix := c.index(); ix != nil {
-		ix.ResetStats()
+	c.base = ned.Counters{}
+	if c.ix != nil {
+		c.ix.ResetStats()
 	}
 }
 
@@ -455,6 +618,11 @@ func (c *Corpus) ResetStats() {
 // convenience for cross-corpus queries: sig from corpus A's graph, then
 // b.KNNSignature(ctx, sig, l).
 func (c *Corpus) Signature(v NodeID) (Signature, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.g == nil {
+		return Signature{}, fmt.Errorf("%w: Signature needs the corpus graph", ErrNoGraph)
+	}
 	if int(v) < 0 || int(v) >= c.g.NumNodes() {
 		return Signature{}, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
 	}

@@ -1,0 +1,364 @@
+package ned
+
+import (
+	"fmt"
+
+	"ned/internal/graph"
+	"ned/internal/ned"
+)
+
+// This file is the mutation surface of the Corpus: incremental node
+// churn (Insert/Remove), explicit and amortized index rebuilds, and
+// graph-version updates that re-extract only the signatures an edit
+// actually affected. The paper pitches NED for evolving networks
+// (de-anonymization and similarity search against graphs that change
+// over time); without this layer any churn forced a full re-index.
+//
+// Invariant, enforced by the churn-equivalence suite: after any
+// interleaving of mutations, every query answers exactly as a corpus
+// freshly built over the same live node set would.
+
+// Insert adds nodes of the corpus graph to the indexed set. Nodes
+// already indexed are skipped, so Insert is idempotent; out-of-range
+// nodes fail with ErrNodeOutOfRange before anything is mutated, and
+// corpora loaded without WithGraph fail with ErrNoGraph (there is no
+// graph to extract signatures from).
+//
+// Before the first query nothing is materialized yet, so Insert just
+// grows the node set and the lazy build pays once. Afterward the new
+// signatures are extracted in parallel — outside the corpus lock, so
+// queries keep serving during the BFS work — and handed to the live
+// index: in place for the scan backends, natively for the BK-tree, and
+// onto the VP-tree's append tail, followed by an amortized rebuild if
+// the staleness threshold is crossed. Only the final splice waits for
+// in-flight queries to drain.
+func (c *Corpus) Insert(nodes ...NodeID) error {
+	c.mu.RLock()
+	g, materialized := c.g, c.byNode != nil
+	fresh, err := c.freshNodesLocked(nodes)
+	c.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	var items []ned.Item
+	if materialized {
+		items = ned.BuildItems(g, fresh, c.k, c.cfg.directed, c.cfg.workers)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.g != g || (c.byNode != nil) != materialized {
+		// The graph version moved or the lazy build ran while we were
+		// extracting (rare): redo the whole batch under the lock.
+		return c.insertLocked(nodes)
+	}
+	c.spliceLocked(fresh, items)
+	return nil
+}
+
+// freshNodesLocked validates an Insert batch and filters it to the
+// nodes not yet indexed, erroring before anything is mutated. Callers
+// hold mu (either side).
+func (c *Corpus) freshNodesLocked(nodes []NodeID) ([]NodeID, error) {
+	if c.g == nil {
+		return nil, fmt.Errorf("%w: Insert needs the corpus graph (restore with WithGraph)", ErrNoGraph)
+	}
+	fresh := make([]NodeID, 0, len(nodes))
+	batch := make(map[NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		if int(v) < 0 || int(v) >= c.g.NumNodes() {
+			return nil, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
+		}
+		if c.members[v] || batch[v] {
+			continue
+		}
+		batch[v] = true
+		fresh = append(fresh, v)
+	}
+	return fresh, nil
+}
+
+// insertLocked is the fully-locked Insert fallback for batches whose
+// optimistic extraction raced with another mutation. Callers hold mu
+// for writing.
+func (c *Corpus) insertLocked(nodes []NodeID) error {
+	fresh, err := c.freshNodesLocked(nodes)
+	if err != nil || len(fresh) == 0 {
+		return err
+	}
+	var items []ned.Item
+	if c.byNode != nil {
+		items = ned.BuildItems(c.g, fresh, c.k, c.cfg.directed, c.cfg.workers)
+	}
+	c.spliceLocked(fresh, items)
+	return nil
+}
+
+// spliceLocked commits an Insert batch: membership always, plus item
+// map and live index when materialized (items[i] corresponds to
+// fresh[i]; nil items means the lazy build will extract later). Nodes
+// that became members since validation are skipped. Callers hold mu
+// for writing.
+func (c *Corpus) spliceLocked(fresh []NodeID, items []ned.Item) {
+	var added []ned.Item
+	for i, v := range fresh {
+		if c.members[v] {
+			continue
+		}
+		c.members[v] = true
+		if items != nil {
+			c.byNode[v] = items[i]
+			added = append(added, items[i])
+		}
+	}
+	if c.ix != nil && len(added) > 0 {
+		c.ix.Insert(added...)
+		c.maybeRebuildLocked()
+	}
+}
+
+// Remove deletes nodes from the indexed set. Nodes that are not
+// indexed are ignored, so Remove is idempotent and never errors — a
+// churn workload can replay removals without bookkeeping. The scan
+// backends compact in place; the metric trees tombstone the entries
+// and amortize compaction into the next threshold-triggered rebuild.
+// Remove waits for in-flight queries to drain.
+func (c *Corpus) Remove(nodes ...NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var gone []NodeID
+	for _, v := range nodes {
+		if !c.members[v] {
+			continue
+		}
+		delete(c.members, v)
+		delete(c.byNode, v)
+		gone = append(gone, v)
+	}
+	if len(gone) == 0 || c.ix == nil {
+		return nil
+	}
+	c.ix.Remove(gone...)
+	c.maybeRebuildLocked()
+	return nil
+}
+
+// Rebuild discards the index structure and rebuilds it from the live
+// items, folding tombstones and append tails back into tree structure.
+// Serving counters are carried over, so Stats stays monotone across
+// rebuilds. On a corpus that has never been queried, Rebuild forces
+// the materialization a first query would have paid for.
+func (c *Corpus) Rebuild() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ix == nil {
+		c.materializeLocked()
+		c.ix = c.newIndexLocked()
+		return
+	}
+	c.rebuildLocked()
+}
+
+// rebuildLocked swaps in a fresh index over the live items, absorbing
+// the retiring generation's serving counters into base first. Callers
+// hold mu for writing.
+func (c *Corpus) rebuildLocked() {
+	c.base = c.base.Add(c.ix.Counters())
+	c.ix = c.newIndexLocked()
+	c.rebuilds++
+}
+
+// maybeRebuildLocked applies the amortized-rebuild policy after a
+// mutation. Callers hold mu for writing with c.ix non-nil.
+func (c *Corpus) maybeRebuildLocked() {
+	if c.ix.StaleRatio() > c.cfg.rebuildAt {
+		c.rebuildLocked()
+	}
+}
+
+// UpdateGraph moves the corpus to a new version of its graph (graphs
+// are immutable, so an evolving network is a sequence of builds). It
+// diffs the edge sets, finds the indexed nodes whose k-adjacent trees
+// the changes can actually reach — a node's signature depends only on
+// edges among nodes within k-1 hops, in either version — and
+// re-extracts just those signatures; every other node keeps its cached
+// tree and AHU encoding untouched. Indexed nodes beyond the new
+// graph's node range are removed; nodes new to the graph are not
+// auto-indexed (Insert them explicitly). It returns how many
+// signatures were refreshed.
+//
+// The new graph must keep the old one's directedness. Corpora loaded
+// without WithGraph have no version to diff against and fail with
+// ErrNoGraph.
+//
+// Like Insert, the expensive work — the edge diff, the reachability
+// sweeps, the parallel re-extraction — runs outside the corpus lock so
+// queries keep serving through it; only the final graph swap and index
+// splice wait for in-flight queries to drain.
+func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
+	if g == nil {
+		return 0, ErrNilGraph
+	}
+	c.mu.RLock()
+	old, materialized := c.g, c.byNode != nil
+	var memberSnap map[NodeID]bool
+	if materialized {
+		memberSnap = make(map[NodeID]bool, len(c.members))
+		for v := range c.members {
+			memberSnap[v] = true
+		}
+	}
+	c.mu.RUnlock()
+	if old == nil {
+		return 0, fmt.Errorf("%w: UpdateGraph needs the previous graph version (restore with WithGraph)", ErrNoGraph)
+	}
+	if g.Directed() != old.Directed() {
+		return 0, fmt.Errorf("ned: graph update changes directedness (corpus graph directed=%v)", old.Directed())
+	}
+	if !materialized {
+		// Nothing extracted yet: the lazy build reads whatever graph is
+		// current, so the update is just a swap plus a membership shrink.
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.g != old || c.byNode != nil {
+			return c.updateGraphLocked(g)
+		}
+		return c.updateSpliceLocked(g, nil, nil), nil
+	}
+
+	affected := affectedByUpdate(old, g, c.k, c.cfg.directed)
+	var refresh []NodeID
+	for v := range affected {
+		if memberSnap[v] && int(v) < g.NumNodes() {
+			refresh = append(refresh, v)
+		}
+	}
+	items := ned.BuildItems(g, refresh, c.k, c.cfg.directed, c.cfg.workers)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.g != old {
+		// Another UpdateGraph won the race: our diff is against a stale
+		// version, so redo everything under the lock.
+		return c.updateGraphLocked(g)
+	}
+	// Members inserted while we extracted are absent from the snapshot;
+	// any of them the edge changes can reach must refresh too (rare and
+	// small, so extracting under the lock is fine).
+	var late []NodeID
+	for v := range c.members {
+		if !memberSnap[v] && affected[v] && int(v) < g.NumNodes() {
+			late = append(late, v)
+		}
+	}
+	if len(late) > 0 {
+		refresh = append(refresh, late...)
+		items = append(items, ned.BuildItems(g, late, c.k, c.cfg.directed, c.cfg.workers)...)
+	}
+	return c.updateSpliceLocked(g, refresh, items), nil
+}
+
+// updateGraphLocked is the fully-locked UpdateGraph fallback for
+// updates whose optimistic extraction raced with another mutation.
+// Callers hold mu for writing and have validated g.
+func (c *Corpus) updateGraphLocked(g *Graph) (int, error) {
+	if c.g == nil {
+		return 0, fmt.Errorf("%w: UpdateGraph needs the previous graph version (restore with WithGraph)", ErrNoGraph)
+	}
+	if g.Directed() != c.g.Directed() {
+		return 0, fmt.Errorf("ned: graph update changes directedness (corpus graph directed=%v)", c.g.Directed())
+	}
+	var refresh []NodeID
+	var items []ned.Item
+	if c.byNode != nil {
+		for v := range affectedByUpdate(c.g, g, c.k, c.cfg.directed) {
+			if c.members[v] && int(v) < g.NumNodes() {
+				refresh = append(refresh, v)
+			}
+		}
+		items = ned.BuildItems(g, refresh, c.k, c.cfg.directed, c.cfg.workers)
+	}
+	return c.updateSpliceLocked(g, refresh, items), nil
+}
+
+// updateSpliceLocked commits a graph update: swaps the graph, drops
+// members beyond the new node range, refreshes the given items
+// (items[i] corresponds to refresh[i]; entries whose membership
+// vanished meanwhile are skipped), and maintains the live index with
+// one batched Remove — the metric trees pay a full walk per Remove
+// call. Returns how many signatures were refreshed. Callers hold mu
+// for writing.
+func (c *Corpus) updateSpliceLocked(g *Graph, refresh []NodeID, items []ned.Item) int {
+	c.g = g
+	var gone []NodeID
+	for v := range c.members {
+		if int(v) >= g.NumNodes() {
+			delete(c.members, v)
+			delete(c.byNode, v)
+			gone = append(gone, v)
+		}
+	}
+	keptNodes := make([]NodeID, 0, len(refresh))
+	kept := make([]ned.Item, 0, len(items))
+	for i, v := range refresh {
+		if c.members[v] {
+			c.byNode[v] = items[i]
+			keptNodes = append(keptNodes, v)
+			kept = append(kept, items[i])
+		}
+	}
+	if c.ix != nil && len(gone)+len(keptNodes) > 0 {
+		c.ix.Remove(append(append([]NodeID(nil), gone...), keptNodes...)...)
+		if len(kept) > 0 {
+			c.ix.Insert(kept...)
+		}
+		c.maybeRebuildLocked()
+	}
+	return len(keptNodes)
+}
+
+// affectedByUpdate returns the nodes whose k-adjacent trees can differ
+// between two graph versions. A signature T(v, k) contains an edge
+// (u, w) only when u or w sits within k-1 hops of v (tree edges join
+// depths d and d+1 with d <= k-1), so the affected set is everything
+// within k-1 hops of a changed edge's endpoints — in the old version
+// (removals prune subtrees that were there) or the new one (additions
+// attach subtrees that were not). For directed NED the incoming and
+// outgoing trees cover both traversal directions. The bound is exact
+// for reachability, conservative for content: a node inside it may
+// happen to keep an identical tree, and refreshing it is merely
+// harmless work.
+func affectedByUpdate(old, new *Graph, k int, directed bool) map[NodeID]bool {
+	diff := graph.EdgeDiff(old, new)
+	if len(diff) == 0 {
+		return nil
+	}
+	eps := make([]NodeID, 0, 2*len(diff))
+	seen := make(map[NodeID]bool, 2*len(diff))
+	for _, e := range diff {
+		for _, v := range [2]NodeID{e.U, e.V} {
+			if !seen[v] {
+				seen[v] = true
+				eps = append(eps, v)
+			}
+		}
+	}
+	affected := make(map[NodeID]bool)
+	collect := func(g *Graph, dir graph.EdgeDirection) {
+		for _, v := range graph.NodesWithin(g, eps, k-1, dir) {
+			affected[v] = true
+		}
+	}
+	// The (out-)tree of v reaches an endpoint via outgoing hops, so the
+	// sweep from the endpoints follows incoming edges; the incoming tree
+	// of directed NED mirrors it. Undirected graphs collapse the two.
+	collect(old, graph.Incoming)
+	collect(new, graph.Incoming)
+	if directed {
+		collect(old, graph.Outgoing)
+		collect(new, graph.Outgoing)
+	}
+	return affected
+}

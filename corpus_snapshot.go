@@ -1,0 +1,124 @@
+package ned
+
+import (
+	"fmt"
+	"io"
+
+	"ned/internal/ned"
+)
+
+// Snapshot writes the corpus — its configuration and every live
+// signature, mutations included — to w in the versioned text format of
+// internal/ned/persist, so LoadCorpus can restore it without
+// re-extracting a single BFS tree. Items are written node-ascending,
+// making equal corpora byte-identical on disk. Snapshotting a corpus
+// that has never been queried materializes its signatures first (but
+// not the index structure, which LoadCorpus rebuilds lazily anyway).
+//
+// Undirected snapshots double as plain signature files: ReadSignatures
+// parses them, and LoadCorpus parses legacy signature files in turn.
+func (c *Corpus) Snapshot(w io.Writer) error {
+	// Copy the live items under the read lock, then serialize outside
+	// any lock: w may be a slow disk or network writer, and a writer
+	// waiting on the mutex would otherwise stall every new query for
+	// the whole transfer. Items reference immutable trees, so the
+	// copied slice stays consistent. The write lock is taken just for
+	// the first materialization, if it is still pending.
+	c.mu.RLock()
+	if c.byNode == nil {
+		c.mu.RUnlock()
+		c.mu.Lock()
+		c.materializeLocked()
+		c.mu.Unlock()
+		c.mu.RLock()
+	}
+	meta := ned.CorpusMeta{
+		Version:  1,
+		Backend:  c.cfg.backend.String(),
+		K:        c.k,
+		Directed: c.cfg.directed,
+	}
+	items := c.sortedItemsLocked()
+	c.mu.RUnlock()
+	return ned.WriteCorpusItems(w, meta, items)
+}
+
+// LoadCorpus restores a corpus from a Snapshot stream, or from a legacy
+// WriteSignatures file (which predates snapshot metadata and loads with
+// the default backend, undirected, k taken from its signatures). Parse
+// failures wrap ErrBadSnapshot.
+//
+// The restored corpus answers signature queries — and node queries for
+// indexed nodes — identically to the corpus that was snapshotted.
+// Options apply on top of the recorded metadata: WithBackend overrides
+// the recorded backend, WithWorkers and WithRebuildThreshold tune the
+// restored engine, and WithGraph re-attaches the backing graph,
+// re-enabling Insert, UpdateGraph, Signature, and queries for
+// unindexed nodes. WithNodes and WithDirected are ignored: the
+// snapshot's items define the node set and directedness.
+func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
+	meta, items, err := ned.ReadCorpusItems(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	cfg := corpusConfig{backend: BackendVP, rebuildAt: defaultRebuildThreshold}
+	k := meta.K
+	if meta.Version >= 1 {
+		if cfg.backend, err = ParseBackend(meta.Backend); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+		}
+		cfg.directed = meta.Directed
+	} else {
+		// Legacy signature file: derive k from the signatures themselves.
+		if len(items) == 0 {
+			return nil, fmt.Errorf("%w: no signatures in input", ErrBadSnapshot)
+		}
+		k = items[0].K
+		for _, it := range items {
+			if it.K != k {
+				return nil, fmt.Errorf("%w: mixed k values %d and %d (a corpus has one k)", ErrBadSnapshot, k, it.K)
+			}
+		}
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadSnapshot, k)
+	}
+	userCfg := corpusConfig{backend: cfg.backend, rebuildAt: cfg.rebuildAt}
+	for _, opt := range opts {
+		opt(&userCfg)
+	}
+	cfg.backend = userCfg.backend
+	cfg.workers = userCfg.workers
+	cfg.rebuildAt = userCfg.rebuildAt
+	if cfg.rebuildAt <= 0 {
+		cfg.rebuildAt = defaultRebuildThreshold
+	}
+	if cfg.backend < 0 || cfg.backend >= numBackends {
+		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
+	}
+	g := userCfg.graph
+	if g != nil {
+		// A directed corpus restored onto an undirected graph would
+		// extract In==Out signatures for every later Insert, silently
+		// diverging from the snapshot's true directed signatures — fail
+		// fast instead, like UpdateGraph's directedness check. (The
+		// reverse — an undirected-NED corpus over a directed graph — is
+		// a legitimate combination NewCorpus accepts.)
+		if cfg.directed && !g.Directed() {
+			return nil, fmt.Errorf("%w: directed snapshot needs a directed graph", ErrBadSnapshot)
+		}
+		for _, it := range items {
+			if int(it.Node) < 0 || int(it.Node) >= g.NumNodes() {
+				return nil, fmt.Errorf("%w: snapshot node %d not in the attached graph's [0, %d)",
+					ErrNodeOutOfRange, it.Node, g.NumNodes())
+			}
+		}
+	}
+	members := make(map[NodeID]bool, len(items))
+	byNode := make(map[NodeID]ned.Item, len(items))
+	for _, it := range items {
+		members[it.Node] = true
+		byNode[it.Node] = it
+	}
+	return &Corpus{k: k, cfg: cfg, g: g, members: members, byNode: byNode}, nil
+}

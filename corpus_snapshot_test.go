@@ -1,0 +1,322 @@
+package ned
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCorpusSnapshotRoundTrip is the persistence contract: a built,
+// mutated corpus round-trips through Snapshot/LoadCorpus and the
+// restored engine answers queries identically to the in-memory one —
+// on every backend, including a backend override at load time.
+func TestCorpusSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	const k = 2
+	g := randomGraph(60, 130, 910)
+	gq := randomGraph(40, 80, 911)
+
+	for _, b := range allBackends {
+		c, err := NewCorpus(g, k, WithBackend(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.KNN(ctx, 0, 3); err != nil { // materialize
+			t.Fatal(err)
+		}
+		// Mutate so the snapshot captures a churned index, not the
+		// construction-time node set.
+		if err := c.Remove(1, 3, 5, 7); err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := c.Snapshot(&buf); err != nil {
+			t.Fatalf("%v: Snapshot: %v", b, err)
+		}
+		loaded, err := LoadCorpus(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: LoadCorpus: %v", b, err)
+		}
+		if s := loaded.Stats(); s.Backend != b || s.K != k || s.Nodes != 56 {
+			t.Fatalf("%v: restored stats %+v", b, s)
+		}
+
+		rng := rand.New(rand.NewSource(912))
+		for q := 0; q < 6; q++ {
+			sig := NewSignature(gq, NodeID(rng.Intn(gq.NumNodes())), k)
+			want, err := c.KNNSignature(ctx, sig, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.KNNSignature(ctx, sig, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%v: restored KNN %v, in-memory %v", b, got, want)
+			}
+			wantR, err := c.Range(ctx, sig, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotR, err := loaded.Range(ctx, sig, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(gotR) != fmt.Sprint(wantR) {
+				t.Errorf("%v: restored Range %v, in-memory %v", b, gotR, wantR)
+			}
+		}
+
+		// Node queries for indexed nodes work without a graph; unindexed
+		// nodes need WithGraph.
+		if _, err := loaded.KNN(ctx, 0, 3); err != nil {
+			t.Errorf("%v: restored KNN of indexed node: %v", b, err)
+		}
+		if _, err := loaded.KNN(ctx, 1, 3); !errors.Is(err, ErrNoGraph) {
+			t.Errorf("%v: restored KNN of removed node: got %v, want ErrNoGraph", b, err)
+		}
+		if err := loaded.Insert(1); !errors.Is(err, ErrNoGraph) {
+			t.Errorf("%v: graphless Insert: got %v, want ErrNoGraph", b, err)
+		}
+		if _, err := loaded.UpdateGraph(g); !errors.Is(err, ErrNoGraph) {
+			t.Errorf("%v: graphless UpdateGraph: got %v, want ErrNoGraph", b, err)
+		}
+
+		// A backend override at load serves the same answers.
+		overridden, err := LoadCorpus(bytes.NewReader(buf.Bytes()), WithBackend(BackendLinear))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := NewSignature(gq, 0, k)
+		want, err := c.KNNSignature(ctx, sig, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := overridden.KNNSignature(ctx, sig, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%v: override-to-linear KNN %v, want %v", b, got, want)
+		}
+	}
+}
+
+// TestCorpusSnapshotWithGraphResumesMutation restores a snapshot with
+// its graph attached and drives the full mutable lifecycle on the
+// restored corpus.
+func TestCorpusSnapshotWithGraphResumesMutation(t *testing.T) {
+	ctx := context.Background()
+	g := randomGraph(50, 100, 913)
+	c, err := NewCorpus(g, 2, WithBackend(BackendVP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(&buf, WithGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Insert(4); err != nil {
+		t.Fatalf("Insert on restored corpus: %v", err)
+	}
+	if err := loaded.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewCorpus(g, 2, WithBackend(BackendLinear), WithNodes(func() []NodeID {
+		var ns []NodeID
+		for v := 0; v < g.NumNodes(); v++ {
+			if v != 0 && v != 8 {
+				ns = append(ns, NodeID(v))
+			}
+		}
+		return ns
+	}()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq := randomGraph(30, 60, 914)
+	sig := NewSignature(gq, 5, 2)
+	got, err := loaded.KNNSignature(ctx, sig, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.KNNSignature(ctx, sig, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("restored+mutated KNN %v, fresh %v", got, want)
+	}
+	// Signature and arbitrary-node queries work again with the graph.
+	if _, err := loaded.Signature(8); err != nil {
+		t.Errorf("Signature on restored corpus with graph: %v", err)
+	}
+	if _, err := loaded.KNN(ctx, 8, 3); err != nil {
+		t.Errorf("KNN of unindexed node with graph: %v", err)
+	}
+}
+
+// TestCorpusSnapshotDirected round-trips a directed corpus (two trees
+// per line) and queries it by node ID on the restored engine.
+func TestCorpusSnapshotDirected(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(915))
+	b := NewGraphBuilder(30, true)
+	for i := 0; i < 70; i++ {
+		u, v := NodeID(rng.Intn(30)), NodeID(rng.Intn(30))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	c, err := NewCorpus(g, 2, WithDirected(), WithBackend(BackendBK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.KNN(ctx, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := loaded.Stats(); !s.Directed {
+		t.Fatal("restored corpus lost directedness")
+	}
+	got, err := loaded.KNN(ctx, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("restored directed KNN %v, want %v", got, want)
+	}
+}
+
+// TestCorpusSnapshotDeterministic: two snapshots of equal corpora are
+// byte-identical, and snapshotting is mutation-order independent.
+func TestCorpusSnapshotDeterministic(t *testing.T) {
+	g := randomGraph(40, 80, 916)
+	c1, err := NewCorpus(g, 2, WithNodes([]NodeID{5, 1, 9, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCorpus(g, 2, WithNodes([]NodeID{9, 3, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Insert(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := c1.Snapshot(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Snapshot(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("equal corpora produced different snapshots:\n%q\n%q", b1.String(), b2.String())
+	}
+}
+
+// TestLoadCorpusLegacySignatureFile: a plain WriteSignatures file (the
+// pre-snapshot format) loads as a corpus.
+func TestLoadCorpusLegacySignatureFile(t *testing.T) {
+	ctx := context.Background()
+	g := randomGraph(30, 60, 917)
+	var nodes []NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		nodes = append(nodes, NodeID(v))
+	}
+	sigs := Signatures(g, nodes, 2)
+	path := t.TempDir() + "/sigs.txt"
+	if err := SaveSignatures(path, sigs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := LoadCorpus(f)
+	if err != nil {
+		t.Fatalf("LoadCorpus(legacy signatures): %v", err)
+	}
+	if s := loaded.Stats(); s.K != 2 || s.Nodes != 30 || s.Backend != BackendVP {
+		t.Fatalf("legacy load stats: %+v", s)
+	}
+	fresh, err := NewCorpus(g, 2, WithBackend(BackendVP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq := randomGraph(20, 40, 918)
+	sig := NewSignature(gq, 0, 2)
+	got, err := loaded.KNNSignature(ctx, sig, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.KNNSignature(ctx, sig, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("legacy-loaded KNN %v, want %v", got, want)
+	}
+}
+
+// TestLoadCorpusErrors pins the typed error contract of LoadCorpus.
+func TestLoadCorpusErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"future version", "# ned corpus v9 backend=vp k=2 directed=0 nodes=0\n"},
+		{"missing header field", "# ned corpus v1 backend=vp k=2 nodes=0\n"},
+		{"bad tree", "# ned corpus v1 backend=vp k=2 directed=0 nodes=1\n0 2 0,zap\n"},
+		{"truncated", "# ned corpus v1 backend=vp k=2 directed=0 nodes=3\n0 2 0\n1 2 0\n"},
+		{"k mismatch", "# ned corpus v1 backend=vp k=2 directed=0 nodes=1\n0 3 0\n"},
+		{"duplicate node", "# ned corpus v1 backend=vp k=2 directed=0 nodes=2\n0 2 0\n0 2 0,0\n"},
+		{"unknown backend", "# ned corpus v1 backend=zorp k=2 directed=0 nodes=1\n0 2 0\n"},
+		{"directed field count", "# ned corpus v1 backend=vp k=2 directed=1 nodes=1\n0 2 0\n"},
+		{"legacy mixed k", "0 2 0\n1 3 0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := LoadCorpus(strings.NewReader(tc.in)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: got %v, want ErrBadSnapshot", tc.name, err)
+		}
+	}
+	// A graph that does not contain the snapshot's nodes is rejected.
+	small := randomGraph(2, 1, 919)
+	snap := "# ned corpus v1 backend=vp k=2 directed=0 nodes=1\n7 2 0\n"
+	if _, err := LoadCorpus(strings.NewReader(snap), WithGraph(small)); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Errorf("snapshot node beyond graph: got %v, want ErrNodeOutOfRange", err)
+	}
+	// A directed snapshot restored onto an undirected graph would make
+	// later Inserts extract inconsistent signatures: rejected up front.
+	dsnap := "# ned corpus v1 backend=vp k=2 directed=1 nodes=1\n0 2 0 0,0\n"
+	if _, err := LoadCorpus(strings.NewReader(dsnap), WithGraph(small)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("directed snapshot on undirected graph: got %v, want ErrBadSnapshot", err)
+	}
+}

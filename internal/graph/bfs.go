@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // EdgeDirection selects which arcs a directed traversal follows.
 type EdgeDirection int
 
@@ -55,6 +57,79 @@ func BFS(g *Graph, root NodeID, maxDepth int, dir EdgeDirection) *BFSResult {
 		}
 	}
 	return res
+}
+
+// NodesWithin returns every node within k hops of any source, in
+// ascending order — a multi-source bounded BFS. Sources themselves are
+// included (distance 0). Out-of-range sources are ignored, so callers
+// may pass node sets from a differently-sized graph version.
+func NodesWithin(g *Graph, sources []NodeID, k int, dir EdgeDirection) []NodeID {
+	n := g.NumNodes()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var order []NodeID
+	for _, s := range sources {
+		if int(s) < 0 || int(s) >= n || depth[s] != -1 {
+			continue
+		}
+		depth[s] = 0
+		order = append(order, s)
+	}
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		if int(depth[u]) >= k {
+			continue
+		}
+		var ns []NodeID
+		if dir == Incoming {
+			ns = g.InNeighbors(u)
+		} else {
+			ns = g.OutNeighbors(u)
+		}
+		for _, v := range ns {
+			if depth[v] == -1 {
+				depth[v] = depth[u] + 1
+				order = append(order, v)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return order
+}
+
+// EdgeDiff returns the symmetric difference between the edge sets of two
+// graph versions: edges present in exactly one of a and b. Both Edges()
+// listings are sorted, so the diff is a linear merge. Used by the
+// dynamic corpus to find which node neighborhoods an update actually
+// changed.
+func EdgeDiff(a, b *Graph) []Edge {
+	ea, eb := a.Edges(), b.Edges()
+	less := func(x, y Edge) bool {
+		if x.U != y.U {
+			return x.U < y.U
+		}
+		return x.V < y.V
+	}
+	var out []Edge
+	i, j := 0, 0
+	for i < len(ea) && j < len(eb) {
+		switch {
+		case ea[i] == eb[j]:
+			i++
+			j++
+		case less(ea[i], eb[j]):
+			out = append(out, ea[i])
+			i++
+		default:
+			out = append(out, eb[j])
+			j++
+		}
+	}
+	out = append(out, ea[i:]...)
+	out = append(out, eb[j:]...)
+	return out
 }
 
 // ConnectedComponents labels every node of an undirected graph with a

@@ -1,0 +1,209 @@
+package ned
+
+import (
+	"context"
+	"sort"
+
+	"ned/internal/graph"
+	"ned/internal/ted"
+)
+
+// This file makes every index backend mutable behind one interface. The
+// paper pitches NED for evolving graphs (de-anonymization against
+// networks that change over time), so the index layer supports node
+// churn without a full re-index:
+//
+//   - the linear and pruned scans update their item slices in place —
+//     mutation is as cheap as the slice ops and queries never degrade;
+//   - the VP-tree takes a tombstone + append path: removals mark tree
+//     nodes dead (they keep routing, never rank), insertions land in a
+//     linearly-scanned tail merged into every query;
+//   - the BK-tree inserts natively (its structure grows by design) and
+//     removes via tombstones.
+//
+// Tombstones and tails are staleness: they cost routing and scan work
+// on every query while serving nothing. StaleRatio exposes that
+// fraction so the owner (ned.Corpus) can amortize a full rebuild once a
+// configurable threshold is crossed.
+//
+// Mutations are NOT safe concurrently with queries or each other; the
+// Corpus serializes them behind its write lock. Results after any
+// mutation sequence are identical to a freshly built index over the
+// same live items (the churn-equivalence suite enforces this).
+
+// DynamicIndex is an Index that supports incremental mutation.
+type DynamicIndex interface {
+	Index
+	// Insert adds items to the index. The caller guarantees the nodes are
+	// not already indexed.
+	Insert(items ...Item)
+	// Remove deletes the items with the given node IDs, reporting how
+	// many were present. Unknown nodes are ignored.
+	Remove(nodes ...graph.NodeID) int
+	// StaleRatio reports the fraction of the index structure occupied by
+	// tombstones or unindexed appends — 0 for backends that mutate in
+	// place. Above the owner's threshold, a rebuild pays for itself.
+	StaleRatio() float64
+}
+
+// nodeSet builds a membership set for a removal batch.
+func nodeSet(nodes []graph.NodeID) map[graph.NodeID]bool {
+	s := make(map[graph.NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		s[v] = true
+	}
+	return s
+}
+
+// removeItems filters items whose node is in gone, in place, returning
+// the compacted slice and the number dropped.
+func removeItems(items []Item, gone map[graph.NodeID]bool) ([]Item, int) {
+	w := 0
+	for _, it := range items {
+		if gone[it.Node] {
+			continue
+		}
+		items[w] = it
+		w++
+	}
+	dropped := len(items) - w
+	return items[:w], dropped
+}
+
+// --- linear backend ---
+
+func (b *linearBackend) Insert(items ...Item) { b.items = append(b.items, items...) }
+
+func (b *linearBackend) Remove(nodes ...graph.NodeID) int {
+	var n int
+	b.items, n = removeItems(b.items, nodeSet(nodes))
+	return n
+}
+
+func (b *linearBackend) StaleRatio() float64 { return 0 }
+
+// --- pruned linear backend ---
+
+func (b *prunedBackend) Insert(items ...Item) { b.items = append(b.items, items...) }
+
+func (b *prunedBackend) Remove(nodes ...graph.NodeID) int {
+	var n int
+	b.items, n = removeItems(b.items, nodeSet(nodes))
+	return n
+}
+
+func (b *prunedBackend) StaleRatio() float64 { return 0 }
+
+// --- VP-tree backend ---
+
+func (b *vpBackend) Insert(items ...Item) { b.tail = append(b.tail, items...) }
+
+func (b *vpBackend) Remove(nodes ...graph.NodeID) int {
+	gone := nodeSet(nodes)
+	var n int
+	b.tail, n = removeItems(b.tail, gone)
+	n += b.t.Delete(func(it Item) bool { return gone[it.Node] })
+	return n
+}
+
+func (b *vpBackend) StaleRatio() float64 {
+	stale := b.t.Deleted() + len(b.tail)
+	total := b.t.Len() + b.t.Deleted() + len(b.tail)
+	if total == 0 {
+		return 0
+	}
+	return float64(stale) / float64(total)
+}
+
+// mergeTailKNN folds the appended tail into a KNN result from the tree:
+// out arrives canonically sorted with at most l entries; each tail item
+// is evaluated under the current kth-best budget and merged. The union
+// top-l equals a freshly built index's answer.
+func (b *vpBackend) mergeTailKNN(ctx context.Context, query Item, l int, out []Neighbor) ([]Neighbor, error) {
+	comp := tedComputers.Get().(*ted.Computer)
+	defer tedComputers.Put(comp)
+	for i, it := range b.tail {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		budget := ted.Unbounded
+		if len(out) >= l {
+			budget = out[len(out)-1].Dist
+		}
+		d, o := itemDistanceAtMost(comp, query, it, budget)
+		b.counters.observe(o)
+		if o != ted.OutcomeExact || d > budget {
+			continue
+		}
+		out = insertNeighborCanonical(out, Neighbor{Node: it.Node, Dist: d}, l)
+	}
+	return out, nil
+}
+
+// insertNeighborCanonical inserts n into a canonically-sorted slice at
+// its (distance, node) position, trimming to at most l entries —
+// O(log l) search plus one shift, versus a full re-sort per accepted
+// tail item.
+func insertNeighborCanonical(out []Neighbor, n Neighbor, l int) []Neighbor {
+	i := sort.Search(len(out), func(i int) bool {
+		if out[i].Dist != n.Dist {
+			return out[i].Dist > n.Dist
+		}
+		return out[i].Node > n.Node
+	})
+	out = append(out, Neighbor{})
+	copy(out[i+1:], out[i:])
+	out[i] = n
+	if len(out) > l {
+		out = out[:l]
+	}
+	return out
+}
+
+// rangeTail appends tail items within distance r of the query.
+func (b *vpBackend) rangeTail(ctx context.Context, query Item, r int, out []Neighbor) ([]Neighbor, error) {
+	comp := tedComputers.Get().(*ted.Computer)
+	defer tedComputers.Put(comp)
+	for i, it := range b.tail {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		d, o := itemDistanceAtMost(comp, query, it, r)
+		b.counters.observe(o)
+		if o == ted.OutcomeExact && d <= r {
+			out = append(out, Neighbor{Node: it.Node, Dist: d})
+		}
+	}
+	return out, nil
+}
+
+// --- BK-tree backend ---
+
+func (b *bkBackend) Insert(items ...Item) {
+	// The BK-tree inserts natively; its metric evaluations during the
+	// descent are maintenance, not serving work, so the counter hook is
+	// muted for the duration (the Corpus holds its write lock here, so
+	// no query observes the flag mid-flight).
+	b.building.Store(true)
+	for _, it := range items {
+		b.t.Insert(it)
+	}
+	b.building.Store(false)
+}
+
+func (b *bkBackend) Remove(nodes ...graph.NodeID) int {
+	gone := nodeSet(nodes)
+	return b.t.Delete(func(it Item) bool { return gone[it.Node] })
+}
+
+func (b *bkBackend) StaleRatio() float64 {
+	total := b.t.Len() + b.t.Deleted()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.t.Deleted()) / float64(total)
+}

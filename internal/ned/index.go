@@ -146,6 +146,18 @@ type Counters struct {
 	LowerBoundPrunes int64
 }
 
+// Add returns the element-wise sum of two counter snapshots. The Corpus
+// uses it to carry serving counters across index rebuilds, so counters
+// are monotone under mutation instead of resetting with each backend
+// generation.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		DistanceCalls:    c.DistanceCalls + o.DistanceCalls,
+		EarlyExits:       c.EarlyExits + o.EarlyExits,
+		LowerBoundPrunes: c.LowerBoundPrunes + o.LowerBoundPrunes,
+	}
+}
+
 // counterSet is the atomic accumulator behind Counters.
 type counterSet struct {
 	distCalls, earlyExits, lbPrunes atomic.Int64
@@ -229,6 +241,7 @@ func floatBudget(b float64) int {
 
 type vpBackend struct {
 	t        *vptree.Tree[Item]
+	tail     []Item // items inserted after the build, scanned per query
 	counters counterSet
 }
 
@@ -236,7 +249,8 @@ type vpBackend struct {
 // sub-linear queries via floating-point triangle-inequality pruning.
 // Searches hand the metric a budget of radius + tau per node, so a
 // candidate that cannot rank or affect pruning is abandoned mid-TED*.
-func NewVPBackend(items []Item) Index {
+// Mutations take tombstone + append paths (see dynamic.go).
+func NewVPBackend(items []Item) DynamicIndex {
 	b := &vpBackend{}
 	b.t = vptree.New(items, func(x, y Item) float64 {
 		c := tedComputers.Get().(*ted.Computer)
@@ -267,6 +281,11 @@ func (b *vpBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, err
 		out[i] = Neighbor{Node: r.Item.Node, Dist: int(r.Dist)}
 	}
 	sortNeighborsCanonical(out)
+	if len(b.tail) > 0 {
+		if out, err = b.mergeTailKNN(ctx, query, l, out); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
@@ -279,11 +298,16 @@ func (b *vpBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, e
 	for i, rr := range res {
 		out[i] = Neighbor{Node: rr.Item.Node, Dist: int(rr.Dist)}
 	}
+	if len(b.tail) > 0 {
+		if out, err = b.rangeTail(ctx, query, r, out); err != nil {
+			return nil, err
+		}
+	}
 	sortNeighborsCanonical(out)
 	return out, nil
 }
 
-func (b *vpBackend) Len() int             { return b.t.Len() }
+func (b *vpBackend) Len() int             { return b.t.Len() + len(b.tail) }
 func (b *vpBackend) DistanceCalls() int64 { return b.counters.distCalls.Load() }
 func (b *vpBackend) Counters() Counters   { return b.counters.snapshot() }
 func (b *vpBackend) ResetStats() {
@@ -296,20 +320,27 @@ func (b *vpBackend) ResetStats() {
 type bkBackend struct {
 	t        *vptree.BKTree[Item]
 	counters counterSet
+
+	// building mutes the serving counters while Insert descends the tree
+	// (maintenance evaluations are not query work).
+	building atomic.Bool
 }
 
 // NewBKBackend indexes the items in a Burkhard–Keller tree: integer
 // distance buckets, often faster than the VP-tree on the small integer
 // range NED produces. Searches hand the metric a budget of
 // maxChildKey + ringRadius per node, beyond which the exact distance is
-// provably irrelevant.
-func NewBKBackend(items []Item) Index {
+// provably irrelevant. Mutations insert natively and remove via
+// tombstones (see dynamic.go).
+func NewBKBackend(items []Item) DynamicIndex {
 	b := &bkBackend{}
 	b.t = vptree.NewBK(items, func(x, y Item) int {
 		c := tedComputers.Get().(*ted.Computer)
 		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
 		tedComputers.Put(c)
-		b.counters.observe(ted.OutcomeExact)
+		if !b.building.Load() {
+			b.counters.observe(ted.OutcomeExact)
+		}
 		return d
 	})
 	b.t.SetBudgetedMetric(func(x, y Item, budget int) (int, bool) {
@@ -371,8 +402,9 @@ type linearBackend struct {
 // metric index is measured against; still the fastest option for small
 // corpora where tree traversal overhead dominates. KNN workers share the
 // running kth-best distance, so late candidates are lower-bound pruned
-// or abandoned mid-TED* once they provably cannot rank.
-func NewLinearBackend(items []Item, workers int) Index {
+// or abandoned mid-TED* once they provably cannot rank. Mutations edit
+// the item slice in place (see dynamic.go).
+func NewLinearBackend(items []Item, workers int) DynamicIndex {
 	return &linearBackend{items: items, workers: BatchOptions{Workers: workers}.workers()}
 }
 
@@ -480,8 +512,9 @@ type prunedBackend struct {
 // evaluations for items the padding lower bound proves out of range
 // (the §10 pruning strategy PrunedTopL pioneered, behind the unified
 // interface), and abandons the survivors mid-computation once their
-// running cost crosses the threshold.
-func NewPrunedLinearBackend(items []Item) Index {
+// running cost crosses the threshold. Mutations edit the item slice in
+// place (see dynamic.go).
+func NewPrunedLinearBackend(items []Item) DynamicIndex {
 	return &prunedBackend{items: items}
 }
 

@@ -58,23 +58,15 @@ func ReadSignatures(r io.Reader) ([]Signature, error) {
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("ned: line %d: malformed signature %q", lineNo, line)
 		}
-		node, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("ned: line %d: bad node id: %w", lineNo, err)
-		}
-		k, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("ned: line %d: bad k: %w", lineNo, err)
-		}
 		enc := ""
 		if len(fields) == 3 {
 			enc = fields[2]
 		}
-		t, err := tree.Decode(enc)
+		node, k, t, err := parseItemLine(lineNo, fields[0], fields[1], enc)
 		if err != nil {
-			return nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
+			return nil, err
 		}
-		out = append(out, Signature{Node: graph.NodeID(node), K: k, Tree: t})
+		out = append(out, Signature{Node: node, K: k, Tree: t})
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
@@ -83,6 +75,245 @@ func ReadSignatures(r io.Reader) ([]Signature, error) {
 		return nil, fmt.Errorf("ned: line %d: scanning signatures: %w", lineNo+1, err)
 	}
 	return out, nil
+}
+
+// --- corpus snapshots ---
+//
+// A corpus snapshot extends the signature format with one header line of
+// corpus metadata, so a built (possibly mutated) index round-trips
+// through Corpus.Snapshot / LoadCorpus without re-extracting BFS trees:
+//
+//	# ned corpus v1 backend=vp k=3 directed=0 nodes=2
+//	0 3 0,0,1
+//	4 3 0,1
+//
+// Directed corpora carry two encodings per line (outgoing then incoming
+// tree); a single-node tree encodes as "-" so the field count stays
+// fixed. The format is versioned: ReadCorpusItems rejects versions it
+// does not know, and — because the header is a comment and v1 item
+// lines are valid signature lines — undirected snapshots still parse as
+// plain signature files, while legacy signature files (no header) load
+// as version-0 snapshots.
+
+// snapshotPrefix starts the header line of every corpus snapshot.
+const snapshotPrefix = "# ned corpus v"
+
+// snapshotVersion is the current snapshot format version.
+const snapshotVersion = 1
+
+// CorpusMeta is the header metadata of a corpus snapshot.
+type CorpusMeta struct {
+	Version  int    // format version; 0 means a legacy plain signature file
+	Backend  string // flag-style backend name recorded at snapshot time
+	K        int    // neighborhood depth shared by every item
+	Directed bool   // whether items carry incoming trees too
+
+	// nodes is the declared item count, checked against the parsed items
+	// so truncated snapshots fail loudly.
+	nodes int
+}
+
+// encOrDash substitutes the "-" placeholder for the empty encoding of a
+// single-node tree, keeping snapshot field counts fixed.
+func encOrDash(enc string) string {
+	if enc == "" {
+		return "-"
+	}
+	return enc
+}
+
+// decodeTreeField decodes one serialized tree, mapping the "-"
+// single-node placeholder back to the empty encoding. Shared by the
+// signature and snapshot readers so the two formats cannot drift apart.
+func decodeTreeField(enc string) (*tree.Tree, error) {
+	if enc == "-" {
+		enc = ""
+	}
+	return tree.Decode(enc)
+}
+
+// parseItemLine parses the "<node> <k> <tree>" triple that both the
+// signature format and snapshot item lines start with. Errors name the
+// offending line.
+func parseItemLine(lineNo int, nodeStr, kStr, enc string) (graph.NodeID, int, *tree.Tree, error) {
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("ned: line %d: bad node id: %w", lineNo, err)
+	}
+	k, err := strconv.Atoi(kStr)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("ned: line %d: bad k: %w", lineNo, err)
+	}
+	t, err := decodeTreeField(enc)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
+	}
+	return graph.NodeID(node), k, t, nil
+}
+
+// WriteCorpusItems serializes a corpus snapshot: the metadata header
+// followed by one line per indexed item. Items should be in a
+// deterministic order (the Corpus writes them node-ascending) so equal
+// corpora produce byte-identical snapshots.
+func WriteCorpusItems(w io.Writer, meta CorpusMeta, items []Item) error {
+	bw := bufio.NewWriter(w)
+	directed := 0
+	if meta.Directed {
+		directed = 1
+	}
+	if _, err := fmt.Fprintf(bw, "%s%d backend=%s k=%d directed=%d nodes=%d\n",
+		snapshotPrefix, snapshotVersion, meta.Backend, meta.K, directed, len(items)); err != nil {
+		return fmt.Errorf("ned: writing snapshot header: %w", err)
+	}
+	for _, it := range items {
+		if it.Out == nil || (meta.Directed && it.In == nil) {
+			return fmt.Errorf("ned: snapshot item for node %d has no tree", it.Node)
+		}
+		var err error
+		if meta.Directed {
+			_, err = fmt.Fprintf(bw, "%d %d %s %s\n", it.Node, it.K,
+				encOrDash(tree.Encode(it.Out)), encOrDash(tree.Encode(it.In)))
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d %s\n", it.Node, it.K, encOrDash(tree.Encode(it.Out)))
+		}
+		if err != nil {
+			return fmt.Errorf("ned: writing snapshot item for node %d: %w", it.Node, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ned: flushing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadCorpusItems parses a corpus snapshot, or — when the input has no
+// snapshot header — a legacy plain signature file, reported as Version
+// 0 with Backend/K/Directed left for the caller to derive. Duplicate
+// nodes, k values disagreeing with the header, wrong per-line field
+// counts, undeclared versions, and header/item-count mismatches are all
+// errors naming the offending line.
+func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
+	var meta CorpusMeta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxSignatureLine)
+	var items []Item
+	seen := make(map[graph.NodeID]int)
+	lineNo, contentLines := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '#' {
+			if contentLines == 0 && meta.Version == 0 && strings.HasPrefix(line, snapshotPrefix) {
+				m, err := parseSnapshotHeader(line)
+				if err != nil {
+					return meta, nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
+				}
+				meta = m
+			}
+			continue
+		}
+		contentLines++
+		fields := strings.Fields(line)
+		want := 3
+		if meta.Directed {
+			want = 4
+		}
+		if meta.Version >= 1 && len(fields) != want {
+			return meta, nil, fmt.Errorf("ned: line %d: snapshot item has %d fields, want %d", lineNo, len(fields), want)
+		}
+		if meta.Version == 0 && (len(fields) < 2 || len(fields) > 3) {
+			return meta, nil, fmt.Errorf("ned: line %d: malformed signature %q", lineNo, line)
+		}
+		enc := ""
+		if len(fields) >= 3 {
+			enc = fields[2]
+		}
+		node, k, out, err := parseItemLine(lineNo, fields[0], fields[1], enc)
+		if err != nil {
+			return meta, nil, err
+		}
+		if meta.Version >= 1 && k != meta.K {
+			return meta, nil, fmt.Errorf("ned: line %d: item k=%d disagrees with header k=%d", lineNo, k, meta.K)
+		}
+		if prev, dup := seen[node]; dup {
+			return meta, nil, fmt.Errorf("ned: line %d: node %d already appeared on line %d", lineNo, node, prev)
+		}
+		seen[node] = lineNo
+		it := Item{Node: node, K: k, Out: out}
+		if meta.Directed {
+			if it.In, err = decodeTreeField(fields[3]); err != nil {
+				return meta, nil, fmt.Errorf("ned: line %d: incoming tree: %w", lineNo, err)
+			}
+		}
+		items = append(items, it)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return meta, nil, fmt.Errorf("ned: line %d: snapshot line exceeds %d bytes: %w", lineNo+1, maxSignatureLine, err)
+		}
+		return meta, nil, fmt.Errorf("ned: line %d: scanning snapshot: %w", lineNo+1, err)
+	}
+	if meta.Version >= 1 && len(items) != meta.nodes {
+		return meta, nil, fmt.Errorf("ned: snapshot truncated or padded: header declares %d nodes, found %d", meta.nodes, len(items))
+	}
+	return meta, items, nil
+}
+
+// parseSnapshotHeader parses "# ned corpus v1 backend=vp k=3 directed=0
+// nodes=5" into metadata, rejecting unknown versions and malformed or
+// missing fields.
+func parseSnapshotHeader(line string) (CorpusMeta, error) {
+	var meta CorpusMeta
+	rest := strings.TrimPrefix(line, snapshotPrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return meta, fmt.Errorf("malformed snapshot header %q", line)
+	}
+	v, err := strconv.Atoi(fields[0])
+	if err != nil || v < 1 {
+		return meta, fmt.Errorf("malformed snapshot version in %q", line)
+	}
+	if v > snapshotVersion {
+		return meta, fmt.Errorf("snapshot version %d not supported (this build reads up to v%d)", v, snapshotVersion)
+	}
+	meta.Version = v
+	got := map[string]bool{}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return meta, fmt.Errorf("malformed snapshot header field %q", f)
+		}
+		got[key] = true
+		switch key {
+		case "backend":
+			meta.Backend = val
+		case "k":
+			if meta.K, err = strconv.Atoi(val); err != nil || meta.K < 1 {
+				return meta, fmt.Errorf("bad snapshot k %q", val)
+			}
+		case "directed":
+			switch val {
+			case "0":
+			case "1":
+				meta.Directed = true
+			default:
+				return meta, fmt.Errorf("bad snapshot directed flag %q", val)
+			}
+		case "nodes":
+			if meta.nodes, err = strconv.Atoi(val); err != nil || meta.nodes < 0 {
+				return meta, fmt.Errorf("bad snapshot node count %q", val)
+			}
+		}
+	}
+	for _, key := range []string{"backend", "k", "directed", "nodes"} {
+		if !got[key] {
+			return meta, fmt.Errorf("snapshot header missing %s=", key)
+		}
+	}
+	return meta, nil
 }
 
 // SaveSignaturesFile writes signatures to a file.

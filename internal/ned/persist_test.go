@@ -3,6 +3,7 @@ package ned
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -73,6 +74,189 @@ func TestReadSignaturesMalformedNamesLine(t *testing.T) {
 	_, err := ReadSignatures(strings.NewReader(in))
 	if err == nil || !strings.Contains(err.Error(), "line 3") {
 		t.Errorf("malformed line not named: %v", err)
+	}
+}
+
+// TestCorpusSnapshotGolden locks the v1 snapshot format against the
+// checked-in golden files: if either direction of the codec drifts,
+// snapshots written by earlier builds stop loading, which is exactly
+// what the format version exists to prevent. Evolve the format by
+// bumping the version and adding a new golden, never by editing these.
+func TestCorpusSnapshotGolden(t *testing.T) {
+	cases := []struct {
+		path     string
+		meta     CorpusMeta
+		nodes    []graph.NodeID
+		outSizes []int
+	}{
+		{
+			path:     "testdata/corpus_v1.golden",
+			meta:     CorpusMeta{Version: 1, Backend: "bk", K: 2, Directed: false},
+			nodes:    []graph.NodeID{0, 3, 7},
+			outSizes: []int{4, 1, 4},
+		},
+		{
+			path:     "testdata/corpus_v1_directed.golden",
+			meta:     CorpusMeta{Version: 1, Backend: "vp", K: 2, Directed: true},
+			nodes:    []graph.NodeID{1, 4},
+			outSizes: []int{2, 1},
+		},
+	}
+	for _, tc := range cases {
+		raw, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, items, err := ReadCorpusItems(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if meta.Version != tc.meta.Version || meta.Backend != tc.meta.Backend ||
+			meta.K != tc.meta.K || meta.Directed != tc.meta.Directed {
+			t.Fatalf("%s: meta %+v, want %+v", tc.path, meta, tc.meta)
+		}
+		if len(items) != len(tc.nodes) {
+			t.Fatalf("%s: %d items, want %d", tc.path, len(items), len(tc.nodes))
+		}
+		for i, it := range items {
+			if it.Node != tc.nodes[i] || it.Out.Size() != tc.outSizes[i] {
+				t.Errorf("%s item %d: node %d size %d, want node %d size %d",
+					tc.path, i, it.Node, it.Out.Size(), tc.nodes[i], tc.outSizes[i])
+			}
+			if tc.meta.Directed && it.In == nil {
+				t.Errorf("%s item %d: missing incoming tree", tc.path, i)
+			}
+		}
+		// Re-encoding reproduces the golden bytes exactly.
+		var buf bytes.Buffer
+		if err := WriteCorpusItems(&buf, meta, items); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != string(raw) {
+			t.Errorf("%s: WriteCorpusItems drifted from the golden format:\ngot:  %q\nwant: %q",
+				tc.path, buf.String(), string(raw))
+		}
+	}
+}
+
+// TestCorpusSnapshotRoundTripRandom round-trips generated corpora of
+// both directednesses through the codec.
+func TestCorpusSnapshotRoundTripRandom(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := randomTestGraph(30, 70, 22)
+		var nodes []graph.NodeID
+		for v := 0; v < g.NumNodes(); v += 2 {
+			nodes = append(nodes, graph.NodeID(v))
+		}
+		items := BuildItems(g, nodes, 3, directed, 0)
+		meta := CorpusMeta{Version: 1, Backend: "vp", K: 3, Directed: directed}
+		var buf bytes.Buffer
+		if err := WriteCorpusItems(&buf, meta, items); err != nil {
+			t.Fatal(err)
+		}
+		gotMeta, got, err := ReadCorpusItems(&buf)
+		if err != nil {
+			t.Fatalf("directed=%v: %v", directed, err)
+		}
+		if gotMeta.Directed != directed || gotMeta.K != 3 || len(got) != len(items) {
+			t.Fatalf("directed=%v: meta %+v with %d items", directed, gotMeta, len(got))
+		}
+		for i := range got {
+			if got[i].Node != items[i].Node || tree.Encode(got[i].Out) != tree.Encode(items[i].Out) {
+				t.Errorf("directed=%v item %d did not round-trip", directed, i)
+			}
+			if directed && tree.Encode(got[i].In) != tree.Encode(items[i].In) {
+				t.Errorf("directed=%v item %d incoming tree did not round-trip", directed, i)
+			}
+		}
+	}
+}
+
+// TestSnapshotParsesAsSignatureFile: undirected corpus snapshots are
+// valid signature files — including the "-" placeholder a single-node
+// tree serializes as, which ReadSignatures must accept too.
+func TestSnapshotParsesAsSignatureFile(t *testing.T) {
+	snap := "# ned corpus v1 backend=vp k=2 directed=0 nodes=3\n0 2 0,0,1\n3 2 -\n7 2 0,1\n"
+	sigs, err := ReadSignatures(strings.NewReader(snap))
+	if err != nil {
+		t.Fatalf("ReadSignatures(snapshot): %v", err)
+	}
+	if len(sigs) != 3 {
+		t.Fatalf("got %d signatures, want 3", len(sigs))
+	}
+	if sigs[1].Node != 3 || sigs[1].Tree.Size() != 1 {
+		t.Errorf("placeholder line parsed as node %d size %d, want node 3 size 1",
+			sigs[1].Node, sigs[1].Tree.Size())
+	}
+}
+
+// TestReadCorpusItemsLegacy: input without a snapshot header parses as
+// a version-0 snapshot with the plain-signature semantics.
+func TestReadCorpusItemsLegacy(t *testing.T) {
+	in := "# ned signatures v1: node k parentvector\n3 2 0,0\n5 2\n"
+	meta, items, err := ReadCorpusItems(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 0 {
+		t.Fatalf("legacy input reported version %d", meta.Version)
+	}
+	if len(items) != 2 || items[0].Node != 3 || items[1].Node != 5 {
+		t.Fatalf("legacy items: %+v", items)
+	}
+	if items[1].Out.Size() != 1 {
+		t.Errorf("legacy empty encoding: tree size %d, want 1", items[1].Out.Size())
+	}
+}
+
+// TestReadCorpusItemsErrors walks the corrupted-input error paths; each
+// must fail with an error naming the offending line or field.
+func TestReadCorpusItemsErrors(t *testing.T) {
+	header := "# ned corpus v1 backend=vp k=2 directed=0 nodes=1\n"
+	cases := []struct {
+		name, in, want string
+	}{
+		{"future version", "# ned corpus v2 backend=vp k=2 directed=0 nodes=0\n", "version 2 not supported"},
+		{"bad version", "# ned corpus vx backend=vp k=2 directed=0 nodes=0\n", "malformed snapshot version"},
+		{"missing field", "# ned corpus v1 backend=vp k=2 directed=0\n", "missing nodes="},
+		{"bad k", "# ned corpus v1 backend=vp k=zero directed=0 nodes=0\n", "bad snapshot k"},
+		{"bad directed", "# ned corpus v1 backend=vp k=2 directed=yes nodes=0\n", "bad snapshot directed"},
+		{"bad node count", "# ned corpus v1 backend=vp k=2 directed=0 nodes=-4\n", "bad snapshot node count"},
+		{"field count", header + "0 2\n", "has 2 fields, want 3"},
+		{"bad node id", header + "x 2 0\n", "bad node id"},
+		{"bad item k", header + "0 2x 0\n", "bad k"},
+		{"k disagrees", header + "0 3 0\n", "disagrees with header"},
+		{"bad tree", header + "0 2 0,?\n", "decoding"},
+		{"duplicate", "# ned corpus v1 backend=vp k=2 directed=0 nodes=2\n4 2 0\n4 2 0\n", "already appeared on line 2"},
+		{"truncated", "# ned corpus v1 backend=vp k=2 directed=0 nodes=2\n4 2 0\n", "declares 2 nodes, found 1"},
+		{"padded", "# ned corpus v1 backend=vp k=2 directed=0 nodes=0\n4 2 0\n", "declares 0 nodes, found 1"},
+		{"directed missing in-tree", "# ned corpus v1 backend=vp k=2 directed=1 nodes=1\n0 2 0\n", "want 4"},
+		{"directed bad in-tree", "# ned corpus v1 backend=vp k=2 directed=1 nodes=1\n0 2 0 0,?\n", "incoming tree"},
+	}
+	for _, tc := range cases {
+		_, _, err := ReadCorpusItems(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWriteCorpusItemsRejectsBadItems: writing refuses items that could
+// not round-trip.
+func TestWriteCorpusItemsRejectsBadItems(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCorpusItems(&buf, CorpusMeta{Version: 1, Backend: "vp", K: 2}, []Item{{Node: 3, K: 2}})
+	if err == nil || !strings.Contains(err.Error(), "no tree") {
+		t.Errorf("nil out tree: %v", err)
+	}
+	err = WriteCorpusItems(&buf, CorpusMeta{Version: 1, Backend: "vp", K: 2, Directed: true},
+		[]Item{{Node: 3, K: 2, Out: tree.Path(2)}})
+	if err == nil || !strings.Contains(err.Error(), "no tree") {
+		t.Errorf("nil in tree on directed snapshot: %v", err)
 	}
 }
 

@@ -15,7 +15,10 @@ import (
 // This is the test oracle for TED* identity (δ = 0 iff isomorphic, §7.1)
 // and for Lemma 1's canonization-label semantics.
 func Canonical(t *Tree) string {
-	t.canonOnce.Do(func() { t.canon = computeCanonical(t) })
+	t.canonOnce.Do(func() {
+		t.canon = computeCanonical(t)
+		t.canonSet.Store(true)
+	})
 	return t.canon
 }
 

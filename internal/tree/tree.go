@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Tree is an unordered rooted tree in level order. Node 0 is the root;
@@ -38,7 +39,14 @@ type Tree struct {
 	// queries.
 	canonOnce sync.Once
 	canon     string
+	canonSet  atomic.Bool
 }
+
+// HasCanon reports whether the AHU canonical encoding has been derived
+// (and cached) for this tree yet. The dynamic-corpus tests use it to
+// assert that graph updates invalidate only the trees of the affected
+// ≤k-hop neighborhoods: untouched signatures must keep their cache.
+func (t *Tree) HasCanon() bool { return t.canonSet.Load() }
 
 // New constructs a Tree from a parent vector. parent[0] must be -1 and
 // every other entry must point to an earlier node (level order). New

@@ -24,7 +24,8 @@ type BKTree[T any] struct {
 	bdist func(a, b T, budget int) (int, bool) // optional; see SetBudgetedMetric
 	less  func(a, b T) bool                    // optional; see SetTieBreak
 	root  *bkNode[T]
-	count int
+	count int // indexed points, including tombstones
+	dead  int // tombstoned points
 
 	distCalls atomic.Int64
 }
@@ -38,6 +39,10 @@ type bkNode[T any] struct {
 	// search ring radius), no child window can overlap and the exact
 	// distance is irrelevant — the basis of the budgeted search.
 	maxKey int
+
+	// dead marks a tombstone: the node still routes searches through its
+	// children (its bucket keys stay valid) but never ranks as a hit.
+	dead bool
 }
 
 // SetBudgetedMetric installs a budget-aware metric variant returning
@@ -110,8 +115,35 @@ func (t *BKTree[T]) Insert(item T) {
 	}
 }
 
-// Len returns the number of indexed items.
-func (t *BKTree[T]) Len() int { return t.count }
+// Len returns the number of live (non-tombstoned) indexed items.
+func (t *BKTree[T]) Len() int { return t.count - t.dead }
+
+// Deleted returns how many indexed items are tombstones.
+func (t *BKTree[T]) Deleted() int { return t.dead }
+
+// Delete tombstones every live indexed item for which match returns
+// true and reports how many it marked. Tombstoned nodes keep routing
+// searches through their children but never rank as hits. Delete walks
+// the whole tree without metric evaluations. Not safe concurrently with
+// queries or Insert.
+func (t *BKTree[T]) Delete(match func(T) bool) int {
+	marked := 0
+	var walk func(n *bkNode[T])
+	walk = func(n *bkNode[T]) {
+		if !n.dead && match(n.point) {
+			n.dead = true
+			marked++
+		}
+		for _, child := range n.children {
+			walk(child)
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	t.dead += marked
+	return marked
+}
 
 // DistanceCalls returns metric evaluations since the last ResetStats
 // (queries only; Insert calls are not counted).
@@ -153,6 +185,11 @@ func (t *BKTree[T]) RangeContext(ctx context.Context, query T, r int) ([]IntResu
 				return
 			}
 		}
+		if n.dead && len(n.children) == 0 {
+			// A tombstoned leaf routes nothing and ranks nowhere: skip
+			// the metric evaluation entirely.
+			return
+		}
 		d, exact := t.eval(query, n, r)
 		evals++
 		if !exact {
@@ -160,7 +197,7 @@ func (t *BKTree[T]) RangeContext(ctx context.Context, query T, r int) ([]IntResu
 			// can reach the query's distance.
 			return
 		}
-		if d <= r {
+		if d <= r && !n.dead {
 			out = append(out, IntResult[T]{n.point, d})
 		}
 		for cd, child := range n.children {
@@ -230,6 +267,9 @@ func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult
 				return
 			}
 		}
+		if n.dead && len(n.children) == 0 {
+			return
+		}
 		d, exact := t.eval(query, n, worst())
 		evals++
 		if !exact {
@@ -237,8 +277,8 @@ func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult
 			// ring can overlap the current search window.
 			return
 		}
-		if len(best) < k || d < worst() ||
-			(t.less != nil && d == worst() && t.less(n.point, best[len(best)-1].Item)) {
+		if !n.dead && (len(best) < k || d < worst() ||
+			(t.less != nil && d == worst() && t.less(n.point, best[len(best)-1].Item))) {
 			add(IntResult[T]{n.point, d})
 		}
 		for cd, child := range n.children {

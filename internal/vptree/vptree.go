@@ -39,13 +39,18 @@ type BudgetedMetric[T any] func(a, b T, budget float64) (d float64, exact bool)
 // overhead.
 const cancelCheckStride = 16
 
-// Tree is an immutable vantage-point tree.
+// Tree is a vantage-point tree. Its structure is immutable after New;
+// Delete supports logical removal via tombstones: a dead node keeps
+// routing searches through its subtrees (its vantage distances stay
+// valid) but can no longer appear in results. Rebuild from the live
+// items once tombstones accumulate — the tree never compacts itself.
 type Tree[T any] struct {
 	dist  Metric[T]
 	bdist BudgetedMetric[T] // optional; see SetBudgetedMetric
 	less  func(a, b T) bool // optional; see SetTieBreak
 	root  *node[T]
-	count int
+	count int // indexed points, including tombstones
+	dead  int // tombstoned points
 
 	// distCalls counts metric evaluations since the last ResetStats; the
 	// Figure 9b experiment uses it to compare index vs scan work. Atomic
@@ -90,6 +95,7 @@ type node[T any] struct {
 	radius float64 // median distance from point to the inside subtree
 	inside *node[T]
 	beyond *node[T]
+	dead   bool // tombstone: still routes, never a hit
 }
 
 // New builds a VP-tree over items using the supplied metric. Vantage
@@ -141,8 +147,37 @@ func (t *Tree[T]) build(pts []T, rng *rand.Rand) *node[T] {
 	return n
 }
 
-// Len returns the number of indexed items.
-func (t *Tree[T]) Len() int { return t.count }
+// Len returns the number of live (non-tombstoned) indexed items.
+func (t *Tree[T]) Len() int { return t.count - t.dead }
+
+// Deleted returns how many indexed items are tombstones — structure the
+// tree still pays to route through. The caller's rebuild policy watches
+// this staleness.
+func (t *Tree[T]) Deleted() int { return t.dead }
+
+// Delete tombstones every live indexed item for which match returns
+// true and reports how many it marked. The tree keeps its shape: dead
+// nodes still route searches (their vantage distances remain valid) but
+// are never returned as hits. Delete walks the whole tree and performs
+// no metric evaluations. Not safe concurrently with searches.
+func (t *Tree[T]) Delete(match func(T) bool) int {
+	marked := 0
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		if !n.dead && match(n.point) {
+			n.dead = true
+			marked++
+		}
+		walk(n.inside)
+		walk(n.beyond)
+	}
+	walk(t.root)
+	t.dead += marked
+	return marked
+}
 
 // DistanceCalls returns the number of metric evaluations since the last
 // ResetStats (not counting the build).
@@ -215,6 +250,11 @@ func (t *Tree[T]) KNNContext(ctx context.Context, query T, k int) ([]Result[T], 
 				return
 			}
 		}
+		if n.dead && n.inside == nil && n.beyond == nil {
+			// A tombstoned leaf routes nothing and ranks nowhere: skip
+			// the metric evaluation entirely.
+			return
+		}
 		d, exact := t.eval(query, n, tau)
 		evals++
 		if !exact {
@@ -224,8 +264,8 @@ func (t *Tree[T]) KNNContext(ctx context.Context, query T, k int) ([]Result[T], 
 			visit(n.beyond)
 			return
 		}
-		if h.Len() < k || d < tau ||
-			(t.less != nil && d == tau && t.less(n.point, h.items[0].Item)) {
+		if !n.dead && (h.Len() < k || d < tau ||
+			(t.less != nil && d == tau && t.less(n.point, h.items[0].Item))) {
 			heap.Push(h, Result[T]{n.point, d})
 			if h.Len() > k {
 				heap.Pop(h)
@@ -288,6 +328,9 @@ func (t *Tree[T]) RangeContext(ctx context.Context, query T, r float64) ([]Resul
 				return
 			}
 		}
+		if n.dead && n.inside == nil && n.beyond == nil {
+			return
+		}
 		d, exact := t.eval(query, n, r)
 		evals++
 		if !exact {
@@ -296,7 +339,7 @@ func (t *Tree[T]) RangeContext(ctx context.Context, query T, r float64) ([]Resul
 			visit(n.beyond)
 			return
 		}
-		if d <= r {
+		if d <= r && !n.dead {
 			out = append(out, Result[T]{n.point, d})
 		}
 		if d-r < n.radius {

@@ -13,7 +13,10 @@
 // This package is the public facade over the implementation packages:
 //
 //   - the Corpus query engine: one thread-safe, context-aware API over
-//     interchangeable NED index backends (§13.3–13.4 workloads)
+//     interchangeable NED index backends (§13.3–13.4 workloads), with
+//     incremental Insert/Remove under live index maintenance, graph
+//     version updates (UpdateGraph), and snapshot persistence
+//     (Snapshot/LoadCorpus)
 //   - TED* and its weighted variant (§4–5, §12 of the paper)
 //   - NED for undirected and directed graphs (§3)
 //   - exact TED/GED/TED* baselines for validation (§13.1)
@@ -41,6 +44,11 @@
 //
 //	// One-off distances need no engine:
 //	d := ned.Distance(g1, 7, g2, 42, 3) // NED with k = 3
+//
+//	// Corpora are mutable and persistent:
+//	_ = corpus.Insert(17, 42)   // churn the indexed node set in place
+//	_ = corpus.Remove(3)
+//	_ = corpus.Snapshot(w)      // ned.LoadCorpus(r) restores it later
 //
 // Everything below Corpus — Distance, Signatures, TopL, NearestSet,
 // VPIndex, and friends — is the low-level layer: synchronous,
