@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn]
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
 //	         [-json results.json]
 //
@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"ned"
@@ -41,7 +43,7 @@ type jsonResult struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
 		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
@@ -129,9 +131,13 @@ func main() {
 		emit(churnExperiment(o))
 		ran++
 	}
+	if run("shard") {
+		emit(shardExperiment(o))
+		ran++
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn\n")
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard\n")
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
@@ -287,6 +293,139 @@ func churnExperiment(o bench.Options) bench.Table {
 			fmt.Sprint(mutations),
 			fmt.Sprint(stats.Rebuilds),
 			fmt.Sprintf("%.2f", stats.StaleRatio),
+			fmt.Sprint(mismatches))
+	}
+	return t
+}
+
+// shardExperiment measures the sharded engine's scaling: the same mixed
+// read/write workload — concurrent reader goroutines issuing KNN
+// queries while one writer continuously churns nodes — against shard
+// counts 1, 2, 4, and 8. Each shard owns its own epoch-published index,
+// so reads never block on mutations and a mutation only serializes
+// against its own shard; the table shows what that buys (or costs, on
+// few cores, where fan-out cannot parallelize and smaller metric trees
+// prune less).
+func shardExperiment(o bench.Options) bench.Table {
+	o.Normalize()
+	const kDepth = 3
+	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed})
+	g2 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed + 999})
+	rng := rand.New(rand.NewSource(o.Seed + 81))
+
+	queries := make([]ned.Signature, 0, o.Queries)
+	for _, v := range rng.Perm(g1.NumNodes())[:min(o.Queries, g1.NumNodes())] {
+		queries = append(queries, ned.NewSignature(g1, ned.NodeID(v), kDepth))
+	}
+	cands := make([]ned.NodeID, 0, o.Candidates)
+	for _, v := range rng.Perm(g2.NumNodes())[:min(o.Candidates, g2.NumNodes())] {
+		cands = append(cands, ned.NodeID(v))
+	}
+	readers := runtime.GOMAXPROCS(0)
+	if readers < 2 {
+		readers = 2
+	}
+	perReader := max(1, len(queries)/2)
+
+	t := bench.Table{
+		Title: "Sharded corpus: mixed read/write throughput vs shard count",
+		Note: fmt.Sprintf("%d candidates, %d readers x %d KNN queries with 1 continuous churn writer, PGP analog, k=%d, backend=vp, GOMAXPROCS=%d",
+			len(cands), readers, perReader, kDepth, runtime.GOMAXPROCS(0)),
+		Header: []string{"shards", "wall ms", "queries/s", "mutations", "rebuilds", "mismatches"},
+	}
+
+	ctx := context.Background()
+	var exact []ned.Neighbor
+	for _, shards := range []int{1, 2, 4, 8} {
+		corpus, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(ned.BackendVP),
+			ned.WithNodes(cands), ned.WithShards(shards))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := corpus.KNNSignature(ctx, queries[0], 1); err != nil { // materialize
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+
+		// One writer churns the second half of the candidate pool until
+		// the readers finish; readers hammer KNN over the stable first
+		// half's answers.
+		stop := make(chan struct{})
+		var writerDone sync.WaitGroup
+		var mutations int
+		writerDone.Add(1)
+		go func() {
+			defer writerDone.Done()
+			wrng := rand.New(rand.NewSource(o.Seed + 91))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := cands[len(cands)/2+wrng.Intn(len(cands)-len(cands)/2)]
+				if err := corpus.Remove(v); err != nil {
+					fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := corpus.Insert(v); err != nil {
+					fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+					os.Exit(1)
+				}
+				mutations += 2
+			}
+		}()
+
+		var readersDone sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < readers; w++ {
+			readersDone.Add(1)
+			go func(seed int64) {
+				defer readersDone.Done()
+				qrng := rand.New(rand.NewSource(seed))
+				for i := 0; i < perReader; i++ {
+					q := queries[qrng.Intn(len(queries))]
+					if _, err := corpus.KNNSignature(ctx, q, 5); err != nil {
+						fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}(o.Seed + int64(w))
+		}
+		readersDone.Wait()
+		wall := time.Since(start)
+		close(stop)
+		writerDone.Wait()
+
+		// Sharded answers on the stable half must match shards=1 exactly.
+		mismatches := 0
+		res, err := corpus.KNNSignature(ctx, queries[0], 10)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		if exact == nil {
+			exact = res
+		} else {
+			n := len(res)
+			if len(exact) > n {
+				n = len(exact)
+			}
+			for i := 0; i < n; i++ {
+				if i >= len(res) || i >= len(exact) || res[i] != exact[i] {
+					mismatches++
+				}
+			}
+		}
+
+		stats := corpus.Stats()
+		totalQueries := readers * perReader
+		t.AddRow(fmt.Sprint(shards),
+			fmt.Sprintf("%.1f", float64(wall.Nanoseconds())/1e6),
+			fmt.Sprintf("%.1f", float64(totalQueries)/wall.Seconds()),
+			fmt.Sprint(mutations),
+			fmt.Sprint(stats.Rebuilds),
 			fmt.Sprint(mismatches))
 	}
 	return t

@@ -6,7 +6,7 @@
 //
 //	nedquery -from a.edges -to b.edges -node 17 [-k 3] [-l 10]
 //	         [-backend vp|bk|linear|pruned] [-timeout 30s] [-workers 0]
-//	         [-watch]
+//	         [-shards 0] [-watch]
 //
 // With -watch, nedquery keeps the corpus live after the initial answer
 // and reads mutation commands from stdin, re-running the query after
@@ -45,6 +45,7 @@ func main() {
 		backend  = flag.String("backend", "vp", "index backend: vp, bk, linear, or pruned")
 		timeout  = flag.Duration("timeout", 0, "abort each query after this long (0 = no limit)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+		shards   = flag.Int("shards", 0, "index shard count (0 = derived from GOMAXPROCS)")
 		watch    = flag.Bool("watch", false, "keep the corpus live and re-query after mutation commands read from stdin")
 	)
 	flag.Parse()
@@ -73,7 +74,7 @@ func main() {
 	}
 
 	corpus, err := ned.NewCorpus(gTo, *k,
-		ned.WithBackend(be), ned.WithWorkers(*workers))
+		ned.WithBackend(be), ned.WithWorkers(*workers), ned.WithShards(*shards))
 	if err != nil {
 		fatal(err)
 	}
@@ -168,8 +169,8 @@ func watchLoop(corpus *ned.Corpus, runQuery func() error) {
 			requery()
 		case "stats":
 			s := corpus.Stats()
-			fmt.Printf("nodes %d, queries %d, TED* evals %d (early exits %d, lb prunes %d), rebuilds %d, stale %.2f\n",
-				s.Nodes, s.Queries, s.DistanceCalls, s.EarlyExits, s.LowerBoundPrunes, s.Rebuilds, s.StaleRatio)
+			fmt.Printf("nodes %d across %d shards %v, queries %d, TED* evals %d (early exits %d, lb prunes %d), rebuilds %d, stale %.2f\n",
+				s.Nodes, s.Shards, s.ShardNodes, s.Queries, s.DistanceCalls, s.EarlyExits, s.LowerBoundPrunes, s.Rebuilds, s.StaleRatio)
 		case "query":
 			requery()
 		case "quit", "exit", "q":

@@ -7,6 +7,12 @@
 //
 //	nedstats -dataset PGP [-scale 1.0] [-seed 42]
 //	nedstats -file path/to/graph.edges
+//	nedstats -dataset PGP -shards 8 [-k 3]   # report corpus shard balance too
+//
+// With -shards (> 0, or -shards -1 for the GOMAXPROCS-derived default),
+// nedstats additionally partitions the graph's nodes the way a sharded
+// ned.Corpus would and reports the per-shard node counts, so the hash
+// balance can be checked for a dataset before serving it.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"ned"
 	"ned/internal/datasets"
 	"ned/internal/graph"
 )
@@ -26,6 +33,8 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		hist    = flag.Bool("hist", false, "print the degree histogram")
+		shards  = flag.Int("shards", 0, "report corpus shard balance for this shard count (0 = off, -1 = GOMAXPROCS-derived default)")
+		k       = flag.Int("k", 3, "neighborhood depth for the shard-balance corpus")
 	)
 	flag.Parse()
 
@@ -72,6 +81,32 @@ func main() {
 				fmt.Printf("    %4d  %d\n", d, c)
 			}
 		}
+	}
+
+	if *shards != 0 {
+		n := *shards
+		if n < 0 {
+			n = 0 // WithShards(<=0) means the GOMAXPROCS-derived default
+		}
+		corpus, err := ned.NewCorpus(g, *k, ned.WithShards(n))
+		if err != nil {
+			fatal(err)
+		}
+		cs := corpus.Stats()
+		fmt.Printf("corpus sharding (k=%d):\n", cs.K)
+		fmt.Printf("  shards                %d\n", cs.Shards)
+		lo, hi := cs.ShardNodes[0], cs.ShardNodes[0]
+		for _, c := range cs.ShardNodes {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		fmt.Printf("  nodes/shard           min %d, max %d (ideal %.1f)\n",
+			lo, hi, float64(cs.Nodes)/float64(cs.Shards))
+		fmt.Printf("  per-shard counts      %v\n", cs.ShardNodes)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -106,12 +107,31 @@ func ParseBackend(s string) (Backend, error) {
 // triggers an amortized full rebuild of tombstone-accumulating backends.
 const defaultRebuildThreshold = 0.25
 
+// maxDefaultShards caps the GOMAXPROCS-derived shard default: beyond a
+// point extra shards stop buying mutation isolation and only add
+// fan-out/merge overhead per query. WithShards overrides the cap.
+const maxDefaultShards = 16
+
+// defaultShards is the shard count when WithShards is not given:
+// GOMAXPROCS, capped.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxDefaultShards {
+		n = maxDefaultShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // CorpusOption configures a Corpus at construction.
 type CorpusOption func(*corpusConfig)
 
 type corpusConfig struct {
 	backend   Backend
 	workers   int
+	shards    int
 	directed  bool
 	nodes     []NodeID
 	nodesSet  bool
@@ -125,10 +145,28 @@ func WithBackend(b Backend) CorpusOption {
 }
 
 // WithWorkers sets the worker pool size used for parallel signature
-// materialization, linear-backend scans, and BatchKNN fan-out. Values
-// <= 0 (the default) mean GOMAXPROCS.
+// materialization, linear-backend scans, shard fan-out, and BatchKNN.
+// Values <= 0 (the default) mean GOMAXPROCS.
 func WithWorkers(n int) CorpusOption {
 	return func(c *corpusConfig) { c.workers = n }
+}
+
+// WithShards sets how many shards the corpus partitions its nodes
+// across. Each shard owns its own index, staleness accounting, and
+// rebuild policy, publishes immutable epochs that queries read without
+// locking, and serializes its own mutations — so a mutation or rebuild
+// on one shard never blocks queries, and never blocks mutations on
+// other shards. Queries fan out across the shards in parallel and merge
+// with the canonical (distance, node) order, so answers are
+// node-identical for every shard count, including 1.
+//
+// Values <= 0 (the default) derive the count from GOMAXPROCS (capped at
+// 16). More shards buy mutation isolation and fan-out parallelism at
+// the price of per-query merge overhead and, for the metric trees,
+// slightly less pruning leverage per tree; WithShards(1) restores one
+// monolithic index.
+func WithShards(n int) CorpusOption {
+	return func(c *corpusConfig) { c.shards = n }
 }
 
 // WithDirected switches the corpus to the directed NED of Equation 2:
@@ -151,20 +189,21 @@ func WithNodes(nodes []NodeID) CorpusOption {
 	}
 }
 
-// WithRebuildThreshold sets the staleness ratio above which a mutation
-// triggers an amortized full rebuild of the index (default 0.25). The
-// VP-tree and BK-tree serve removals via tombstones and (VP) insertions
-// via a linearly-scanned append tail; both cost every query a little
-// until a rebuild folds them back into tree structure. The ratio is
-// stale slots over total structure, so r = 0.25 rebuilds once a quarter
-// of the index is dead weight. r >= 1 disables amortized rebuilds
-// (call Rebuild yourself); r <= 0 restores the default. The in-place
-// scan backends never go stale and ignore the threshold.
+// WithRebuildThreshold sets the per-shard staleness ratio above which a
+// mutation triggers an amortized rebuild of that shard's index (default
+// 0.25). The VP-tree and BK-tree serve removals via tombstones and (VP)
+// insertions via a linearly-scanned append tail; both cost every query
+// a little until a rebuild folds them back into tree structure. The
+// ratio is stale slots over total structure, so r = 0.25 rebuilds a
+// shard once a quarter of its index is dead weight. r >= 1 disables
+// amortized rebuilds (call Rebuild yourself); r <= 0 restores the
+// default. The in-place scan backends never go stale and ignore the
+// threshold.
 //
-// A rebuild reconstructs the metric tree under the corpus write lock,
-// so queries issued during it wait for the build to finish; workloads
-// that cannot absorb that pause should raise the threshold and call
-// Rebuild in their own maintenance windows.
+// A rebuild reconstructs one shard's metric tree and publishes it as a
+// new epoch: queries keep serving from the previous epoch for the whole
+// build and never wait, but the mutation that crossed the threshold
+// does, as do other mutations targeting the same shard.
 func WithRebuildThreshold(r float64) CorpusOption {
 	return func(c *corpusConfig) { c.rebuildAt = r }
 }
@@ -185,40 +224,146 @@ func WithGraph(g *Graph) CorpusOption {
 // backend. Build one with NewCorpus (or restore one with LoadCorpus);
 // all methods may be called concurrently.
 //
-// Signatures and the backend index are materialized lazily, in
+// The engine is sharded (WithShards): nodes are hash-partitioned across
+// shards, each owning its own index, and queries fan out across the
+// shards in parallel, merging with the canonical (distance, node)
+// order so answers are node-identical for every shard count.
+//
+// Reads are lock-free: each shard publishes an immutable epoch — its
+// index structure plus item table — through an atomic pointer, and a
+// query simply loads the current epochs. Mutations (Insert, Remove,
+// UpdateGraph, amortized rebuilds) prepare a private successor under
+// the target shard's write lock and publish it on commit, so once the
+// lazy build has run, a mutation never blocks queries — not even on
+// its own shard, where in-flight readers keep serving from the epoch
+// they loaded — and mutations on different shards run concurrently
+// (the one exception is the first query itself, whose lazy build
+// waits for mutations already in flight). A mutation batch
+// spanning shards commits shard by shard: queries racing the batch may
+// observe it partially applied, but every answer is consistent with
+// some interleaving of whole per-shard commits.
+//
+// Signatures and the backend indexes are materialized lazily, in
 // parallel, on the first query, so constructing a Corpus is cheap and
 // programs that only query a few of several corpora never pay for the
 // rest.
 //
 // A Corpus is dynamic: Insert and Remove churn the indexed node set
 // with live index maintenance (in-place for the scan backends,
-// tombstone + append with amortized rebuilds for the metric trees — see
-// WithRebuildThreshold), UpdateGraph follows the graph through version
-// changes re-extracting only the signatures an edit actually affected,
-// and Snapshot/LoadCorpus persist the built index across processes.
-// Results after any mutation sequence are identical to a freshly built
-// corpus over the same live nodes. Mutations serialize behind a write
-// lock and wait for in-flight queries to drain.
+// tombstone + append with amortized per-shard rebuilds for the metric
+// trees — see WithRebuildThreshold), UpdateGraph follows the graph
+// through version changes re-extracting only the signatures an edit
+// actually affected, and Snapshot/LoadCorpus persist the built index
+// across processes. Results after any mutation sequence are identical
+// to a freshly built corpus over the same live nodes.
 type Corpus struct {
 	k   int
 	cfg corpusConfig
 
-	// mu orders mutations against queries: queries hold the read side
-	// for their whole duration (so the index they resolved cannot be
-	// swapped or edited under them), mutations and snapshots the write
-	// side.
-	mu      sync.RWMutex
-	g       *Graph              // nil for snapshot-loaded corpora without WithGraph
-	members map[NodeID]bool     // the current indexed node set
+	// gmu orders whole-engine transitions against one another:
+	// materialization and index builds, UpdateGraph, explicit Rebuild,
+	// and Snapshot cuts take the write side. Insert holds the read side
+	// for its whole span so the graph version cannot move underneath its
+	// out-of-lock signature extraction. Queries and Remove never touch
+	// gmu; Stats and ResetStats are entirely atomic.
+	gmu sync.RWMutex
+
+	g      atomic.Pointer[Graph] // nil for snapshot-loaded corpora without WithGraph
+	shards []*corpusShard
+	exec   *ned.Executor // pooled workers for shard fan-out and BatchKNN
+
+	materialized atomic.Bool // signatures extracted into the epochs
+	built        atomic.Bool // per-shard indexes constructed
+
+	queries  atomic.Int64
+	rebuilds atomic.Int64
+}
+
+// corpusShard is one partition of the corpus: a mutation lock and the
+// atomically published current epoch.
+type corpusShard struct {
+	mu    sync.Mutex // serializes mutations to this shard only
+	epoch atomic.Pointer[shardEpoch]
+}
+
+// shardEpoch is one published, immutable generation of one shard.
+// Readers load it without locking and use it for their whole query;
+// mutations never edit a published epoch — they clone, splice, and
+// publish a successor. Serving counters inside ix are atomic and shared
+// across the shard's epochs, so Stats stay continuous through
+// publication.
+//
+// Membership lives in exactly one map per life stage: members before
+// the signatures materialize, byNode (whose keys are the membership)
+// afterward — so a mutation's epoch clone copies one map, not two.
+type shardEpoch struct {
+	members map[NodeID]bool     // pre-materialization node set; nil once byNode exists
 	byNode  map[NodeID]ned.Item // live items; nil until materialized
-	ix      ned.DynamicIndex    // nil until the first query (or Rebuild)
+	ix      ned.DynamicIndex    // nil until the index is built
+}
 
-	// base accumulates serving counters absorbed from index generations
-	// retired by rebuilds, keeping Stats monotone across mutation.
-	base     ned.Counters
-	rebuilds int64
+// has reports whether v is indexed in this epoch.
+func (e *shardEpoch) has(v NodeID) bool {
+	if e.byNode != nil {
+		_, ok := e.byNode[v]
+		return ok
+	}
+	return e.members[v]
+}
 
-	queries atomic.Int64
+// size is the epoch's indexed node count.
+func (e *shardEpoch) size() int {
+	if e.byNode != nil {
+		return len(e.byNode)
+	}
+	return len(e.members)
+}
+
+// clone returns a mutable successor of e: a fresh membership map, the
+// same index (the mutation decides whether to Clone the index too).
+func (e *shardEpoch) clone() *shardEpoch {
+	ne := &shardEpoch{ix: e.ix}
+	if e.byNode != nil {
+		ne.byNode = make(map[NodeID]ned.Item, len(e.byNode)+1)
+		for v, it := range e.byNode {
+			ne.byNode[v] = it
+		}
+	} else {
+		ne.members = make(map[NodeID]bool, len(e.members)+1)
+		for v := range e.members {
+			ne.members[v] = true
+		}
+	}
+	return ne
+}
+
+// resolveShards normalizes a WithShards value.
+func resolveShards(n int) int {
+	if n <= 0 {
+		return defaultShards()
+	}
+	return n
+}
+
+// newShardedCorpus allocates the shard skeleton with empty published
+// epochs; the caller populates membership (and items, for LoadCorpus)
+// before the corpus is shared.
+func newShardedCorpus(k int, cfg corpusConfig, g *Graph) *Corpus {
+	c := &Corpus{k: k, cfg: cfg, exec: ned.NewExecutor(cfg.workers)}
+	if g != nil {
+		c.g.Store(g)
+	}
+	c.shards = make([]*corpusShard, cfg.shards)
+	for i := range c.shards {
+		c.shards[i] = &corpusShard{}
+		c.shards[i].epoch.Store(&shardEpoch{members: make(map[NodeID]bool)})
+	}
+	return c
+}
+
+// shardFor returns the shard owning node v.
+func (c *Corpus) shardFor(v NodeID) *corpusShard {
+	return c.shards[ned.ShardOf(v, len(c.shards))]
 }
 
 // NewCorpus validates the configuration and returns a query engine over
@@ -240,6 +385,7 @@ func NewCorpus(g *Graph, k int, opts ...CorpusOption) (*Corpus, error) {
 	if cfg.rebuildAt <= 0 {
 		cfg.rebuildAt = defaultRebuildThreshold
 	}
+	cfg.shards = resolveShards(cfg.shards)
 	if cfg.backend < 0 || cfg.backend >= numBackends {
 		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
 	}
@@ -257,57 +403,51 @@ func NewCorpus(g *Graph, k int, opts ...CorpusOption) (*Corpus, error) {
 		}
 	}
 	cfg.nodes = nil
-	return &Corpus{k: k, cfg: cfg, g: g, members: members}, nil
-}
-
-// sortedMembersLocked returns the indexed node set in ascending order —
-// the deterministic build and snapshot order. Callers hold mu.
-func (c *Corpus) sortedMembersLocked() []NodeID {
-	nodes := make([]NodeID, 0, len(c.members))
-	for v := range c.members {
-		nodes = append(nodes, v)
+	c := newShardedCorpus(k, cfg, g)
+	for v := range members {
+		c.shardFor(v).epoch.Load().members[v] = true
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	return nodes
+	return c, nil
 }
 
-// sortedItemsLocked returns the live items in ascending node order.
-// Callers hold mu and have materialized byNode.
-func (c *Corpus) sortedItemsLocked() []ned.Item {
-	items := make([]ned.Item, 0, len(c.byNode))
-	for _, it := range c.byNode {
+// sortedShardItems returns a shard's live items in ascending node order
+// — the deterministic build and snapshot order.
+func sortedShardItems(byNode map[NodeID]ned.Item) []ned.Item {
+	items := make([]ned.Item, 0, len(byNode))
+	for _, it := range byNode {
 		items = append(items, it)
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].Node < items[j].Node })
 	return items
 }
 
-// materializeLocked extracts the signatures of every member in parallel
-// (a no-op once done, and for snapshot-loaded corpora, whose items
-// arrived with the snapshot). Callers hold mu for writing.
-func (c *Corpus) materializeLocked() {
-	if c.byNode != nil {
-		return
+// shardWorkers is the per-shard worker budget for the linear backend's
+// scans: the corpus worker count split across shards, so one query's
+// full fan-out saturates the configured width instead of multiplying
+// it.
+func (c *Corpus) shardWorkers() int {
+	w := c.cfg.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	nodes := c.sortedMembersLocked()
-	items := ned.BuildItems(c.g, nodes, c.k, c.cfg.directed, c.cfg.workers)
-	c.byNode = make(map[NodeID]ned.Item, len(items))
-	for _, it := range items {
-		c.byNode[it.Node] = it
+	n := (w + len(c.shards) - 1) / len(c.shards)
+	if n < 1 {
+		n = 1
 	}
+	return n
 }
 
-// newIndexLocked builds the configured backend over the live items.
-// Callers hold mu for writing and have materialized byNode.
-func (c *Corpus) newIndexLocked() ned.DynamicIndex {
-	items := c.sortedItemsLocked()
+// newShardIndex builds the configured backend over one shard's live
+// items.
+func (c *Corpus) newShardIndex(byNode map[NodeID]ned.Item) ned.DynamicIndex {
+	items := sortedShardItems(byNode)
 	switch c.cfg.backend {
 	case BackendVP:
 		return ned.NewVPBackend(items)
 	case BackendBK:
 		return ned.NewBKBackend(items)
 	case BackendLinear:
-		return ned.NewLinearBackend(items, c.cfg.workers)
+		return ned.NewLinearBackend(items, c.shardWorkers())
 	case BackendPrunedLinear:
 		return ned.NewPrunedLinearBackend(items)
 	}
@@ -315,25 +455,107 @@ func (c *Corpus) newIndexLocked() ned.DynamicIndex {
 	panic(fmt.Sprintf("ned: invalid backend %d past construction", int(c.cfg.backend)))
 }
 
-// acquire returns the built index with the read lock held; the caller
-// must call release when its query completes. The first acquisition
-// pays for the lazy materialization and build.
-func (c *Corpus) acquire() (ned.Index, func()) {
-	c.mu.RLock()
-	if c.ix != nil {
-		return c.ix, c.mu.RUnlock
+// rebuiltShardIndex builds a fresh index over an epoch's live items and
+// redirects its serving counters into the retiring generation's
+// accumulator, keeping Stats monotone across rebuilds even with queries
+// still in flight on the old epoch.
+func (c *Corpus) rebuiltShardIndex(e *shardEpoch) ned.DynamicIndex {
+	ix := c.newShardIndex(e.byNode)
+	ned.ShareCounters(ix, e.ix)
+	return ix
+}
+
+// maybeRebuildShard applies the amortized-rebuild policy to an epoch
+// being prepared for publication. Callers hold the shard lock and e.ix
+// is a private (cloned or fresh) index.
+func (c *Corpus) maybeRebuildShard(e *shardEpoch) {
+	if ned.StaleRatio(e.ix) > c.cfg.rebuildAt {
+		e.ix = c.rebuiltShardIndex(e)
+		c.rebuilds.Add(1)
 	}
-	c.mu.RUnlock()
-	c.mu.Lock()
-	if c.ix == nil {
-		c.materializeLocked()
-		c.ix = c.newIndexLocked()
+}
+
+// materializeAllLocked extracts the signatures of every member in
+// parallel and publishes item-bearing epochs (a no-op once done, and
+// for snapshot-loaded corpora, whose items arrived with the snapshot).
+// Callers hold gmu for writing.
+func (c *Corpus) materializeAllLocked() {
+	if c.materialized.Load() {
+		return
 	}
-	c.mu.Unlock()
-	c.mu.RLock()
-	// Reread under the read lock: a rebuild may have swapped the index,
-	// but it can never become nil again.
-	return c.ix, c.mu.RUnlock
+	g := c.g.Load()
+	var nodes []NodeID
+	for _, sh := range c.shards {
+		for v := range sh.epoch.Load().members {
+			nodes = append(nodes, v)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	items := ned.BuildItems(g, nodes, c.k, c.cfg.directed, c.cfg.workers)
+	itemOf := make(map[NodeID]ned.Item, len(items))
+	for _, it := range items {
+		itemOf[it.Node] = it
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		// Re-read under the shard lock: a concurrent Remove may have
+		// shrunk the membership since the extraction snapshot (Insert is
+		// excluded by gmu), so filter rather than trust the snapshot.
+		ep := sh.epoch.Load()
+		ne := &shardEpoch{byNode: make(map[NodeID]ned.Item, len(ep.members)), ix: ep.ix}
+		for v := range ep.members {
+			if it, ok := itemOf[v]; ok {
+				ne.byNode[v] = it
+			} else {
+				ne.byNode[v] = ned.NewItem(g, v, c.k, c.cfg.directed)
+			}
+		}
+		sh.epoch.Store(ne)
+		sh.mu.Unlock()
+	}
+	c.materialized.Store(true)
+}
+
+// buildAllLocked materializes and constructs every shard's index.
+// Callers hold gmu for writing.
+func (c *Corpus) buildAllLocked() {
+	if c.built.Load() {
+		return
+	}
+	c.materializeAllLocked()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		ep := sh.epoch.Load()
+		if ep.ix == nil {
+			sh.epoch.Store(&shardEpoch{byNode: ep.byNode, ix: c.newShardIndex(ep.byNode)})
+		}
+		sh.mu.Unlock()
+	}
+	c.built.Store(true)
+}
+
+// acquire returns the current epoch of every shard, building lazily on
+// first use. The hot path is one atomic load per shard — no locks.
+func (c *Corpus) acquire() []*shardEpoch {
+	if !c.built.Load() {
+		c.gmu.Lock()
+		c.buildAllLocked()
+		c.gmu.Unlock()
+	}
+	eps := make([]*shardEpoch, len(c.shards))
+	for i, sh := range c.shards {
+		eps[i] = sh.epoch.Load()
+	}
+	return eps
+}
+
+// indexes projects the epochs' index vector for the shard router.
+func indexes(eps []*shardEpoch) []ned.Index {
+	ixs := make([]ned.Index, len(eps))
+	for i, ep := range eps {
+		ixs[i] = ep.ix
+	}
+	return ixs
 }
 
 // queryItem validates and converts an external signature query.
@@ -350,43 +572,47 @@ func (c *Corpus) queryItem(sig Signature) (ned.Item, error) {
 	return sig.Item(), nil
 }
 
+// checkUnindexedNode is the one validity gate for node queries that
+// miss the index: they need a graph to extract from and an in-range ID.
+func (c *Corpus) checkUnindexedNode(v NodeID) (*Graph, error) {
+	g := c.g.Load()
+	if g == nil {
+		return nil, fmt.Errorf("%w: node %d is not indexed (restore with WithGraph to query arbitrary nodes)", ErrNoGraph, v)
+	}
+	if int(v) < 0 || int(v) >= g.NumNodes() {
+		return nil, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, g.NumNodes())
+	}
+	return g, nil
+}
+
 // checkNode validates a node query target without forcing the lazy
 // build, so an out-of-range node on a never-queried corpus errors
-// immediately instead of paying the full materialization first.
+// immediately instead of paying the full materialization first: indexed
+// nodes are always valid; anything else passes checkUnindexedNode.
+// Lock-free — it reads the owning shard's published epoch.
 func (c *Corpus) checkNode(v NodeID) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.checkNodeLocked(v)
-}
-
-// checkNodeLocked is the one validity check behind every node-query
-// path: indexed nodes are always valid; anything else needs a graph
-// and an in-range ID. Callers hold mu (either side).
-func (c *Corpus) checkNodeLocked(v NodeID) error {
-	if _, ok := c.byNode[v]; ok {
+	if int(v) >= 0 && c.shardFor(v).epoch.Load().has(v) {
 		return nil
 	}
-	if c.g == nil {
-		return fmt.Errorf("%w: node %d is not indexed (restore with WithGraph to query arbitrary nodes)", ErrNoGraph, v)
-	}
-	if int(v) < 0 || int(v) >= c.g.NumNodes() {
-		return fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
-	}
-	return nil
+	_, err := c.checkUnindexedNode(v)
+	return err
 }
 
-// nodeItemLocked resolves the query item for a node: the cached index
-// item when the node is indexed, a fresh extraction from the graph
-// otherwise. Snapshot-loaded corpora without WithGraph can only query
-// indexed nodes. Callers hold mu (either side).
-func (c *Corpus) nodeItemLocked(v NodeID) (ned.Item, error) {
-	if it, ok := c.byNode[v]; ok {
-		return it, nil
+// nodeItem resolves the query item for a node against an acquired epoch
+// vector: the cached index item when the node is indexed, a fresh
+// extraction from the graph otherwise. Snapshot-loaded corpora without
+// WithGraph can only query indexed nodes.
+func (c *Corpus) nodeItem(eps []*shardEpoch, v NodeID) (ned.Item, error) {
+	if int(v) >= 0 {
+		if it, ok := eps[ned.ShardOf(v, len(c.shards))].byNode[v]; ok {
+			return it, nil
+		}
 	}
-	if err := c.checkNodeLocked(v); err != nil {
+	g, err := c.checkUnindexedNode(v)
+	if err != nil {
 		return ned.Item{}, err
 	}
-	return ned.NewItem(c.g, v, c.k, c.cfg.directed), nil
+	return ned.NewItem(g, v, c.k, c.cfg.directed), nil
 }
 
 // KNN returns the l indexed nodes most NED-similar to node v of the
@@ -404,14 +630,13 @@ func (c *Corpus) KNN(ctx context.Context, v NodeID, l int) ([]Neighbor, error) {
 	if err := c.checkNode(v); err != nil {
 		return nil, err
 	}
-	ix, release := c.acquire()
-	defer release()
-	q, err := c.nodeItemLocked(v)
+	eps := c.acquire()
+	q, err := c.nodeItem(eps, v)
 	if err != nil {
 		return nil, err
 	}
 	c.queries.Add(1)
-	return ix.KNN(ctx, q, l)
+	return ned.FanKNN(ctx, c.exec, indexes(eps), q, l)
 }
 
 // KNNSignature is KNN for an external query signature — typically a
@@ -428,10 +653,9 @@ func (c *Corpus) KNNSignature(ctx context.Context, sig Signature, l int) ([]Neig
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, release := c.acquire()
-	defer release()
+	eps := c.acquire()
 	c.queries.Add(1)
-	return ix.KNN(ctx, q, l)
+	return ned.FanKNN(ctx, c.exec, indexes(eps), q, l)
 }
 
 // Range returns every indexed node within NED distance r of the query
@@ -447,10 +671,9 @@ func (c *Corpus) Range(ctx context.Context, sig Signature, r int) ([]Neighbor, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, release := c.acquire()
-	defer release()
+	eps := c.acquire()
 	c.queries.Add(1)
-	return ix.Range(ctx, q, r)
+	return ned.FanRange(ctx, c.exec, indexes(eps), q, r)
 }
 
 // NearestSet returns every indexed node at the minimum NED distance
@@ -465,17 +688,21 @@ func (c *Corpus) NearestSet(ctx context.Context, sig Signature) ([]Neighbor, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, release := c.acquire()
-	defer release()
-	if ix.Len() == 0 {
+	eps := c.acquire()
+	ixs := indexes(eps)
+	n := 0
+	for _, ix := range ixs {
+		n += ix.Len()
+	}
+	if n == 0 {
 		return nil, ctx.Err()
 	}
 	c.queries.Add(1)
-	best, err := ix.KNN(ctx, q, 1)
+	best, err := ned.FanKNN(ctx, c.exec, ixs, q, 1)
 	if err != nil {
 		return nil, err
 	}
-	all, err := ix.Range(ctx, q, best[0].Dist)
+	all, err := ned.FanRange(ctx, c.exec, ixs, q, best[0].Dist)
 	if err != nil {
 		return nil, err
 	}
@@ -489,18 +716,20 @@ func (c *Corpus) NearestSet(ctx context.Context, sig Signature) ([]Neighbor, err
 	}
 	minDist := all[0].Dist
 	out := all[:0]
-	for _, n := range all {
-		if n.Dist == minDist {
-			out = append(out, n)
+	for _, nb := range all {
+		if nb.Dist == minDist {
+			out = append(out, nb)
 		}
 	}
 	return out, nil
 }
 
 // BatchKNN answers one KNN query per signature, fanning the queries out
-// across the corpus worker pool. results[i] corresponds to sigs[i].
-// Cancelling ctx aborts the whole batch: queries not yet finished are
-// abandoned and the error is returned.
+// across the corpus executor's pooled workers (each query in turn fans
+// out across the shards). results[i] corresponds to sigs[i]. Cancelling
+// ctx aborts the whole batch: queries not yet started are never issued,
+// in-flight ones abort at their next distance-loop check, and the
+// context error is returned.
 func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Neighbor, error) {
 	if l < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadL, l)
@@ -516,21 +745,21 @@ func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Nei
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix, release := c.acquire()
-	defer release()
+	eps := c.acquire()
+	ixs := indexes(eps)
 	c.queries.Add(int64(len(sigs)))
 	// The linear backend already spreads each scan across the worker
-	// pool; fanning queries out on top of that would run workers² TED*
-	// goroutines, so batch sequentially there and let each query
-	// parallelize instead.
-	batchWorkers := c.cfg.workers
+	// pool (and the shard fan-out multiplies that); batching on top
+	// would oversubscribe, so batch sequentially there and let each
+	// query parallelize instead.
+	batchWorkers := 0 // executor width
 	if c.cfg.backend == BackendLinear {
 		batchWorkers = 1
 	}
 	results := make([][]Neighbor, len(sigs))
 	errs := make([]error, len(sigs))
-	if err := ned.ParallelForCtx(ctx, len(sigs), batchWorkers, func(i int) {
-		results[i], errs[i] = ix.KNN(ctx, qs[i], l)
+	if err := c.exec.Do(ctx, len(sigs), batchWorkers, func(i int) {
+		results[i], errs[i] = ned.FanKNN(ctx, c.exec, ixs, qs[i], l)
 	}); err != nil {
 		return nil, err
 	}
@@ -549,8 +778,13 @@ type CorpusStats struct {
 	K        int
 	Directed bool
 	Workers  int  // configured worker count; 0 means GOMAXPROCS
-	Nodes    int  // indexed node count
-	Built    bool // whether the index has been materialized yet
+	Nodes    int  // indexed node count, summed across shards
+	Shards   int  // shard count the corpus partitions across
+	Built    bool // whether the indexes have been materialized yet
+
+	// ShardNodes is the indexed node count per shard — the partition
+	// balance the splitmix hash produces for this node set.
+	ShardNodes []int
 
 	Queries       int64 // queries served (BatchKNN counts each signature)
 	DistanceCalls int64 // TED* evaluations started serving them (incl. early-exited)
@@ -564,53 +798,67 @@ type CorpusStats struct {
 	// padding lower bound alone, before any matching work.
 	LowerBoundPrunes int64
 
-	// Rebuilds counts index rebuilds since construction: amortized ones
-	// triggered by the staleness threshold plus explicit Rebuild calls
-	// (a Rebuild on a never-built corpus performs the first build and
-	// is not counted). Serving counters accumulate across rebuilds
-	// (they never reset except through ResetStats).
+	// Rebuilds counts index rebuilds since construction: amortized
+	// per-shard rebuilds triggered by the staleness threshold, plus
+	// explicit Rebuild calls (each counted once, however many shards it
+	// refreshes; a Rebuild on a never-built corpus performs the first
+	// build and is not counted). Serving counters accumulate across
+	// rebuilds (they never reset except through ResetStats).
 	Rebuilds int64
-	// StaleRatio is the current fraction of the index structure occupied
-	// by tombstones or unindexed appends (0 for in-place backends and
-	// freshly built indexes). See WithRebuildThreshold.
+	// StaleRatio is the current fraction of the index structure —
+	// aggregated across shards — occupied by tombstones or unindexed
+	// appends (0 for in-place backends and freshly built indexes). See
+	// WithRebuildThreshold.
 	StaleRatio float64
 }
 
 // Stats reports the corpus configuration and serving counters. Safe to
-// call concurrently with queries; counters are atomic snapshots.
+// call concurrently with queries and mutations — it reads each shard's
+// published epoch and atomic counters without locking.
 func (c *Corpus) Stats() CorpusStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	s := CorpusStats{
-		Backend:  c.cfg.backend,
-		K:        c.k,
-		Directed: c.cfg.directed,
-		Workers:  c.cfg.workers,
-		Nodes:    len(c.members),
-		Queries:  c.queries.Load(),
-		Rebuilds: c.rebuilds,
+		Backend:    c.cfg.backend,
+		K:          c.k,
+		Directed:   c.cfg.directed,
+		Workers:    c.cfg.workers,
+		Shards:     len(c.shards),
+		ShardNodes: make([]int, len(c.shards)),
+		Built:      c.built.Load(),
+		Queries:    c.queries.Load(),
+		Rebuilds:   c.rebuilds.Load(),
 	}
-	counters := c.base
-	if c.ix != nil {
-		s.Built = true
-		counters = counters.Add(c.ix.Counters())
-		s.StaleRatio = c.ix.StaleRatio()
+	var counters ned.Counters
+	var stale, total int
+	for i, sh := range c.shards {
+		ep := sh.epoch.Load()
+		s.ShardNodes[i] = ep.size()
+		s.Nodes += ep.size()
+		if ep.ix != nil {
+			counters = counters.Add(ep.ix.Counters())
+			st, tt := ep.ix.Stale()
+			stale += st
+			total += tt
+		}
 	}
 	s.DistanceCalls = counters.DistanceCalls
 	s.EarlyExits = counters.EarlyExits
 	s.LowerBoundPrunes = counters.LowerBoundPrunes
+	if total > 0 {
+		s.StaleRatio = float64(stale) / float64(total)
+	}
 	return s
 }
 
-// ResetStats zeroes the query and distance counters (including the
-// portion accumulated by retired index generations).
+// ResetStats zeroes the query and distance counters. Each shard's
+// accumulator is shared by every epoch of that shard, so the reset
+// covers retired generations and epochs still serving in-flight
+// queries; like Stats, it takes no locks.
 func (c *Corpus) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.queries.Store(0)
-	c.base = ned.Counters{}
-	if c.ix != nil {
-		c.ix.ResetStats()
+	for _, sh := range c.shards {
+		if ep := sh.epoch.Load(); ep.ix != nil {
+			ep.ix.ResetStats()
+		}
 	}
 }
 
@@ -618,13 +866,12 @@ func (c *Corpus) ResetStats() {
 // convenience for cross-corpus queries: sig from corpus A's graph, then
 // b.KNNSignature(ctx, sig, l).
 func (c *Corpus) Signature(v NodeID) (Signature, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.g == nil {
+	g := c.g.Load()
+	if g == nil {
 		return Signature{}, fmt.Errorf("%w: Signature needs the corpus graph", ErrNoGraph)
 	}
-	if int(v) < 0 || int(v) >= c.g.NumNodes() {
-		return Signature{}, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
+	if int(v) < 0 || int(v) >= g.NumNodes() {
+		return Signature{}, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, g.NumNodes())
 	}
-	return NewSignature(c.g, v, c.k), nil
+	return NewSignature(g, v, c.k), nil
 }

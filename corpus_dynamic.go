@@ -7,16 +7,25 @@ import (
 	"ned/internal/ned"
 )
 
-// This file is the mutation surface of the Corpus: incremental node
-// churn (Insert/Remove), explicit and amortized index rebuilds, and
-// graph-version updates that re-extract only the signatures an edit
-// actually affected. The paper pitches NED for evolving networks
-// (de-anonymization and similarity search against graphs that change
-// over time); without this layer any churn forced a full re-index.
+// This file is the mutation surface of the sharded Corpus: incremental
+// node churn (Insert/Remove), explicit and amortized per-shard index
+// rebuilds, and graph-version updates that re-extract only the
+// signatures an edit actually affected. The paper pitches NED for
+// evolving networks (de-anonymization and similarity search against
+// graphs that change over time); without this layer any churn forced a
+// full re-index.
 //
-// Invariant, enforced by the churn-equivalence suite: after any
-// interleaving of mutations, every query answers exactly as a corpus
-// freshly built over the same live node set would.
+// Every mutation follows the epoch protocol: route the batch to the
+// shards that own the touched nodes, and per shard — under that shard's
+// lock only — clone the published epoch, clone its index, splice the
+// change into the private copies, and publish the successor with one
+// atomic store. Queries never wait: in-flight readers keep the epoch
+// they loaded, new readers pick up the published one, and shards not
+// named by the batch are never locked at all.
+//
+// Invariant, enforced by the churn- and sharded-equivalence suites:
+// after any interleaving of mutations, every query answers exactly as a
+// corpus freshly built over the same live node set would.
 
 // Insert adds nodes of the corpus graph to the indexed set. Nodes
 // already indexed are skipped, so Insert is idempotent; out-of-range
@@ -25,157 +34,150 @@ import (
 // graph to extract signatures from).
 //
 // Before the first query nothing is materialized yet, so Insert just
-// grows the node set and the lazy build pays once. Afterward the new
-// signatures are extracted in parallel — outside the corpus lock, so
-// queries keep serving during the BFS work — and handed to the live
-// index: in place for the scan backends, natively for the BK-tree, and
-// onto the VP-tree's append tail, followed by an amortized rebuild if
-// the staleness threshold is crossed. Only the final splice waits for
-// in-flight queries to drain.
+// grows the node sets and the lazy build pays once. Afterward the new
+// signatures are extracted in parallel — outside every shard lock, so
+// queries and mutations of other shards proceed during the BFS work —
+// and spliced into each owning shard as a new epoch. Insert holds the
+// engine's read gate for its span, so it excludes UpdateGraph (the
+// graph version cannot move under the extraction) but runs concurrently
+// with queries, Removes, and other Inserts.
 func (c *Corpus) Insert(nodes ...NodeID) error {
-	c.mu.RLock()
-	g, materialized := c.g, c.byNode != nil
-	fresh, err := c.freshNodesLocked(nodes)
-	c.mu.RUnlock()
-	if err != nil {
-		return err
+	c.gmu.RLock()
+	defer c.gmu.RUnlock()
+	g := c.g.Load()
+	if g == nil {
+		return fmt.Errorf("%w: Insert needs the corpus graph (restore with WithGraph)", ErrNoGraph)
 	}
-	if len(fresh) == 0 {
-		return nil
-	}
-	var items []ned.Item
-	if materialized {
-		items = ned.BuildItems(g, fresh, c.k, c.cfg.directed, c.cfg.workers)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.g != g || (c.byNode != nil) != materialized {
-		// The graph version moved or the lazy build ran while we were
-		// extracting (rare): redo the whole batch under the lock.
-		return c.insertLocked(nodes)
-	}
-	c.spliceLocked(fresh, items)
-	return nil
-}
-
-// freshNodesLocked validates an Insert batch and filters it to the
-// nodes not yet indexed, erroring before anything is mutated. Callers
-// hold mu (either side).
-func (c *Corpus) freshNodesLocked(nodes []NodeID) ([]NodeID, error) {
-	if c.g == nil {
-		return nil, fmt.Errorf("%w: Insert needs the corpus graph (restore with WithGraph)", ErrNoGraph)
-	}
+	// Validate the whole batch and filter it to nodes not yet indexed,
+	// erroring before anything is mutated.
 	fresh := make([]NodeID, 0, len(nodes))
 	batch := make(map[NodeID]bool, len(nodes))
 	for _, v := range nodes {
-		if int(v) < 0 || int(v) >= c.g.NumNodes() {
-			return nil, fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.NumNodes())
+		if int(v) < 0 || int(v) >= g.NumNodes() {
+			return fmt.Errorf("%w: node %d not in [0, %d)", ErrNodeOutOfRange, v, g.NumNodes())
 		}
-		if c.members[v] || batch[v] {
+		if batch[v] || c.shardFor(v).epoch.Load().has(v) {
 			continue
 		}
 		batch[v] = true
 		fresh = append(fresh, v)
 	}
-	return fresh, nil
-}
-
-// insertLocked is the fully-locked Insert fallback for batches whose
-// optimistic extraction raced with another mutation. Callers hold mu
-// for writing.
-func (c *Corpus) insertLocked(nodes []NodeID) error {
-	fresh, err := c.freshNodesLocked(nodes)
-	if err != nil || len(fresh) == 0 {
-		return err
+	if len(fresh) == 0 {
+		return nil
 	}
-	var items []ned.Item
-	if c.byNode != nil {
-		items = ned.BuildItems(c.g, fresh, c.k, c.cfg.directed, c.cfg.workers)
+	// Extract signatures outside the shard locks (the expensive part).
+	// materialized cannot flip mid-Insert: the transition runs under
+	// gmu's write side.
+	var itemOf map[NodeID]ned.Item
+	if c.materialized.Load() {
+		items := ned.BuildItems(g, fresh, c.k, c.cfg.directed, c.cfg.workers)
+		itemOf = make(map[NodeID]ned.Item, len(items))
+		for _, it := range items {
+			itemOf[it.Node] = it
+		}
 	}
-	c.spliceLocked(fresh, items)
+	for si, vs := range groupByShard(fresh, len(c.shards)) {
+		sh := c.shards[si]
+		sh.mu.Lock()
+		ep := sh.epoch.Load()
+		ne := ep.clone()
+		var added []ned.Item
+		for _, v := range vs {
+			if ne.has(v) { // another Insert won the race for this node
+				continue
+			}
+			if ne.byNode != nil {
+				it, ok := itemOf[v]
+				if !ok {
+					it = ned.NewItem(g, v, c.k, c.cfg.directed)
+				}
+				ne.byNode[v] = it
+				added = append(added, it)
+			} else {
+				ne.members[v] = true
+			}
+		}
+		if ne.ix != nil && len(added) > 0 {
+			ix := ne.ix.Clone()
+			ix.Insert(added...)
+			ne.ix = ix
+			c.maybeRebuildShard(ne)
+		}
+		sh.epoch.Store(ne)
+		sh.mu.Unlock()
+	}
 	return nil
 }
 
-// spliceLocked commits an Insert batch: membership always, plus item
-// map and live index when materialized (items[i] corresponds to
-// fresh[i]; nil items means the lazy build will extract later). Nodes
-// that became members since validation are skipped. Callers hold mu
-// for writing.
-func (c *Corpus) spliceLocked(fresh []NodeID, items []ned.Item) {
-	var added []ned.Item
-	for i, v := range fresh {
-		if c.members[v] {
-			continue
-		}
-		c.members[v] = true
-		if items != nil {
-			c.byNode[v] = items[i]
-			added = append(added, items[i])
-		}
+// groupByShard buckets a node batch by owning shard.
+func groupByShard(nodes []NodeID, shards int) map[int][]NodeID {
+	out := make(map[int][]NodeID)
+	for _, v := range nodes {
+		si := ned.ShardOf(v, shards)
+		out[si] = append(out[si], v)
 	}
-	if c.ix != nil && len(added) > 0 {
-		c.ix.Insert(added...)
-		c.maybeRebuildLocked()
-	}
+	return out
 }
 
 // Remove deletes nodes from the indexed set. Nodes that are not
 // indexed are ignored, so Remove is idempotent and never errors — a
-// churn workload can replay removals without bookkeeping. The scan
-// backends compact in place; the metric trees tombstone the entries
-// and amortize compaction into the next threshold-triggered rebuild.
-// Remove waits for in-flight queries to drain.
+// churn workload can replay removals without bookkeeping. Each owning
+// shard publishes a tombstoned (metric trees) or compacted (scan
+// backends) successor epoch; queries never wait, and shards the batch
+// does not touch are never locked. A batch spanning shards commits
+// shard by shard.
 func (c *Corpus) Remove(nodes ...NodeID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var gone []NodeID
-	for _, v := range nodes {
-		if !c.members[v] {
+	for si, vs := range groupByShard(nodes, len(c.shards)) {
+		sh := c.shards[si]
+		sh.mu.Lock()
+		ep := sh.epoch.Load()
+		var gone []NodeID
+		for _, v := range vs {
+			if ep.has(v) {
+				gone = append(gone, v)
+			}
+		}
+		if len(gone) == 0 {
+			sh.mu.Unlock()
 			continue
 		}
-		delete(c.members, v)
-		delete(c.byNode, v)
-		gone = append(gone, v)
+		ne := ep.clone()
+		for _, v := range gone {
+			delete(ne.members, v)
+			delete(ne.byNode, v)
+		}
+		if ne.ix != nil {
+			ix := ne.ix.Clone()
+			ix.Remove(gone...)
+			ne.ix = ix
+			c.maybeRebuildShard(ne)
+		}
+		sh.epoch.Store(ne)
+		sh.mu.Unlock()
 	}
-	if len(gone) == 0 || c.ix == nil {
-		return nil
-	}
-	c.ix.Remove(gone...)
-	c.maybeRebuildLocked()
 	return nil
 }
 
-// Rebuild discards the index structure and rebuilds it from the live
-// items, folding tombstones and append tails back into tree structure.
-// Serving counters are carried over, so Stats stays monotone across
-// rebuilds. On a corpus that has never been queried, Rebuild forces
-// the materialization a first query would have paid for.
+// Rebuild discards every shard's index structure and rebuilds it from
+// the live items, folding tombstones and append tails back into tree
+// structure. Queries keep serving from the outgoing epochs for the
+// whole build. Serving counters are carried over, so Stats stays
+// monotone across rebuilds. On a corpus that has never been queried,
+// Rebuild forces the materialization a first query would have paid for.
 func (c *Corpus) Rebuild() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.ix == nil {
-		c.materializeLocked()
-		c.ix = c.newIndexLocked()
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	if !c.built.Load() {
+		c.buildAllLocked()
 		return
 	}
-	c.rebuildLocked()
-}
-
-// rebuildLocked swaps in a fresh index over the live items, absorbing
-// the retiring generation's serving counters into base first. Callers
-// hold mu for writing.
-func (c *Corpus) rebuildLocked() {
-	c.base = c.base.Add(c.ix.Counters())
-	c.ix = c.newIndexLocked()
-	c.rebuilds++
-}
-
-// maybeRebuildLocked applies the amortized-rebuild policy after a
-// mutation. Callers hold mu for writing with c.ix non-nil.
-func (c *Corpus) maybeRebuildLocked() {
-	if c.ix.StaleRatio() > c.cfg.rebuildAt {
-		c.rebuildLocked()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		ep := sh.epoch.Load()
+		sh.epoch.Store(&shardEpoch{byNode: ep.byNode, ix: c.rebuiltShardIndex(ep)})
+		sh.mu.Unlock()
 	}
+	c.rebuilds.Add(1)
 }
 
 // UpdateGraph moves the corpus to a new version of its graph (graphs
@@ -193,130 +195,108 @@ func (c *Corpus) maybeRebuildLocked() {
 // without WithGraph have no version to diff against and fail with
 // ErrNoGraph.
 //
-// Like Insert, the expensive work — the edge diff, the reachability
-// sweeps, the parallel re-extraction — runs outside the corpus lock so
-// queries keep serving through it; only the final graph swap and index
-// splice wait for in-flight queries to drain.
+// The expensive work — the edge diff, the reachability sweeps, the
+// parallel re-extraction — runs outside every shard lock, so queries
+// keep serving through it; each shard then publishes its refreshed
+// epoch in turn. Queries racing the update may observe some shards on
+// the new version and some on the old for the splice's duration.
+// UpdateGraph holds the engine's write gate, serializing against other
+// UpdateGraphs, Inserts, Rebuilds, and Snapshot cuts (never against
+// queries).
 func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
 	if g == nil {
 		return 0, ErrNilGraph
 	}
-	c.mu.RLock()
-	old, materialized := c.g, c.byNode != nil
-	var memberSnap map[NodeID]bool
-	if materialized {
-		memberSnap = make(map[NodeID]bool, len(c.members))
-		for v := range c.members {
-			memberSnap[v] = true
-		}
-	}
-	c.mu.RUnlock()
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	old := c.g.Load()
 	if old == nil {
 		return 0, fmt.Errorf("%w: UpdateGraph needs the previous graph version (restore with WithGraph)", ErrNoGraph)
 	}
 	if g.Directed() != old.Directed() {
 		return 0, fmt.Errorf("ned: graph update changes directedness (corpus graph directed=%v)", old.Directed())
 	}
-	if !materialized {
+	if !c.materialized.Load() {
 		// Nothing extracted yet: the lazy build reads whatever graph is
 		// current, so the update is just a swap plus a membership shrink.
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		if c.g != old || c.byNode != nil {
-			return c.updateGraphLocked(g)
+		c.g.Store(g)
+		for _, sh := range c.shards {
+			sh.mu.Lock()
+			ep := sh.epoch.Load()
+			ne := ep.clone()
+			changed := false
+			for v := range ne.members {
+				if int(v) >= g.NumNodes() {
+					delete(ne.members, v)
+					changed = true
+				}
+			}
+			if changed {
+				sh.epoch.Store(ne)
+			}
+			sh.mu.Unlock()
 		}
-		return c.updateSpliceLocked(g, nil, nil), nil
+		return 0, nil
 	}
 
 	affected := affectedByUpdate(old, g, c.k, c.cfg.directed)
+	// Membership is stable here modulo Removes (Insert is excluded by
+	// gmu); nodes removed between this snapshot and the per-shard splice
+	// are re-filtered under the shard lock below.
 	var refresh []NodeID
 	for v := range affected {
-		if memberSnap[v] && int(v) < g.NumNodes() {
+		if int(v) >= 0 && int(v) < g.NumNodes() && c.shardFor(v).epoch.Load().has(v) {
 			refresh = append(refresh, v)
 		}
 	}
 	items := ned.BuildItems(g, refresh, c.k, c.cfg.directed, c.cfg.workers)
+	refreshByShard := make(map[int][]ned.Item)
+	for _, it := range items {
+		si := ned.ShardOf(it.Node, len(c.shards))
+		refreshByShard[si] = append(refreshByShard[si], it)
+	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.g != old {
-		// Another UpdateGraph won the race: our diff is against a stale
-		// version, so redo everything under the lock.
-		return c.updateGraphLocked(g)
-	}
-	// Members inserted while we extracted are absent from the snapshot;
-	// any of them the edge changes can reach must refresh too (rare and
-	// small, so extracting under the lock is fine).
-	var late []NodeID
-	for v := range c.members {
-		if !memberSnap[v] && affected[v] && int(v) < g.NumNodes() {
-			late = append(late, v)
-		}
-	}
-	if len(late) > 0 {
-		refresh = append(refresh, late...)
-		items = append(items, ned.BuildItems(g, late, c.k, c.cfg.directed, c.cfg.workers)...)
-	}
-	return c.updateSpliceLocked(g, refresh, items), nil
-}
-
-// updateGraphLocked is the fully-locked UpdateGraph fallback for
-// updates whose optimistic extraction raced with another mutation.
-// Callers hold mu for writing and have validated g.
-func (c *Corpus) updateGraphLocked(g *Graph) (int, error) {
-	if c.g == nil {
-		return 0, fmt.Errorf("%w: UpdateGraph needs the previous graph version (restore with WithGraph)", ErrNoGraph)
-	}
-	if g.Directed() != c.g.Directed() {
-		return 0, fmt.Errorf("ned: graph update changes directedness (corpus graph directed=%v)", c.g.Directed())
-	}
-	var refresh []NodeID
-	var items []ned.Item
-	if c.byNode != nil {
-		for v := range affectedByUpdate(c.g, g, c.k, c.cfg.directed) {
-			if c.members[v] && int(v) < g.NumNodes() {
-				refresh = append(refresh, v)
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		ep := sh.epoch.Load()
+		ne := ep.clone()
+		var gone []NodeID
+		for v := range ne.byNode {
+			if int(v) >= g.NumNodes() {
+				delete(ne.byNode, v)
+				gone = append(gone, v)
 			}
 		}
-		items = ned.BuildItems(g, refresh, c.k, c.cfg.directed, c.cfg.workers)
-	}
-	return c.updateSpliceLocked(g, refresh, items), nil
-}
-
-// updateSpliceLocked commits a graph update: swaps the graph, drops
-// members beyond the new node range, refreshes the given items
-// (items[i] corresponds to refresh[i]; entries whose membership
-// vanished meanwhile are skipped), and maintains the live index with
-// one batched Remove — the metric trees pay a full walk per Remove
-// call. Returns how many signatures were refreshed. Callers hold mu
-// for writing.
-func (c *Corpus) updateSpliceLocked(g *Graph, refresh []NodeID, items []ned.Item) int {
-	c.g = g
-	var gone []NodeID
-	for v := range c.members {
-		if int(v) >= g.NumNodes() {
-			delete(c.members, v)
-			delete(c.byNode, v)
-			gone = append(gone, v)
+		var keptNodes []NodeID
+		var kept []ned.Item
+		for _, it := range refreshByShard[si] {
+			if ne.has(it.Node) { // skip entries whose membership vanished meanwhile
+				ne.byNode[it.Node] = it
+				keptNodes = append(keptNodes, it.Node)
+				kept = append(kept, it)
+			}
 		}
-	}
-	keptNodes := make([]NodeID, 0, len(refresh))
-	kept := make([]ned.Item, 0, len(items))
-	for i, v := range refresh {
-		if c.members[v] {
-			c.byNode[v] = items[i]
-			keptNodes = append(keptNodes, v)
-			kept = append(kept, items[i])
+		if len(gone)+len(keptNodes) == 0 {
+			sh.mu.Unlock()
+			continue
 		}
-	}
-	if c.ix != nil && len(gone)+len(keptNodes) > 0 {
-		c.ix.Remove(append(append([]NodeID(nil), gone...), keptNodes...)...)
-		if len(kept) > 0 {
-			c.ix.Insert(kept...)
+		if ne.ix != nil {
+			// One batched Remove — the metric trees pay a full walk per
+			// Remove call — then re-insert the refreshed items.
+			ix := ne.ix.Clone()
+			ix.Remove(append(append([]graph.NodeID(nil), gone...), keptNodes...)...)
+			if len(kept) > 0 {
+				ix.Insert(kept...)
+			}
+			ne.ix = ix
+			c.maybeRebuildShard(ne)
 		}
-		c.maybeRebuildLocked()
+		sh.epoch.Store(ne)
+		sh.mu.Unlock()
+		refreshed += len(keptNodes)
 	}
-	return len(keptNodes)
+	c.g.Store(g)
+	return refreshed, nil
 }
 
 // affectedByUpdate returns the nodes whose k-adjacent trees can differ

@@ -9,8 +9,21 @@ import (
 	"sync"
 	"testing"
 
+	"ned/internal/ned"
 	"ned/internal/tree"
 )
+
+// liveItems collects every shard's published item table into one map,
+// for white-box assertions on signature reuse across graph updates.
+func liveItems(c *Corpus) map[NodeID]ned.Item {
+	out := make(map[NodeID]ned.Item)
+	for _, sh := range c.shards {
+		for v, it := range sh.epoch.Load().byNode {
+			out[v] = it
+		}
+	}
+	return out
+}
 
 // sortedNodes returns the keys of a membership set in ascending order.
 func sortedNodes(set map[NodeID]bool) []NodeID {
@@ -375,7 +388,7 @@ func TestCorpusUpdateGraphInvalidation(t *testing.T) {
 	}
 	// Warm every AHU cache, then remember the tree objects.
 	trees := map[NodeID]*tree.Tree{}
-	for v, it := range c.byNode {
+	for v, it := range liveItems(c) {
 		tree.Canonical(it.Out)
 		trees[v] = it.Out
 	}
@@ -397,8 +410,9 @@ func TestCorpusUpdateGraphInvalidation(t *testing.T) {
 	if refreshed != 4 {
 		t.Errorf("refreshed %d signatures, want 4", refreshed)
 	}
+	after := liveItems(c)
 	for v, old := range trees {
-		it := c.byNode[v]
+		it := after[v]
 		affected := v <= 3
 		if affected {
 			if it.Out == old {

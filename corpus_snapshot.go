@@ -8,54 +8,62 @@ import (
 )
 
 // Snapshot writes the corpus — its configuration and every live
-// signature, mutations included — to w in the versioned text format of
-// internal/ned/persist, so LoadCorpus can restore it without
-// re-extracting a single BFS tree. Items are written node-ascending,
-// making equal corpora byte-identical on disk. Snapshotting a corpus
-// that has never been queried materializes its signatures first (but
-// not the index structure, which LoadCorpus rebuilds lazily anyway).
+// signature, mutations included — to w as a versioned "# ned corpus v2"
+// sharded manifest (internal/ned/persist): one section per shard,
+// node-ascending within each, so LoadCorpus can restore it without
+// re-extracting a single BFS tree. Shard placement is a pure hash of
+// the node ID, so equal corpora with equal shard counts are
+// byte-identical on disk. Snapshotting a corpus that has never been
+// queried materializes its signatures first (but not the index
+// structures, which LoadCorpus rebuilds lazily anyway).
 //
-// Undirected snapshots double as plain signature files: ReadSignatures
-// parses them, and LoadCorpus parses legacy signature files in turn.
+// The cut is consistent per shard: the epochs of all shards are read
+// in one pass under the engine's write gate, then serialized outside
+// any lock — w may be a slow disk or network writer, and queries keep
+// serving for the whole transfer. Undirected snapshots double as plain
+// signature files: ReadSignatures parses them (section markers are
+// comments), and LoadCorpus parses legacy signature files in turn.
 func (c *Corpus) Snapshot(w io.Writer) error {
-	// Copy the live items under the read lock, then serialize outside
-	// any lock: w may be a slow disk or network writer, and a writer
-	// waiting on the mutex would otherwise stall every new query for
-	// the whole transfer. Items reference immutable trees, so the
-	// copied slice stays consistent. The write lock is taken just for
-	// the first materialization, if it is still pending.
-	c.mu.RLock()
-	if c.byNode == nil {
-		c.mu.RUnlock()
-		c.mu.Lock()
-		c.materializeLocked()
-		c.mu.Unlock()
-		c.mu.RLock()
+	c.gmu.Lock()
+	c.materializeAllLocked()
+	eps := make([]*shardEpoch, len(c.shards))
+	for i, sh := range c.shards {
+		eps[i] = sh.epoch.Load()
 	}
+	c.gmu.Unlock()
 	meta := ned.CorpusMeta{
-		Version:  1,
+		Version:  2,
 		Backend:  c.cfg.backend.String(),
 		K:        c.k,
 		Directed: c.cfg.directed,
+		Shards:   len(c.shards),
 	}
-	items := c.sortedItemsLocked()
-	c.mu.RUnlock()
-	return ned.WriteCorpusItems(w, meta, items)
+	shardItems := make([][]ned.Item, len(eps))
+	for i, ep := range eps {
+		shardItems[i] = sortedShardItems(ep.byNode)
+	}
+	return ned.WriteShardedCorpusItems(w, meta, shardItems)
 }
 
-// LoadCorpus restores a corpus from a Snapshot stream, or from a legacy
-// WriteSignatures file (which predates snapshot metadata and loads with
-// the default backend, undirected, k taken from its signatures). Parse
-// failures wrap ErrBadSnapshot.
+// LoadCorpus restores a corpus from a Snapshot stream — a v2 sharded
+// manifest, a v1 single-index snapshot, or a legacy WriteSignatures
+// file (which predates snapshot metadata and loads with the default
+// backend, undirected, k taken from its signatures). Parse failures
+// wrap ErrBadSnapshot. Shard placement is always re-derived by hashing
+// the restored node IDs, so any snapshot loads into any shard count:
+// WithShards overrides, a v2 manifest's recorded count is the default,
+// and v1/legacy files spread across the standard GOMAXPROCS-derived
+// default.
 //
 // The restored corpus answers signature queries — and node queries for
 // indexed nodes — identically to the corpus that was snapshotted.
 // Options apply on top of the recorded metadata: WithBackend overrides
-// the recorded backend, WithWorkers and WithRebuildThreshold tune the
-// restored engine, and WithGraph re-attaches the backing graph,
-// re-enabling Insert, UpdateGraph, Signature, and queries for
-// unindexed nodes. WithNodes and WithDirected are ignored: the
-// snapshot's items define the node set and directedness.
+// the recorded backend, WithWorkers, WithShards, and
+// WithRebuildThreshold tune the restored engine, and WithGraph
+// re-attaches the backing graph, re-enabling Insert, UpdateGraph,
+// Signature, and queries for unindexed nodes. WithNodes and
+// WithDirected are ignored: the snapshot's items define the node set
+// and directedness.
 func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	meta, items, err := ned.ReadCorpusItems(r)
 	if err != nil {
@@ -93,6 +101,11 @@ func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	if cfg.rebuildAt <= 0 {
 		cfg.rebuildAt = defaultRebuildThreshold
 	}
+	cfg.shards = userCfg.shards
+	if cfg.shards <= 0 {
+		cfg.shards = meta.Shards // 0 for v0/v1: fall through to the default
+	}
+	cfg.shards = resolveShards(cfg.shards)
 	if cfg.backend < 0 || cfg.backend >= numBackends {
 		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
 	}
@@ -114,11 +127,17 @@ func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 			}
 		}
 	}
-	members := make(map[NodeID]bool, len(items))
-	byNode := make(map[NodeID]ned.Item, len(items))
-	for _, it := range items {
-		members[it.Node] = true
-		byNode[it.Node] = it
+	c := newShardedCorpus(k, cfg, g)
+	// The snapshot's items arrive pre-materialized: give every shard a
+	// non-nil item table (its keys are the membership) up front.
+	for _, sh := range c.shards {
+		ep := sh.epoch.Load()
+		ep.members = nil
+		ep.byNode = make(map[NodeID]ned.Item)
 	}
-	return &Corpus{k: k, cfg: cfg, g: g, members: members, byNode: byNode}, nil
+	for _, it := range items {
+		c.shardFor(it.Node).epoch.Load().byNode[it.Node] = it
+	}
+	c.materialized.Store(true)
+	return c, nil
 }

@@ -26,8 +26,11 @@ import (
 // fraction so the owner (ned.Corpus) can amortize a full rebuild once a
 // configurable threshold is crossed.
 //
-// Mutations are NOT safe concurrently with queries or each other; the
-// Corpus serializes them behind its write lock. Results after any
+// Mutations are NOT safe concurrently with queries or each other. The
+// sharded Corpus engine never mutates a published index at all: it
+// Clones the current epoch under the owning shard's write lock, mutates
+// the private clone, and publishes it as the next epoch, so lock-free
+// readers keep serving from the old structure. Results after any
 // mutation sequence are identical to a freshly built index over the
 // same live items (the churn-equivalence suite enforces this).
 
@@ -40,10 +43,30 @@ type DynamicIndex interface {
 	// Remove deletes the items with the given node IDs, reporting how
 	// many were present. Unknown nodes are ignored.
 	Remove(nodes ...graph.NodeID) int
-	// StaleRatio reports the fraction of the index structure occupied by
-	// tombstones or unindexed appends — 0 for backends that mutate in
-	// place. Above the owner's threshold, a rebuild pays for itself.
-	StaleRatio() float64
+	// Stale reports how much of the index structure is occupied by
+	// tombstones or unindexed appends (stale) out of the whole structure
+	// queries pay to traverse (total) — 0/live for backends that mutate
+	// in place. Above the owner's threshold ratio, a rebuild pays for
+	// itself; the owner sums the pairs across shards for an aggregate
+	// ratio.
+	Stale() (stale, total int)
+	// Clone returns a structurally private copy of the index: mutations
+	// on the clone never touch the original's structure, so a published
+	// epoch stays immutable for lock-free readers while its successor is
+	// prepared. Item payloads and the serving-counter accumulator are
+	// shared (counters stay continuous across epochs). O(n) copying, no
+	// metric evaluations.
+	Clone() DynamicIndex
+}
+
+// StaleRatio is the rebuild-policy form of Stale: the stale fraction of
+// ix's structure, 0 for an empty index.
+func StaleRatio(ix DynamicIndex) float64 {
+	stale, total := ix.Stale()
+	if total == 0 {
+		return 0
+	}
+	return float64(stale) / float64(total)
 }
 
 // nodeSet builds a membership set for a removal batch.
@@ -80,7 +103,7 @@ func (b *linearBackend) Remove(nodes ...graph.NodeID) int {
 	return n
 }
 
-func (b *linearBackend) StaleRatio() float64 { return 0 }
+func (b *linearBackend) Stale() (int, int) { return 0, len(b.items) }
 
 // --- pruned linear backend ---
 
@@ -92,7 +115,7 @@ func (b *prunedBackend) Remove(nodes ...graph.NodeID) int {
 	return n
 }
 
-func (b *prunedBackend) StaleRatio() float64 { return 0 }
+func (b *prunedBackend) Stale() (int, int) { return 0, len(b.items) }
 
 // --- VP-tree backend ---
 
@@ -106,13 +129,10 @@ func (b *vpBackend) Remove(nodes ...graph.NodeID) int {
 	return n
 }
 
-func (b *vpBackend) StaleRatio() float64 {
+func (b *vpBackend) Stale() (int, int) {
 	stale := b.t.Deleted() + len(b.tail)
 	total := b.t.Len() + b.t.Deleted() + len(b.tail)
-	if total == 0 {
-		return 0
-	}
-	return float64(stale) / float64(total)
+	return stale, total
 }
 
 // mergeTailKNN folds the appended tail into a KNN result from the tree:
@@ -186,8 +206,9 @@ func (b *vpBackend) rangeTail(ctx context.Context, query Item, r int, out []Neig
 func (b *bkBackend) Insert(items ...Item) {
 	// The BK-tree inserts natively; its metric evaluations during the
 	// descent are maintenance, not serving work, so the counter hook is
-	// muted for the duration (the Corpus holds its write lock here, so
-	// no query observes the flag mid-flight).
+	// muted for the duration (Insert runs only on an unpublished clone
+	// under the owner's shard lock, so no query observes the flag
+	// mid-flight).
 	b.building.Store(true)
 	for _, it := range items {
 		b.t.Insert(it)
@@ -200,10 +221,6 @@ func (b *bkBackend) Remove(nodes ...graph.NodeID) int {
 	return b.t.Delete(func(it Item) bool { return gone[it.Node] })
 }
 
-func (b *bkBackend) StaleRatio() float64 {
-	total := b.t.Len() + b.t.Deleted()
-	if total == 0 {
-		return 0
-	}
-	return float64(b.t.Deleted()) / float64(total)
+func (b *bkBackend) Stale() (int, int) {
+	return b.t.Deleted(), b.t.Len() + b.t.Deleted()
 }

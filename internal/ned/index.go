@@ -158,9 +158,34 @@ func (c Counters) Add(o Counters) Counters {
 	}
 }
 
-// counterSet is the atomic accumulator behind Counters.
+// counterSet is the atomic accumulator behind Counters. Backends hold
+// it by pointer so an index generation and every epoch cloned or
+// rebuilt from it share one accumulator: queries still in flight on a
+// retired epoch keep landing their counts in the same place, and the
+// owner's Stats stay continuous across epoch publication (see Clone and
+// ShareCounters).
 type counterSet struct {
 	distCalls, earlyExits, lbPrunes atomic.Int64
+}
+
+// counterHost is implemented by every backend so ShareCounters can
+// redirect a fresh generation's accumulation into its predecessor's set.
+type counterHost interface {
+	counterSink() *counterSet
+	setCounterSink(*counterSet)
+}
+
+// ShareCounters makes dst accumulate its serving counters into src's
+// counter set, so an index rebuilt to replace src extends the same
+// running totals instead of restarting from zero (with queries possibly
+// still in flight on src). Call before dst is published to readers; it
+// is not safe once dst serves queries.
+func ShareCounters(dst, src Index) {
+	d, ok1 := dst.(counterHost)
+	s, ok2 := src.(counterHost)
+	if ok1 && ok2 {
+		d.setCounterSink(s.counterSink())
+	}
 }
 
 func (c *counterSet) observe(out ted.Outcome) {
@@ -242,7 +267,7 @@ func floatBudget(b float64) int {
 type vpBackend struct {
 	t        *vptree.Tree[Item]
 	tail     []Item // items inserted after the build, scanned per query
-	counters counterSet
+	counters *counterSet
 }
 
 // NewVPBackend indexes the items in a vantage-point tree (§13.4): exact
@@ -251,7 +276,7 @@ type vpBackend struct {
 // candidate that cannot rank or affect pruning is abandoned mid-TED*.
 // Mutations take tombstone + append paths (see dynamic.go).
 func NewVPBackend(items []Item) DynamicIndex {
-	b := &vpBackend{}
+	b := &vpBackend{counters: &counterSet{}}
 	b.t = vptree.New(items, func(x, y Item) float64 {
 		c := tedComputers.Get().(*ted.Computer)
 		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
@@ -315,15 +340,58 @@ func (b *vpBackend) ResetStats() {
 	b.t.ResetStats()
 }
 
+func (b *vpBackend) counterSink() *counterSet     { return b.counters }
+func (b *vpBackend) setCounterSink(c *counterSet) { b.counters = c }
+
+// Clone returns a structurally private copy: the tree nodes (tombstone
+// flags included) and the append tail are duplicated, the item payloads
+// and the counter accumulator are shared. The tree keeps the original's
+// metric closures — they only touch the shared counter set, and VP
+// mutations (tail append, tombstoning) never evaluate the metric.
+func (b *vpBackend) Clone() DynamicIndex {
+	return &vpBackend{
+		t:        b.t.Clone(),
+		tail:     append([]Item(nil), b.tail...),
+		counters: b.counters,
+	}
+}
+
 // --- BK-tree backend ---
 
 type bkBackend struct {
 	t        *vptree.BKTree[Item]
-	counters counterSet
+	counters *counterSet
 
 	// building mutes the serving counters while Insert descends the tree
-	// (maintenance evaluations are not query work).
+	// (maintenance evaluations are not query work). Inserts run only on
+	// unpublished clones (under the owner's shard lock), so no query ever
+	// observes the flag mid-flight — published epochs are immutable.
 	building atomic.Bool
+}
+
+// metric returns the unbudgeted metric hook for b's tree: exact NED on
+// a pooled Computer, counted as serving work unless b is mid-insert.
+func (b *bkBackend) metric() func(x, y Item) int {
+	return func(x, y Item) int {
+		c := tedComputers.Get().(*ted.Computer)
+		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
+		tedComputers.Put(c)
+		if !b.building.Load() {
+			b.counters.observe(ted.OutcomeExact)
+		}
+		return d
+	}
+}
+
+// budgetedMetric returns the budget-aware metric hook for b's tree.
+func (b *bkBackend) budgetedMetric() func(x, y Item, budget int) (int, bool) {
+	return func(x, y Item, budget int) (int, bool) {
+		c := tedComputers.Get().(*ted.Computer)
+		d, out := itemDistanceAtMost(c, x, y, budget)
+		tedComputers.Put(c)
+		b.counters.observe(out)
+		return d, out == ted.OutcomeExact
+	}
 }
 
 // NewBKBackend indexes the items in a Burkhard–Keller tree: integer
@@ -333,23 +401,9 @@ type bkBackend struct {
 // provably irrelevant. Mutations insert natively and remove via
 // tombstones (see dynamic.go).
 func NewBKBackend(items []Item) DynamicIndex {
-	b := &bkBackend{}
-	b.t = vptree.NewBK(items, func(x, y Item) int {
-		c := tedComputers.Get().(*ted.Computer)
-		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
-		tedComputers.Put(c)
-		if !b.building.Load() {
-			b.counters.observe(ted.OutcomeExact)
-		}
-		return d
-	})
-	b.t.SetBudgetedMetric(func(x, y Item, budget int) (int, bool) {
-		c := tedComputers.Get().(*ted.Computer)
-		d, out := itemDistanceAtMost(c, x, y, budget)
-		tedComputers.Put(c)
-		b.counters.observe(out)
-		return d, out == ted.OutcomeExact
-	})
+	b := &bkBackend{counters: &counterSet{}}
+	b.t = vptree.NewBK(items, b.metric())
+	b.t.SetBudgetedMetric(b.budgetedMetric())
 	b.t.SetTieBreak(itemLess)
 	b.counters.reset() // the build's evaluations are not serving work
 	return b
@@ -389,12 +443,26 @@ func (b *bkBackend) ResetStats() {
 	b.t.ResetStats()
 }
 
+func (b *bkBackend) counterSink() *counterSet     { return b.counters }
+func (b *bkBackend) setCounterSink(c *counterSet) { b.counters = c }
+
+// Clone returns a structurally private copy sharing item payloads and
+// the counter accumulator. BK insertion evaluates the metric during its
+// descent, and the hooks reference the owning wrapper (for the
+// maintenance-muting flag), so the clone installs hooks pointing at
+// itself.
+func (b *bkBackend) Clone() DynamicIndex {
+	nb := &bkBackend{counters: b.counters}
+	nb.t = b.t.Clone(nb.metric(), nb.budgetedMetric())
+	return nb
+}
+
 // --- parallel linear-scan backend ---
 
 type linearBackend struct {
 	items    []Item
 	workers  int
-	counters counterSet
+	counters *counterSet
 }
 
 // NewLinearBackend evaluates every indexed item per query across the
@@ -405,7 +473,7 @@ type linearBackend struct {
 // or abandoned mid-TED* once they provably cannot rank. Mutations edit
 // the item slice in place (see dynamic.go).
 func NewLinearBackend(items []Item, workers int) DynamicIndex {
-	return &linearBackend{items: items, workers: BatchOptions{Workers: workers}.workers()}
+	return &linearBackend{items: items, workers: BatchOptions{Workers: workers}.workers(), counters: &counterSet{}}
 }
 
 // topLCollector accumulates the l canonically-smallest neighbors across
@@ -501,11 +569,21 @@ func (b *linearBackend) DistanceCalls() int64 { return b.counters.distCalls.Load
 func (b *linearBackend) Counters() Counters   { return b.counters.snapshot() }
 func (b *linearBackend) ResetStats()          { b.counters.reset() }
 
+func (b *linearBackend) counterSink() *counterSet     { return b.counters }
+func (b *linearBackend) setCounterSink(c *counterSet) { b.counters = c }
+
+// Clone returns a structurally private copy: the item slice is
+// duplicated (in-place mutation on the clone cannot alias the
+// original's backing array), the counter accumulator shared.
+func (b *linearBackend) Clone() DynamicIndex {
+	return &linearBackend{items: append([]Item(nil), b.items...), workers: b.workers, counters: b.counters}
+}
+
 // --- pruned linear-scan backend ---
 
 type prunedBackend struct {
 	items    []Item
-	counters counterSet
+	counters *counterSet
 }
 
 // NewPrunedLinearBackend scans sequentially but skips full TED*
@@ -515,11 +593,11 @@ type prunedBackend struct {
 // running cost crosses the threshold. Mutations edit the item slice in
 // place (see dynamic.go).
 func NewPrunedLinearBackend(items []Item) DynamicIndex {
-	return &prunedBackend{items: items}
+	return &prunedBackend{items: items, counters: &counterSet{}}
 }
 
 func (b *prunedBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
-	res, _, err := prunedKNN(ctx, query, b.items, l, &b.counters)
+	res, _, err := prunedKNN(ctx, query, b.items, l, b.counters)
 	return res, err
 }
 
@@ -550,6 +628,15 @@ func (b *prunedBackend) Len() int             { return len(b.items) }
 func (b *prunedBackend) DistanceCalls() int64 { return b.counters.distCalls.Load() }
 func (b *prunedBackend) Counters() Counters   { return b.counters.snapshot() }
 func (b *prunedBackend) ResetStats()          { b.counters.reset() }
+
+func (b *prunedBackend) counterSink() *counterSet     { return b.counters }
+func (b *prunedBackend) setCounterSink(c *counterSet) { b.counters = c }
+
+// Clone returns a structurally private copy: duplicated item slice,
+// shared counter accumulator.
+func (b *prunedBackend) Clone() DynamicIndex {
+	return &prunedBackend{items: append([]Item(nil), b.items...), counters: b.counters}
+}
 
 // cancelCheckStride is how many candidates a sequential scan processes
 // between context checks.

@@ -87,19 +87,41 @@ func ReadSignatures(r io.Reader) ([]Signature, error) {
 //	0 3 0,0,1
 //	4 3 0,1
 //
+// Version 2 is the sharded manifest: the header additionally records
+// the shard count, and the items are grouped into per-shard sections,
+// each introduced by a comment naming the shard and its item count:
+//
+//	# ned corpus v2 backend=vp k=3 directed=0 shards=2 nodes=3
+//	# shard 0 nodes=2
+//	0 3 0,0,1
+//	4 3 0,1
+//	# shard 1 nodes=1
+//	7 3 0,1,1
+//
+// Shard placement is derived (ShardOf), never trusted: a reader
+// re-partitions the items by hash for whatever shard count it is
+// configured with, so v1 files load into a sharded engine and v2 files
+// load into any shard count, including one. The section counts exist so
+// truncated sections fail loudly.
+//
 // Directed corpora carry two encodings per line (outgoing then incoming
 // tree); a single-node tree encodes as "-" so the field count stays
 // fixed. The format is versioned: ReadCorpusItems rejects versions it
-// does not know, and — because the header is a comment and v1 item
-// lines are valid signature lines — undirected snapshots still parse as
-// plain signature files, while legacy signature files (no header) load
-// as version-0 snapshots.
+// does not know, and — because headers and section markers are comments
+// and item lines are valid signature lines — undirected snapshots still
+// parse as plain signature files, while legacy signature files (no
+// header) load as version-0 snapshots.
 
 // snapshotPrefix starts the header line of every corpus snapshot.
 const snapshotPrefix = "# ned corpus v"
 
-// snapshotVersion is the current snapshot format version.
-const snapshotVersion = 1
+// shardSectionPrefix starts a per-shard section marker in a v2 snapshot.
+const shardSectionPrefix = "# shard "
+
+// snapshotVersion is the newest snapshot format version this build
+// reads and writes. Version 1 (unsharded, no section markers) is still
+// written when a CorpusMeta says so and always read.
+const snapshotVersion = 2
 
 // CorpusMeta is the header metadata of a corpus snapshot.
 type CorpusMeta struct {
@@ -107,6 +129,7 @@ type CorpusMeta struct {
 	Backend  string // flag-style backend name recorded at snapshot time
 	K        int    // neighborhood depth shared by every item
 	Directed bool   // whether items carry incoming trees too
+	Shards   int    // shard count recorded by a v2 manifest; 0 before v2
 
 	// nodes is the declared item count, checked against the parsed items
 	// so truncated snapshots fail loudly.
@@ -151,10 +174,29 @@ func parseItemLine(lineNo int, nodeStr, kStr, enc string) (graph.NodeID, int, *t
 	return graph.NodeID(node), k, t, nil
 }
 
-// WriteCorpusItems serializes a corpus snapshot: the metadata header
-// followed by one line per indexed item. Items should be in a
-// deterministic order (the Corpus writes them node-ascending) so equal
-// corpora produce byte-identical snapshots.
+// writeItemLine serializes one snapshot item line, shared by the v1 and
+// v2 writers.
+func writeItemLine(bw *bufio.Writer, it Item, directed bool) error {
+	if it.Out == nil || (directed && it.In == nil) {
+		return fmt.Errorf("ned: snapshot item for node %d has no tree", it.Node)
+	}
+	var err error
+	if directed {
+		_, err = fmt.Fprintf(bw, "%d %d %s %s\n", it.Node, it.K,
+			encOrDash(tree.Encode(it.Out)), encOrDash(tree.Encode(it.In)))
+	} else {
+		_, err = fmt.Fprintf(bw, "%d %d %s\n", it.Node, it.K, encOrDash(tree.Encode(it.Out)))
+	}
+	if err != nil {
+		return fmt.Errorf("ned: writing snapshot item for node %d: %w", it.Node, err)
+	}
+	return nil
+}
+
+// WriteCorpusItems serializes a version-1 (unsharded) corpus snapshot:
+// the metadata header followed by one line per indexed item. Items
+// should be in a deterministic order (the Corpus writes them
+// node-ascending) so equal corpora produce byte-identical snapshots.
 func WriteCorpusItems(w io.Writer, meta CorpusMeta, items []Item) error {
 	bw := bufio.NewWriter(w)
 	directed := 0
@@ -162,22 +204,48 @@ func WriteCorpusItems(w io.Writer, meta CorpusMeta, items []Item) error {
 		directed = 1
 	}
 	if _, err := fmt.Fprintf(bw, "%s%d backend=%s k=%d directed=%d nodes=%d\n",
-		snapshotPrefix, snapshotVersion, meta.Backend, meta.K, directed, len(items)); err != nil {
+		snapshotPrefix, 1, meta.Backend, meta.K, directed, len(items)); err != nil {
 		return fmt.Errorf("ned: writing snapshot header: %w", err)
 	}
 	for _, it := range items {
-		if it.Out == nil || (meta.Directed && it.In == nil) {
-			return fmt.Errorf("ned: snapshot item for node %d has no tree", it.Node)
+		if err := writeItemLine(bw, it, meta.Directed); err != nil {
+			return err
 		}
-		var err error
-		if meta.Directed {
-			_, err = fmt.Fprintf(bw, "%d %d %s %s\n", it.Node, it.K,
-				encOrDash(tree.Encode(it.Out)), encOrDash(tree.Encode(it.In)))
-		} else {
-			_, err = fmt.Fprintf(bw, "%d %d %s\n", it.Node, it.K, encOrDash(tree.Encode(it.Out)))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ned: flushing snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteShardedCorpusItems serializes a version-2 sharded corpus
+// manifest: the header records the shard count, and each shard's items
+// follow a "# shard i nodes=m" section marker, node-ascending within
+// the shard. shardItems[i] is shard i's items; meta.Shards is ignored
+// in favor of len(shardItems). Because shard placement is a pure hash,
+// equal corpora with equal shard counts produce byte-identical
+// manifests.
+func WriteShardedCorpusItems(w io.Writer, meta CorpusMeta, shardItems [][]Item) error {
+	bw := bufio.NewWriter(w)
+	directed, total := 0, 0
+	if meta.Directed {
+		directed = 1
+	}
+	for _, items := range shardItems {
+		total += len(items)
+	}
+	if _, err := fmt.Fprintf(bw, "%s%d backend=%s k=%d directed=%d shards=%d nodes=%d\n",
+		snapshotPrefix, snapshotVersion, meta.Backend, meta.K, directed, len(shardItems), total); err != nil {
+		return fmt.Errorf("ned: writing snapshot header: %w", err)
+	}
+	for si, items := range shardItems {
+		if _, err := fmt.Fprintf(bw, "%s%d nodes=%d\n", shardSectionPrefix, si, len(items)); err != nil {
+			return fmt.Errorf("ned: writing shard %d section: %w", si, err)
 		}
-		if err != nil {
-			return fmt.Errorf("ned: writing snapshot item for node %d: %w", it.Node, err)
+		for _, it := range items {
+			if err := writeItemLine(bw, it, meta.Directed); err != nil {
+				return err
+			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -199,6 +267,15 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 	var items []Item
 	seen := make(map[graph.NodeID]int)
 	lineNo, contentLines := 0, 0
+	// v2 shard-section bookkeeping: the open section's index, its
+	// declared item count, and how many items it has produced so far.
+	curShard, declared, sectionItems := -1, 0, 0
+	closeSection := func() error {
+		if curShard >= 0 && sectionItems != declared {
+			return fmt.Errorf("ned: shard %d section declares %d nodes, found %d", curShard, declared, sectionItems)
+		}
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -213,9 +290,28 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 				}
 				meta = m
 			}
+			if meta.Version >= 2 && strings.HasPrefix(line, shardSectionPrefix) {
+				si, n, err := parseShardSection(line)
+				if err != nil {
+					return meta, nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
+				}
+				if si != curShard+1 {
+					return meta, nil, fmt.Errorf("ned: line %d: shard section %d out of order (want %d)", lineNo, si, curShard+1)
+				}
+				if err := closeSection(); err != nil {
+					return meta, nil, err
+				}
+				curShard, declared, sectionItems = si, n, 0
+			}
 			continue
 		}
 		contentLines++
+		if meta.Version >= 2 {
+			if curShard < 0 {
+				return meta, nil, fmt.Errorf("ned: line %d: item before any shard section", lineNo)
+			}
+			sectionItems++
+		}
 		fields := strings.Fields(line)
 		want := 3
 		if meta.Directed {
@@ -259,7 +355,35 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 	if meta.Version >= 1 && len(items) != meta.nodes {
 		return meta, nil, fmt.Errorf("ned: snapshot truncated or padded: header declares %d nodes, found %d", meta.nodes, len(items))
 	}
+	if meta.Version >= 2 {
+		if err := closeSection(); err != nil {
+			return meta, nil, err
+		}
+		if curShard+1 != meta.Shards {
+			return meta, nil, fmt.Errorf("ned: snapshot declares %d shards, found %d sections", meta.Shards, curShard+1)
+		}
+	}
 	return meta, items, nil
+}
+
+// parseShardSection parses "# shard 3 nodes=17" into (3, 17).
+func parseShardSection(line string) (shard, nodes int, err error) {
+	rest := strings.TrimPrefix(line, shardSectionPrefix)
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("malformed shard section %q", line)
+	}
+	if shard, err = strconv.Atoi(fields[0]); err != nil || shard < 0 {
+		return 0, 0, fmt.Errorf("bad shard index in %q", line)
+	}
+	val, ok := strings.CutPrefix(fields[1], "nodes=")
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed shard section %q", line)
+	}
+	if nodes, err = strconv.Atoi(val); err != nil || nodes < 0 {
+		return 0, 0, fmt.Errorf("bad shard node count %q", val)
+	}
+	return shard, nodes, nil
 }
 
 // parseSnapshotHeader parses "# ned corpus v1 backend=vp k=3 directed=0
@@ -306,9 +430,17 @@ func parseSnapshotHeader(line string) (CorpusMeta, error) {
 			if meta.nodes, err = strconv.Atoi(val); err != nil || meta.nodes < 0 {
 				return meta, fmt.Errorf("bad snapshot node count %q", val)
 			}
+		case "shards":
+			if meta.Shards, err = strconv.Atoi(val); err != nil || meta.Shards < 1 {
+				return meta, fmt.Errorf("bad snapshot shard count %q", val)
+			}
 		}
 	}
-	for _, key := range []string{"backend", "k", "directed", "nodes"} {
+	required := []string{"backend", "k", "directed", "nodes"}
+	if meta.Version >= 2 {
+		required = append(required, "shards")
+	}
+	for _, key := range required {
 		if !got[key] {
 			return meta, fmt.Errorf("snapshot header missing %s=", key)
 		}

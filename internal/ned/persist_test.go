@@ -139,6 +139,87 @@ func TestCorpusSnapshotGolden(t *testing.T) {
 	}
 }
 
+// TestCorpusSnapshotGoldenV2 locks the v2 sharded manifest format
+// against its checked-in golden (empty shard section included):
+// re-partitioning the parsed items by ShardOf and re-encoding must
+// reproduce the golden bytes, so shard placement stays a pure function
+// of (node, shards) and the on-disk format cannot drift.
+func TestCorpusSnapshotGoldenV2(t *testing.T) {
+	const path = "testdata/corpus_v2.golden"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, items, err := ReadCorpusItems(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if meta.Version != 2 || meta.Backend != "bk" || meta.K != 2 || meta.Directed || meta.Shards != 2 {
+		t.Fatalf("%s: meta %+v", path, meta)
+	}
+	wantNodes := []graph.NodeID{0, 3, 7}
+	if len(items) != len(wantNodes) {
+		t.Fatalf("%s: %d items, want %d", path, len(items), len(wantNodes))
+	}
+	for i, it := range items {
+		if it.Node != wantNodes[i] {
+			t.Errorf("%s item %d: node %d, want %d", path, i, it.Node, wantNodes[i])
+		}
+	}
+	shardItems := make([][]Item, meta.Shards)
+	for _, it := range items {
+		si := ShardOf(it.Node, meta.Shards)
+		shardItems[si] = append(shardItems[si], it)
+	}
+	var buf bytes.Buffer
+	if err := WriteShardedCorpusItems(&buf, meta, shardItems); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(raw) {
+		t.Errorf("%s: WriteShardedCorpusItems drifted from the golden format:\ngot:  %q\nwant: %q",
+			path, buf.String(), string(raw))
+	}
+}
+
+// TestShardedCorpusItemsRoundTripRandom round-trips a hash-partitioned
+// v2 manifest of both directednesses through the codec.
+func TestShardedCorpusItemsRoundTripRandom(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := randomTestGraph(40, 90, 23)
+		var nodes []graph.NodeID
+		for v := 0; v < g.NumNodes(); v += 3 {
+			nodes = append(nodes, graph.NodeID(v))
+		}
+		items := BuildItems(g, nodes, 2, directed, 0)
+		const shards = 4
+		per := make([][]Item, shards)
+		for _, it := range items {
+			per[ShardOf(it.Node, shards)] = append(per[ShardOf(it.Node, shards)], it)
+		}
+		meta := CorpusMeta{Version: 2, Backend: "vp", K: 2, Directed: directed, Shards: shards}
+		var buf bytes.Buffer
+		if err := WriteShardedCorpusItems(&buf, meta, per); err != nil {
+			t.Fatal(err)
+		}
+		gotMeta, got, err := ReadCorpusItems(&buf)
+		if err != nil {
+			t.Fatalf("directed=%v: %v", directed, err)
+		}
+		if gotMeta.Version != 2 || gotMeta.Shards != shards || gotMeta.Directed != directed || len(got) != len(items) {
+			t.Fatalf("directed=%v: meta %+v with %d items", directed, gotMeta, len(got))
+		}
+		gotSet := make(map[graph.NodeID]string, len(got))
+		for _, it := range got {
+			gotSet[it.Node] = tree.Encode(it.Out)
+		}
+		for _, it := range items {
+			if gotSet[it.Node] != tree.Encode(it.Out) {
+				t.Errorf("directed=%v: node %d did not round-trip", directed, it.Node)
+			}
+		}
+	}
+}
+
 // TestCorpusSnapshotRoundTripRandom round-trips generated corpora of
 // both directednesses through the codec.
 func TestCorpusSnapshotRoundTripRandom(t *testing.T) {
@@ -216,7 +297,14 @@ func TestReadCorpusItemsErrors(t *testing.T) {
 	cases := []struct {
 		name, in, want string
 	}{
-		{"future version", "# ned corpus v2 backend=vp k=2 directed=0 nodes=0\n", "version 2 not supported"},
+		{"future version", "# ned corpus v3 backend=vp k=2 directed=0 shards=1 nodes=0\n", "version 3 not supported"},
+		{"v2 missing shards", "# ned corpus v2 backend=vp k=2 directed=0 nodes=0\n", "missing shards="},
+		{"v2 bad shard count", "# ned corpus v2 backend=vp k=2 directed=0 shards=0 nodes=0\n", "bad snapshot shard count"},
+		{"v2 item outside section", "# ned corpus v2 backend=vp k=2 directed=0 shards=1 nodes=1\n0 2 0\n", "before any shard section"},
+		{"v2 section out of order", "# ned corpus v2 backend=vp k=2 directed=0 shards=2 nodes=1\n# shard 1 nodes=1\n0 2 0\n", "out of order"},
+		{"v2 short section", "# ned corpus v2 backend=vp k=2 directed=0 shards=2 nodes=2\n# shard 0 nodes=2\n0 2 0\n# shard 1 nodes=1\n1 2 0\n", "declares 2 nodes, found 1"},
+		{"v2 missing section", "# ned corpus v2 backend=vp k=2 directed=0 shards=2 nodes=1\n# shard 0 nodes=1\n0 2 0\n", "declares 2 shards, found 1 sections"},
+		{"v2 malformed section", "# ned corpus v2 backend=vp k=2 directed=0 shards=1 nodes=1\n# shard zero nodes=1\n0 2 0\n", "bad shard index"},
 		{"bad version", "# ned corpus vx backend=vp k=2 directed=0 nodes=0\n", "malformed snapshot version"},
 		{"missing field", "# ned corpus v1 backend=vp k=2 directed=0\n", "missing nodes="},
 		{"bad k", "# ned corpus v1 backend=vp k=zero directed=0 nodes=0\n", "bad snapshot k"},

@@ -145,6 +145,41 @@ func (t *BKTree[T]) Delete(match func(T) bool) int {
 	return marked
 }
 
+// Clone returns a structurally private copy of the tree sharing the
+// item payloads: nodes, child maps, maxKey bounds, and tombstone flags
+// are all duplicated, so Insert/Delete on the clone never touch the
+// original and a published tree keeps serving lock-free readers. The
+// caller supplies fresh metric closures — BK insertion evaluates the
+// metric during its descent, and the owner's hooks typically reference
+// the owning wrapper (counter sinks, maintenance muting), which the
+// clone's owner must re-point at itself. Cloning performs no metric
+// evaluations.
+func (t *BKTree[T]) Clone(dist func(a, b T) int, bdist func(a, b T, budget int) (int, bool)) *BKTree[T] {
+	c := &BKTree[T]{dist: dist, bdist: bdist, less: t.less, count: t.count, dead: t.dead}
+	if t.root == nil {
+		return c
+	}
+	// One slab holds every cloned node (child maps are still per-node);
+	// t.count is exact — the tree allocates one node per Insert.
+	slab := make([]bkNode[T], t.count)
+	next := 0
+	var copyNode func(n *bkNode[T]) *bkNode[T]
+	copyNode = func(n *bkNode[T]) *bkNode[T] {
+		nn := &slab[next]
+		next++
+		nn.point, nn.maxKey, nn.dead = n.point, n.maxKey, n.dead
+		if n.children != nil {
+			nn.children = make(map[int]*bkNode[T], len(n.children))
+			for d, child := range n.children {
+				nn.children[d] = copyNode(child)
+			}
+		}
+		return nn
+	}
+	c.root = copyNode(t.root)
+	return c
+}
+
 // DistanceCalls returns metric evaluations since the last ResetStats
 // (queries only; Insert calls are not counted).
 func (t *BKTree[T]) DistanceCalls() int64 { return t.distCalls.Load() }

@@ -179,6 +179,38 @@ func (t *Tree[T]) Delete(match func(T) bool) int {
 	return marked
 }
 
+// Clone returns a structurally private copy of the tree: every node —
+// including its tombstone flag — is duplicated, while the item payloads
+// and the metric closures are shared. Mutating the clone (Delete) never
+// touches the original, so a published tree can keep serving lock-free
+// readers while its successor is prepared. Cloning walks the whole tree
+// but performs no metric evaluations.
+func (t *Tree[T]) Clone() *Tree[T] {
+	c := &Tree[T]{dist: t.dist, bdist: t.bdist, less: t.less, count: t.count, dead: t.dead}
+	if t.root == nil {
+		return c
+	}
+	// One slab holds every cloned node: a single allocation with better
+	// locality than n individual nodes, sized exactly by the build-time
+	// count (the structure never grows after New).
+	slab := make([]node[T], t.count)
+	next := 0
+	var copyNode func(n *node[T]) *node[T]
+	copyNode = func(n *node[T]) *node[T] {
+		if n == nil {
+			return nil
+		}
+		nn := &slab[next]
+		next++
+		nn.point, nn.radius, nn.dead = n.point, n.radius, n.dead
+		nn.inside = copyNode(n.inside)
+		nn.beyond = copyNode(n.beyond)
+		return nn
+	}
+	c.root = copyNode(t.root)
+	return c
+}
+
 // DistanceCalls returns the number of metric evaluations since the last
 // ResetStats (not counting the build).
 func (t *Tree[T]) DistanceCalls() int64 { return t.distCalls.Load() }
