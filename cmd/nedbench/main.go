@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard]
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard|cascade]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
 //	         [-json results.json]
 //
@@ -43,7 +43,7 @@ type jsonResult struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard, cascade)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
 		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
@@ -135,9 +135,13 @@ func main() {
 		emit(shardExperiment(o))
 		ran++
 	}
+	if run("cascade") {
+		emit(cascadeExperiment(o))
+		ran++
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard\n")
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard cascade\n")
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
@@ -426,6 +430,85 @@ func shardExperiment(o bench.Options) bench.Table {
 			fmt.Sprintf("%.1f", float64(totalQueries)/wall.Seconds()),
 			fmt.Sprint(mutations),
 			fmt.Sprint(stats.Rebuilds),
+			fmt.Sprint(mismatches))
+	}
+	return t
+}
+
+// cascadeExperiment profiles the filter–verify cascade per backend:
+// the same batch of inter-graph KNN queries, reporting per query how
+// many candidate evaluations each precompiled tier dismissed (size gap,
+// padding over flat level vectors, per-level label multisets), how many
+// survivors were abandoned mid-TED* by the budget, and how many ran to
+// completion — with the answers asserted node-identical to the exact
+// linear scan, since the cascade may only skip work, never change
+// results.
+func cascadeExperiment(o bench.Options) bench.Table {
+	o.Normalize()
+	t := bench.Table{
+		Title:  "Filter cascade: per-tier candidate pruning across backends (per-query mean)",
+		Note:   fmt.Sprintf("%d candidates, %d KNN(5) queries, PGP analog, k=3; prune tiers are exact-preserving lower bounds", o.Candidates, o.Queries),
+		Header: []string{"backend", "time (ms)", "TED* evals", "size prunes", "padding prunes", "label prunes", "early exits", "mismatches"},
+	}
+	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed})
+	g2 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed + 999})
+	rng := rand.New(rand.NewSource(o.Seed + 67))
+
+	queries := make([]ned.Signature, 0, o.Queries)
+	for _, v := range rng.Perm(g1.NumNodes())[:min(o.Queries, g1.NumNodes())] {
+		queries = append(queries, ned.NewSignature(g1, ned.NodeID(v), 3))
+	}
+	cands := make([]ned.NodeID, 0, o.Candidates)
+	for _, v := range rng.Perm(g2.NumNodes())[:min(o.Candidates, g2.NumNodes())] {
+		cands = append(cands, ned.NodeID(v))
+	}
+
+	// Ground truth is deliberately cascade-free: the exhaustive
+	// unbudgeted TopL over raw signatures, so a bound bug shared by
+	// every backend still shows up as mismatches.
+	candSigs := ned.Signatures(g2, cands, 3)
+	exact := make([][]ned.Neighbor, len(queries))
+	for i, q := range queries {
+		exact[i] = ned.TopL(q, candSigs, 5)
+	}
+
+	ctx := context.Background()
+	for _, backend := range []ned.Backend{
+		ned.BackendLinear, ned.BackendPrunedLinear, ned.BackendVP, ned.BackendBK,
+	} {
+		corpus, err := ned.NewCorpus(g2, 3, ned.WithBackend(backend), ned.WithNodes(cands))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := corpus.KNNSignature(ctx, queries[0], 1); err != nil { // materialize
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		corpus.ResetStats()
+		start := time.Now()
+		res, err := corpus.BatchKNN(ctx, queries, 5)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		mismatches := 0
+		for i := range res {
+			if fmt.Sprint(res[i]) != fmt.Sprint(exact[i]) {
+				mismatches++
+			}
+		}
+		stats := corpus.Stats()
+		nq := float64(len(queries))
+		per := func(v int64) string { return fmt.Sprintf("%.1f", float64(v)/nq) }
+		t.AddRow(backend.String(),
+			fmt.Sprintf("%.3f", float64(elapsed.Nanoseconds())/1e6/nq),
+			per(stats.DistanceCalls),
+			per(stats.SizePrunes),
+			per(stats.PaddingPrunes),
+			per(stats.LabelPrunes),
+			per(stats.EarlyExits),
 			fmt.Sprint(mismatches))
 	}
 	return t

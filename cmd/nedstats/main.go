@@ -8,14 +8,22 @@
 //	nedstats -dataset PGP [-scale 1.0] [-seed 42]
 //	nedstats -file path/to/graph.edges
 //	nedstats -dataset PGP -shards 8 [-k 3]   # report corpus shard balance too
+//	nedstats -dataset PGP -probe 20 [-k 3]   # report filter-cascade effectiveness too
 //
 // With -shards (> 0, or -shards -1 for the GOMAXPROCS-derived default),
 // nedstats additionally partitions the graph's nodes the way a sharded
 // ned.Corpus would and reports the per-shard node counts, so the hash
 // balance can be checked for a dataset before serving it.
+//
+// With -probe N, nedstats builds a corpus over the graph, runs N
+// self-KNN queries through it, and reports the serving work profile —
+// TED* evaluations, budget early exits, and the per-tier cascade prune
+// counters (size / padding / label-multiset) — so the filter cascade's
+// effectiveness on a dataset can be checked before serving it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +42,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		hist    = flag.Bool("hist", false, "print the degree histogram")
 		shards  = flag.Int("shards", 0, "report corpus shard balance for this shard count (0 = off, -1 = GOMAXPROCS-derived default)")
-		k       = flag.Int("k", 3, "neighborhood depth for the shard-balance corpus")
+		k       = flag.Int("k", 3, "neighborhood depth for the shard-balance and probe corpora")
+		probe   = flag.Int("probe", 0, "run this many self-KNN queries and report the filter-cascade work profile (0 = off)")
 	)
 	flag.Parse()
 
@@ -108,6 +117,50 @@ func main() {
 			lo, hi, float64(cs.Nodes)/float64(cs.Shards))
 		fmt.Printf("  per-shard counts      %v\n", cs.ShardNodes)
 	}
+
+	if *probe > 0 {
+		probeCascade(g, *k, *probe)
+	}
+}
+
+// probeCascade serves n self-KNN queries (node 0, step spread across
+// the graph) from a corpus over g and prints the cascade work profile:
+// how many candidate evaluations the precompiled size / padding /
+// label-multiset tiers dismissed before any TED* matching work, versus
+// full evaluations and mid-TED* early exits.
+func probeCascade(g *graph.Graph, k, n int) {
+	corpus, err := ned.NewCorpus(g, k)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	if n > g.NumNodes() {
+		n = g.NumNodes()
+	}
+	step := g.NumNodes() / n
+	if step < 1 {
+		step = 1
+	}
+	// Materialize outside the measured window, then reset the counters
+	// so the profile covers only the probe queries.
+	if _, err := corpus.KNN(ctx, 0, 1); err != nil {
+		fatal(err)
+	}
+	corpus.ResetStats()
+	for q := 0; q < n; q++ {
+		if _, err := corpus.KNN(ctx, ned.NodeID(q*step), 5); err != nil {
+			fatal(err)
+		}
+	}
+	s := corpus.Stats()
+	per := func(v int64) string { return fmt.Sprintf("%d (%.1f/query)", v, float64(v)/float64(n)) }
+	fmt.Printf("filter cascade (k=%d, backend=%s, %d KNN(5) probes):\n", s.K, s.Backend, n)
+	fmt.Printf("  TED* evaluations      %s\n", per(s.DistanceCalls))
+	fmt.Printf("  early exits           %s\n", per(s.EarlyExits))
+	fmt.Printf("  cascade prunes        %s\n", per(s.LowerBoundPrunes))
+	fmt.Printf("    size tier           %s\n", per(s.SizePrunes))
+	fmt.Printf("    padding tier        %s\n", per(s.PaddingPrunes))
+	fmt.Printf("    label tier          %s\n", per(s.LabelPrunes))
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"ned/internal/ned"
+	"ned/internal/tree"
 )
 
 // Typed errors returned by the Corpus API. Wrap-aware: test with
@@ -272,6 +273,19 @@ type Corpus struct {
 	shards []*corpusShard
 	exec   *ned.Executor // pooled workers for shard fan-out and BatchKNN
 
+	// dict is the corpus-wide subtree-shape dictionary behind the
+	// filter–verify cascade: every signature is compiled against it —
+	// at extraction, Insert, UpdateGraph, and snapshot load — into a
+	// flat Profile (level sizes, per-level interned label multisets,
+	// the AHU encoding as an interned 64-bit key), and every query
+	// signature is compiled read-only against the same dictionary on
+	// arrival (shapes the corpus never indexed get profile-local
+	// labels), so candidate evaluation compares precomputed int32 runs
+	// instead of walking trees. One dictionary per corpus, shared by
+	// all shards and epoch clones; it grows only with the shapes of
+	// indexed signatures, never with what is queried against it.
+	dict *tree.Interner
+
 	materialized atomic.Bool // signatures extracted into the epochs
 	built        atomic.Bool // per-shard indexes constructed
 
@@ -349,7 +363,7 @@ func resolveShards(n int) int {
 // epochs; the caller populates membership (and items, for LoadCorpus)
 // before the corpus is shared.
 func newShardedCorpus(k int, cfg corpusConfig, g *Graph) *Corpus {
-	c := &Corpus{k: k, cfg: cfg, exec: ned.NewExecutor(cfg.workers)}
+	c := &Corpus{k: k, cfg: cfg, exec: ned.NewExecutor(cfg.workers), dict: tree.NewInterner()}
 	if g != nil {
 		c.g.Store(g)
 	}
@@ -492,6 +506,7 @@ func (c *Corpus) materializeAllLocked() {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	items := ned.BuildItems(g, nodes, c.k, c.cfg.directed, c.cfg.workers)
+	ned.ProfileItems(items, c.dict, c.cfg.workers)
 	itemOf := make(map[NodeID]ned.Item, len(items))
 	for _, it := range items {
 		itemOf[it.Node] = it
@@ -507,7 +522,11 @@ func (c *Corpus) materializeAllLocked() {
 			if it, ok := itemOf[v]; ok {
 				ne.byNode[v] = it
 			} else {
-				ne.byNode[v] = ned.NewItem(g, v, c.k, c.cfg.directed)
+				// Indexed item: intern (ProfileItem) — a read-only profile
+				// must never enter an index.
+				it := ned.NewItem(g, v, c.k, c.cfg.directed)
+				ned.ProfileItem(&it, c.dict)
+				ne.byNode[v] = it
 			}
 		}
 		sh.epoch.Store(ne)
@@ -558,7 +577,14 @@ func indexes(eps []*shardEpoch) []ned.Index {
 	return ixs
 }
 
-// queryItem validates and converts an external signature query.
+// queryItem validates and converts an external signature query. The
+// cascade profile is deliberately NOT compiled here: callers profile
+// the item with profileQuery AFTER acquiring the epochs, because a
+// read-only query profile is only valid against items whose shapes
+// were interned before it was compiled — which acquire guarantees for
+// every item visible in the epochs it returns (items intern before
+// their epoch publishes, and the lazy first build interns the whole
+// corpus before this query proceeds).
 func (c *Corpus) queryItem(sig Signature) (ned.Item, error) {
 	if c.cfg.directed {
 		return ned.Item{}, ErrDirectedSignature
@@ -570,6 +596,14 @@ func (c *Corpus) queryItem(sig Signature) (ned.Item, error) {
 		return ned.Item{}, fmt.Errorf("%w: signature k=%d, corpus k=%d", ErrKMismatch, sig.K, c.k)
 	}
 	return sig.Item(), nil
+}
+
+// profileQuery compiles a validated query item's cascade profile
+// against the corpus dictionary — once per query, after acquire,
+// before any shard fan-out, so every shard's candidate filter reads
+// the same precompiled bounds.
+func (c *Corpus) profileQuery(q *ned.Item) {
+	ned.ProfileQueryItem(q, c.dict)
 }
 
 // checkUnindexedNode is the one validity gate for node queries that
@@ -612,7 +646,9 @@ func (c *Corpus) nodeItem(eps []*shardEpoch, v NodeID) (ned.Item, error) {
 	if err != nil {
 		return ned.Item{}, err
 	}
-	return ned.NewItem(g, v, c.k, c.cfg.directed), nil
+	it := ned.NewItem(g, v, c.k, c.cfg.directed)
+	ned.ProfileQueryItem(&it, c.dict)
+	return it, nil
 }
 
 // KNN returns the l indexed nodes most NED-similar to node v of the
@@ -654,6 +690,7 @@ func (c *Corpus) KNNSignature(ctx context.Context, sig Signature, l int) ([]Neig
 		return nil, err
 	}
 	eps := c.acquire()
+	c.profileQuery(&q)
 	c.queries.Add(1)
 	return ned.FanKNN(ctx, c.exec, indexes(eps), q, l)
 }
@@ -672,6 +709,7 @@ func (c *Corpus) Range(ctx context.Context, sig Signature, r int) ([]Neighbor, e
 		return nil, err
 	}
 	eps := c.acquire()
+	c.profileQuery(&q)
 	c.queries.Add(1)
 	return ned.FanRange(ctx, c.exec, indexes(eps), q, r)
 }
@@ -689,6 +727,7 @@ func (c *Corpus) NearestSet(ctx context.Context, sig Signature) ([]Neighbor, err
 		return nil, err
 	}
 	eps := c.acquire()
+	c.profileQuery(&q)
 	ixs := indexes(eps)
 	n := 0
 	for _, ix := range ixs {
@@ -746,6 +785,9 @@ func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Nei
 		return nil, err
 	}
 	eps := c.acquire()
+	for i := range qs {
+		c.profileQuery(&qs[i])
+	}
 	ixs := indexes(eps)
 	c.queries.Add(int64(len(sigs)))
 	// The linear backend already spreads each scan across the worker
@@ -794,9 +836,21 @@ type CorpusStats struct {
 	// search threshold (kth-best, tau, or ring radius) before the full
 	// O(k·n³) work was spent.
 	EarlyExits int64
-	// LowerBoundPrunes counts candidates dismissed by the O(height)
-	// padding lower bound alone, before any matching work.
+	// LowerBoundPrunes counts candidates dismissed by a precompiled
+	// lower bound alone, before any matching work; it always equals
+	// SizePrunes + PaddingPrunes + LabelPrunes.
 	LowerBoundPrunes int64
+
+	// SizePrunes, PaddingPrunes, and LabelPrunes break LowerBoundPrunes
+	// down by filter-cascade tier, aggregated atomically across shards:
+	// the O(1) node-count gap, the per-level padding bound read off two
+	// precompiled level-size vectors (including the budgeted TED*'s own
+	// padding seed check), and the per-level label-multiset bound over
+	// corpus-interned subtree labels. See the README's "Filter cascade"
+	// section.
+	SizePrunes    int64
+	PaddingPrunes int64
+	LabelPrunes   int64
 
 	// Rebuilds counts index rebuilds since construction: amortized
 	// per-shard rebuilds triggered by the staleness threshold, plus
@@ -843,6 +897,9 @@ func (c *Corpus) Stats() CorpusStats {
 	s.DistanceCalls = counters.DistanceCalls
 	s.EarlyExits = counters.EarlyExits
 	s.LowerBoundPrunes = counters.LowerBoundPrunes
+	s.SizePrunes = counters.SizePrunes
+	s.PaddingPrunes = counters.PaddingPrunes
+	s.LabelPrunes = counters.LabelPrunes
 	if total > 0 {
 		s.StaleRatio = float64(stale) / float64(total)
 	}

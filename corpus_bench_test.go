@@ -53,6 +53,56 @@ func BenchmarkCorpusKNN(b *testing.B) {
 	}
 }
 
+// BenchmarkCorpusCascade is BenchmarkCorpusKNN with the filter-cascade
+// work profile surfaced as custom metrics: per-query TED* evaluations
+// and per-tier prunes (size / padding / label-multiset). CI runs it at
+// -benchtime=1x so every push compiles the cascade and counts its
+// tiers; BENCH_CASCADE.json records the full before/after numbers.
+func BenchmarkCorpusCascade(b *testing.B) {
+	for _, backend := range []Backend{BackendVP, BackendBK, BackendLinear, BackendPrunedLinear} {
+		b.Run(fmt.Sprint(backend), func(b *testing.B) {
+			g1 := MustGenerateDataset(DatasetPGP, DatasetOptions{Scale: 0.1, Seed: 7})
+			g2 := MustGenerateDataset(DatasetPGP, DatasetOptions{Scale: 0.1, Seed: 8})
+			rng := rand.New(rand.NewSource(9))
+
+			const k, nQueries, nCands, l = 3, 16, 300, 5
+			queries := make([]Signature, 0, nQueries)
+			for _, v := range rng.Perm(g1.NumNodes())[:nQueries] {
+				queries = append(queries, NewSignature(g1, NodeID(v), k))
+			}
+			cands := make([]NodeID, 0, nCands)
+			for _, v := range rng.Perm(g2.NumNodes())[:min(nCands, g2.NumNodes())] {
+				cands = append(cands, NodeID(v))
+			}
+			corpus, err := NewCorpus(g2, k, WithBackend(backend), WithNodes(cands))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := corpus.KNNSignature(ctx, queries[0], 1); err != nil { // materialize
+				b.Fatal(err)
+			}
+			corpus.ResetStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := corpus.KNNSignature(ctx, q, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			s := corpus.Stats()
+			perQuery := float64(b.N * nQueries)
+			b.ReportMetric(float64(s.DistanceCalls)/perQuery, "evals/query")
+			b.ReportMetric(float64(s.SizePrunes)/perQuery, "sizeprunes/query")
+			b.ReportMetric(float64(s.PaddingPrunes)/perQuery, "padprunes/query")
+			b.ReportMetric(float64(s.LabelPrunes)/perQuery, "labelprunes/query")
+		})
+	}
+}
+
 // BenchmarkCorpusParallelChurn measures the mixed read/write serving
 // path: many goroutines issue KNN queries while every 8th operation
 // churns a node (Remove + Insert, with its signature re-extraction).

@@ -71,6 +71,7 @@ func (c *Corpus) Insert(nodes ...NodeID) error {
 	var itemOf map[NodeID]ned.Item
 	if c.materialized.Load() {
 		items := ned.BuildItems(g, fresh, c.k, c.cfg.directed, c.cfg.workers)
+		ned.ProfileItems(items, c.dict, c.cfg.workers)
 		itemOf = make(map[NodeID]ned.Item, len(items))
 		for _, it := range items {
 			itemOf[it.Node] = it
@@ -90,6 +91,7 @@ func (c *Corpus) Insert(nodes ...NodeID) error {
 				it, ok := itemOf[v]
 				if !ok {
 					it = ned.NewItem(g, v, c.k, c.cfg.directed)
+					ned.ProfileItem(&it, c.dict)
 				}
 				ne.byNode[v] = it
 				added = append(added, it)
@@ -250,6 +252,7 @@ func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
 		}
 	}
 	items := ned.BuildItems(g, refresh, c.k, c.cfg.directed, c.cfg.workers)
+	ned.ProfileItems(items, c.dict, c.cfg.workers)
 	refreshByShard := make(map[int][]ned.Item)
 	for _, it := range items {
 		si := ned.ShardOf(it.Node, len(c.shards))

@@ -155,6 +155,96 @@ func TestCorpusShardedEquivalence(t *testing.T) {
 	}
 }
 
+// TestCorpusShardedCascadeEquivalence covers the filter–verify cascade
+// end to end: the corpus path (profiled items, precompiled query
+// profiles, best-first evaluation, tier pruning) must answer
+// node-identically to the cascade-free ground truth — an exhaustive
+// unbudgeted TopL over raw signatures — on every backend, at shard
+// counts 1 and 4, and the per-tier prune counters must aggregate
+// consistently across the shards.
+func TestCorpusShardedCascadeEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const k = 2
+	gCorpus := randomGraph(90, 200, 950)
+	gQuery := randomGraph(40, 90, 951)
+	var nodes []NodeID
+	for v := 0; v < gCorpus.NumNodes(); v++ {
+		nodes = append(nodes, NodeID(v))
+	}
+	cands := Signatures(gCorpus, nodes, k)
+
+	for _, b := range allBackends {
+		for _, shards := range []int{1, 4} {
+			c, err := NewCorpus(gCorpus, k, WithBackend(b), WithShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 6; q++ {
+				sig := NewSignature(gQuery, NodeID(q*5), k)
+				want := TopL(sig, cands, 7)
+				got, err := c.KNNSignature(ctx, sig, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("%v shards=%d query %d: cascade KNN %v, exhaustive TopL %v",
+						b, shards, q, got, want)
+				}
+			}
+			s := c.Stats()
+			if s.LowerBoundPrunes != s.SizePrunes+s.PaddingPrunes+s.LabelPrunes {
+				t.Errorf("%v shards=%d: LowerBoundPrunes %d != size %d + padding %d + label %d",
+					b, shards, s.LowerBoundPrunes, s.SizePrunes, s.PaddingPrunes, s.LabelPrunes)
+			}
+			c.ResetStats()
+			if s := c.Stats(); s.SizePrunes != 0 || s.PaddingPrunes != 0 || s.LabelPrunes != 0 {
+				t.Errorf("%v shards=%d: ResetStats left tier counters %d/%d/%d",
+					b, shards, s.SizePrunes, s.PaddingPrunes, s.LabelPrunes)
+			}
+		}
+	}
+
+	// Regression (first-query profiling order): the very first query of
+	// a lazily built corpus must be profiled AFTER the build interns the
+	// corpus shapes — profiled before, its label multisets would count
+	// every shared shape as a mismatch and the label tier would prune
+	// true neighbors. Fresh corpus per query, l=1 keeps the threshold
+	// tight enough to expose any invalid bound.
+	for q := 0; q < 4; q++ {
+		sig := NewSignature(gQuery, NodeID(q*7), k)
+		want := TopL(sig, cands, 1)
+		for _, b := range allBackends {
+			first, err := NewCorpus(gCorpus, k, WithBackend(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := first.KNNSignature(ctx, sig, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%v first-ever query %d: %v, exhaustive %v", b, q, got, want)
+			}
+		}
+	}
+
+	// The scan backends precompile every candidate's bounds, so a
+	// small-l query over a 90-node corpus must show tier pruning at work
+	// (the metric trees may legitimately prune structurally instead).
+	c, err := NewCorpus(gCorpus, k, WithBackend(BackendPrunedLinear), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 6; q++ {
+		if _, err := c.KNNSignature(ctx, NewSignature(gQuery, NodeID(q), k), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.LowerBoundPrunes == 0 {
+		t.Errorf("pruned backend: no cascade prunes across %d queries (stats %+v)", 6, s)
+	}
+}
+
 // TestCorpusShardedNodeQueries: node-ID KNN (the path that resolves the
 // query item out of the owning shard's table) agrees across shard
 // counts, directed corpora included.

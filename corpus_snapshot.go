@@ -128,6 +128,11 @@ func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 		}
 	}
 	c := newShardedCorpus(k, cfg, g)
+	// The snapshot format carries no profiles (it predates them and
+	// stays diff-friendly); recompile them against the fresh corpus
+	// dictionary so restored corpora serve the same filter cascade as
+	// freshly built ones.
+	ned.ProfileItems(items, c.dict, cfg.workers)
 	// The snapshot's items arrive pre-materialized: give every shard a
 	// non-nil item table (its keys are the membership) up front.
 	for _, sh := range c.shards {

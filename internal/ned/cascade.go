@@ -1,0 +1,292 @@
+package ned
+
+import (
+	"context"
+	"slices"
+
+	"ned/internal/ted"
+	"ned/internal/tree"
+)
+
+// This file is the filter–verify cascade every index backend evaluates
+// candidates through: a monotone chain of precompiled lower bounds —
+//
+//	size |n1−n2|  <=  padding Σ|L_d gaps|  <=  label-multiset  <=  TED*
+//
+// — each tier read off flat per-item Profiles (internal/tree) compiled
+// once at extraction, insert, or snapshot-load time, so the per-
+// candidate filter costs a few int32 scans instead of tree walks and
+// string compares. A candidate is dismissed at the first tier exceeding
+// the search threshold; survivors reach the verify stage: an interned-
+// key isomorphism fast path (equal AHU keys mean distance 0 without any
+// matching work), profile-based canonical pair orientation, and finally
+// the budgeted TED* of PR 2. Pruning never changes results — every tier
+// lower-bounds the exact distance (proofs in internal/ted/profile.go),
+// and the verify stage returns exactly what the unprofiled path would.
+//
+// Items without profiles (direct backend construction, legacy helpers)
+// fall back to the PR-2 behavior: tree-walk bounds and string-compare
+// orientation. Answers are identical either way; only the work differs.
+
+// cascadeTier names the filter tier that dismissed a candidate; the
+// counters report the per-tier breakdown.
+type cascadeTier uint8
+
+const (
+	tierSize cascadeTier = iota
+	tierPadding
+	tierLabel
+)
+
+// ProfileItem compiles it's signature trees into Profiles against the
+// corpus dictionary (idempotent: trees already profiled are kept).
+func ProfileItem(it *Item, dict *tree.Interner) {
+	if it.Out != nil && it.OutP == nil {
+		it.OutP = dict.ProfileCached(it.Out)
+	}
+	if it.In != nil && it.InP == nil {
+		it.InP = dict.ProfileCached(it.In)
+	}
+}
+
+// ProfileItems compiles profiles for a batch of items in parallel; the
+// dictionary is safe for concurrent interning.
+func ProfileItems(items []Item, dict *tree.Interner, workers int) {
+	parallelFor(len(items), BatchOptions{Workers: workers}.workers(), func(i int) {
+		ProfileItem(&items[i], dict)
+	})
+}
+
+// ProfileQueryItem compiles a query item's profiles read-only: shapes
+// the corpus has never indexed get profile-local labels instead of
+// growing the corpus dictionary, so an arbitrary query stream costs
+// no corpus memory and no dictionary write lock. Query-only — a
+// read-only profile must never be indexed (ProfileItem for that).
+func ProfileQueryItem(it *Item, dict *tree.Interner) {
+	if it.Out != nil && it.OutP == nil {
+		it.OutP = dict.ProfileQueryCached(it.Out)
+	}
+	if it.In != nil && it.InP == nil {
+		it.InP = dict.ProfileQueryCached(it.In)
+	}
+}
+
+// pairProfiled reports whether every tree pair the distance needs has
+// profiles on both sides, i.e. whether the cascade can run.
+func pairProfiled(q, it Item) bool {
+	if q.OutP == nil || it.OutP == nil {
+		return false
+	}
+	if q.In != nil && it.In != nil && (q.InP == nil || it.InP == nil) {
+		return false
+	}
+	return true
+}
+
+// candBound is the precompiled cheap half of one candidate's cascade:
+// the size and padding tiers (size <= pad), a handful of int32 loads
+// per candidate. The label tier is deliberately NOT precompiled — it
+// costs a linear merge per candidate, so the scans evaluate it lazily,
+// only for candidates the cheap tiers admit (see labelTermOver).
+type candBound struct {
+	size, pad int32
+}
+
+// tier attributes a prune by the padding value alone to the cheapest
+// tier that already decides it. Callers guarantee pad > t.
+func (cb candBound) tier(t int) cascadeTier {
+	if int(cb.size) > t {
+		return tierSize
+	}
+	return tierPadding
+}
+
+// itemCascadeBounds computes the cheap cascade tiers for one candidate
+// — summed over the out/in tree pairs for directed items — for
+// best-first ordering, where every candidate needs a key regardless of
+// threshold. Unprofiled pairs fall back to the tree-walk bounds.
+func itemCascadeBounds(q, it Item) candBound {
+	if !pairProfiled(q, it) {
+		return candBound{size: int32(itemSizeBound(q, it)), pad: int32(ItemLowerBound(q, it))}
+	}
+	cb := candBound{
+		size: int32(ted.SizeBound(q.OutP, it.OutP)),
+		pad:  int32(ted.PaddingBound(q.OutP, it.OutP)),
+	}
+	if q.In != nil && it.In != nil {
+		cb.size += int32(ted.SizeBound(q.InP, it.InP))
+		cb.pad += int32(ted.PaddingBound(q.InP, it.InP))
+	}
+	return cb
+}
+
+// labelTierPrunes runs the label-multiset tier at threshold t: the
+// term (summed over tree pairs) is a valid lower bound on the distance
+// in its own right, checked only after the padding tier passed — the
+// full tier-2 value is max(padding, term) per pair, so when padding
+// <= t only the term can still prune. The O(n) level merges run only
+// when the O(1) width cap says the tier could possibly fire: a level's
+// multiset difference never exceeds the two levels' combined width, so
+// term <= ceil((MaxLevel_a + MaxLevel_b) / 4) per pair. Never prunes
+// unprofiled pairs, whose label tier degenerates to the padding bound.
+func labelTierPrunes(q, it Item, t int) (term int, pruned bool) {
+	if !pairProfiled(q, it) {
+		return 0, false
+	}
+	directed := q.In != nil && it.In != nil
+	cap := labelTermCap(q.OutP, it.OutP)
+	if directed {
+		cap += labelTermCap(q.InP, it.InP)
+	}
+	if cap <= t {
+		return 0, false
+	}
+	term = ted.LevelLabelTerm(q.OutP, it.OutP)
+	if directed {
+		term += ted.LevelLabelTerm(q.InP, it.InP)
+	}
+	return term, term > t
+}
+
+// labelTermCap is the largest value one pair's label term can reach.
+func labelTermCap(a, b *tree.Profile) int {
+	return (int(a.MaxLevel) + int(b.MaxLevel) + 3) / 4
+}
+
+// itemSizeBound is tier 0 without profiles: node-count gaps.
+func itemSizeBound(q, it Item) int {
+	s := ted.SizeLowerBound(q.Out, it.Out)
+	if q.In != nil && it.In != nil {
+		s += ted.SizeLowerBound(q.In, it.In)
+	}
+	return s
+}
+
+// cascadeDistanceAtMost is the full per-candidate pipeline: the tiers
+// gate (cheapest first, each only when the previous one passed), then
+// the verify stage runs the budgeted TED*. All counter accounting —
+// per-tier prunes, early exits, distance calls — happens here; callers
+// must not observe again. The outcome contract is itemDistanceAtMost's:
+// OutcomeExact means d is the exact distance; anything else means both
+// d and the true distance exceed the budget.
+func cascadeDistanceAtMost(c *ted.Computer, q, it Item, budget int, cs *counterSet) (int, ted.Outcome) {
+	if budget != ted.Unbounded && pairProfiled(q, it) {
+		if s := sizeBoundProfiled(q, it); s > budget {
+			cs.cascadePrune(tierSize)
+			return s, ted.OutcomePruned
+		}
+		if p := padBoundProfiled(q, it); p > budget {
+			cs.cascadePrune(tierPadding)
+			return p, ted.OutcomePruned
+		}
+		if lt, pruned := labelTierPrunes(q, it, budget); pruned {
+			cs.cascadePrune(tierLabel)
+			return lt, ted.OutcomePruned
+		}
+	}
+	return verifyDistanceAtMost(c, q, it, budget, cs)
+}
+
+func sizeBoundProfiled(q, it Item) int {
+	s := ted.SizeBound(q.OutP, it.OutP)
+	if q.In != nil && it.In != nil {
+		s += ted.SizeBound(q.InP, it.InP)
+	}
+	return s
+}
+
+func padBoundProfiled(q, it Item) int {
+	p := ted.PaddingBound(q.OutP, it.OutP)
+	if q.In != nil && it.In != nil {
+		p += ted.PaddingBound(q.InP, it.InP)
+	}
+	return p
+}
+
+// verifyDistanceAtMost is the verify stage alone, for callers that
+// already ran the tiers (the best-first scans precompile them per
+// candidate). It mirrors itemDistanceAtMost — out-tree first, the
+// in-tree under whatever budget is left — with the profile fast paths,
+// and records the outcome on cs.
+func verifyDistanceAtMost(c *ted.Computer, q, it Item, budget int, cs *counterSet) (int, ted.Outcome) {
+	d, out := treeDistanceAtMost(c, q.Out, it.Out, q.OutP, it.OutP, budget)
+	if out != ted.OutcomeExact {
+		cs.observe(out)
+		return d, out
+	}
+	if q.In != nil && it.In != nil {
+		rem := ted.Unbounded
+		if budget != ted.Unbounded {
+			rem = budget - d
+		}
+		d2, out2 := treeDistanceAtMost(c, q.In, it.In, q.InP, it.InP, rem)
+		if out2 == ted.OutcomePruned {
+			// The out-tree comparison already did matching work, so the
+			// pair as a whole was abandoned mid-computation.
+			out2 = ted.OutcomeAborted
+		}
+		cs.observe(out2)
+		return d + d2, out2
+	}
+	cs.observe(out)
+	return d, out
+}
+
+// treeDistanceAtMost is the budgeted TED* on one tree pair, taking
+// every profile shortcut available: equal interned AHU keys mean the
+// trees are isomorphic — distance 0, no matching work at all — and
+// otherwise the canonical pair orientation is decided from the profiles
+// (size, height, interned encoding string), bit-compatible with
+// ted's orient, so no encoding is ever derived or compared beyond the
+// interned copy. Without profiles it is plain DistanceAtMost.
+func treeDistanceAtMost(c *ted.Computer, t1, t2 *tree.Tree, p1, p2 *tree.Profile, budget int) (int, ted.Outcome) {
+	if p1 == nil || p2 == nil {
+		return c.DistanceAtMost(t1, t2, budget)
+	}
+	if p1.Canon == p2.Canon {
+		return 0, ted.OutcomeExact
+	}
+	if profileSwap(p1, p2) {
+		t1, t2, p1, p2 = t2, t1, p2, p1
+	}
+	return c.DistanceAtMostOriented(t1, t2, p1.Levels, p2.Levels, budget)
+}
+
+// profileSwap mirrors ted's canonical pair orientation — size, then
+// height, then AHU encoding — on profiles: true when the pair must swap.
+func profileSwap(p1, p2 *tree.Profile) bool {
+	switch {
+	case p1.Size != p2.Size:
+		return p1.Size > p2.Size
+	case len(p1.Levels) != len(p2.Levels):
+		return len(p1.Levels) > len(p2.Levels)
+	default:
+		return p1.CanonStr > p2.CanonStr
+	}
+}
+
+// cascadeOrder precompiles every candidate's cheap cascade bounds in
+// parallel and returns the best-first evaluation order: ascending
+// (padding bound, node), so the candidates most likely to rank are
+// evaluated first and the shared kth-best threshold tightens as early
+// as possible. bounds is indexed by the original item position; the
+// order holds indices, so nothing item-sized is copied or re-sorted.
+func cascadeOrder(ctx context.Context, query Item, items []Item, workers int) (order []int32, bounds []candBound, err error) {
+	bounds = make([]candBound, len(items))
+	if err := ParallelForCtx(ctx, len(items), workers, func(i int) {
+		bounds[i] = itemCascadeBounds(query, items[i])
+	}); err != nil {
+		return nil, nil, err
+	}
+	order = make([]int32, len(items))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if bounds[a].pad != bounds[b].pad {
+			return int(bounds[a].pad - bounds[b].pad)
+		}
+		return int(items[a].Node - items[b].Node)
+	})
+	return order, bounds, nil
+}

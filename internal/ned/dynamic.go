@@ -152,8 +152,7 @@ func (b *vpBackend) mergeTailKNN(ctx context.Context, query Item, l int, out []N
 		if len(out) >= l {
 			budget = out[len(out)-1].Dist
 		}
-		d, o := itemDistanceAtMost(comp, query, it, budget)
-		b.counters.observe(o)
+		d, o := cascadeDistanceAtMost(comp, query, it, budget, b.counters)
 		if o != ted.OutcomeExact || d > budget {
 			continue
 		}
@@ -192,8 +191,7 @@ func (b *vpBackend) rangeTail(ctx context.Context, query Item, r int, out []Neig
 				return nil, err
 			}
 		}
-		d, o := itemDistanceAtMost(comp, query, it, r)
-		b.counters.observe(o)
+		d, o := cascadeDistanceAtMost(comp, query, it, r, b.counters)
 		if o == ted.OutcomeExact && d <= r {
 			out = append(out, Neighbor{Node: it.Node, Dist: d})
 		}

@@ -29,12 +29,21 @@ import (
 // Item is what an index backend stores and queries: a node plus the
 // signature trees its distance needs — the single k-adjacent tree for
 // undirected NED (Equation 1), or the outgoing and incoming trees for
-// the directed variant (Equation 2).
+// the directed variant (Equation 2) — and, once the owner has compiled
+// them (ProfileItem), the precomputed Profiles the filter–verify
+// cascade evaluates candidates through. Profiles are optional: items
+// without them take the tree-walking paths with identical results.
 type Item struct {
 	Node graph.NodeID
 	K    int
 	Out  *tree.Tree // the k-adjacent tree (outgoing tree when directed)
 	In   *tree.Tree // incoming k-adjacent tree; nil for undirected NED
+
+	// OutP/InP are the precompiled cascade profiles of Out/In. All
+	// profiles of one index must come from one tree.Interner (the
+	// corpus dictionary, shared across shards and epoch clones).
+	OutP *tree.Profile
+	InP  *tree.Profile
 }
 
 // Item converts a signature into its index representation.
@@ -141,9 +150,19 @@ type Counters struct {
 	// EarlyExits counts budgeted evaluations that bailed mid-computation
 	// once the running cost provably crossed the search threshold.
 	EarlyExits int64
-	// LowerBoundPrunes counts candidates dismissed by the O(height)
-	// padding lower bound alone, before any matching work.
+	// LowerBoundPrunes counts candidates dismissed by a lower bound
+	// alone, before any matching work — the sum of the three cascade
+	// tiers below.
 	LowerBoundPrunes int64
+
+	// SizePrunes / PaddingPrunes / LabelPrunes break LowerBoundPrunes
+	// down by the filter tier that dismissed the candidate: the O(1)
+	// size gap, the per-level padding bound (including the budgeted
+	// computation's own padding seed check), or the per-level
+	// label-multiset bound.
+	SizePrunes    int64
+	PaddingPrunes int64
+	LabelPrunes   int64
 }
 
 // Add returns the element-wise sum of two counter snapshots. The Corpus
@@ -155,6 +174,9 @@ func (c Counters) Add(o Counters) Counters {
 		DistanceCalls:    c.DistanceCalls + o.DistanceCalls,
 		EarlyExits:       c.EarlyExits + o.EarlyExits,
 		LowerBoundPrunes: c.LowerBoundPrunes + o.LowerBoundPrunes,
+		SizePrunes:       c.SizePrunes + o.SizePrunes,
+		PaddingPrunes:    c.PaddingPrunes + o.PaddingPrunes,
+		LabelPrunes:      c.LabelPrunes + o.LabelPrunes,
 	}
 }
 
@@ -165,7 +187,8 @@ func (c Counters) Add(o Counters) Counters {
 // owner's Stats stay continuous across epoch publication (see Clone and
 // ShareCounters).
 type counterSet struct {
-	distCalls, earlyExits, lbPrunes atomic.Int64
+	distCalls, earlyExits, lbPrunes    atomic.Int64
+	sizePrunes, padPrunes, labelPrunes atomic.Int64
 }
 
 // counterHost is implemented by every backend so ShareCounters can
@@ -188,10 +211,19 @@ func ShareCounters(dst, src Index) {
 	}
 }
 
+// observe records a completed candidate evaluation. Nil-safe so
+// maintenance paths (BK insert descent, the legacy free functions) can
+// simply pass no counter set. An OutcomePruned from the budgeted
+// computation is the padding seed check firing, so it lands in the
+// padding tier.
 func (c *counterSet) observe(out ted.Outcome) {
+	if c == nil {
+		return
+	}
 	switch out {
 	case ted.OutcomePruned:
 		c.lbPrunes.Add(1)
+		c.padPrunes.Add(1)
 	case ted.OutcomeAborted:
 		c.distCalls.Add(1)
 		c.earlyExits.Add(1)
@@ -200,11 +232,32 @@ func (c *counterSet) observe(out ted.Outcome) {
 	}
 }
 
+// cascadePrune records a candidate dismissed by the given filter tier.
+// Every lower-bound prune has exactly one tier, so LowerBoundPrunes
+// always equals SizePrunes + PaddingPrunes + LabelPrunes.
+func (c *counterSet) cascadePrune(t cascadeTier) {
+	if c == nil {
+		return
+	}
+	c.lbPrunes.Add(1)
+	switch t {
+	case tierSize:
+		c.sizePrunes.Add(1)
+	case tierPadding:
+		c.padPrunes.Add(1)
+	default:
+		c.labelPrunes.Add(1)
+	}
+}
+
 func (c *counterSet) snapshot() Counters {
 	return Counters{
 		DistanceCalls:    c.distCalls.Load(),
 		EarlyExits:       c.earlyExits.Load(),
 		LowerBoundPrunes: c.lbPrunes.Load(),
+		SizePrunes:       c.sizePrunes.Load(),
+		PaddingPrunes:    c.padPrunes.Load(),
+		LabelPrunes:      c.labelPrunes.Load(),
 	}
 }
 
@@ -212,6 +265,9 @@ func (c *counterSet) reset() {
 	c.distCalls.Store(0)
 	c.earlyExits.Store(0)
 	c.lbPrunes.Store(0)
+	c.sizePrunes.Store(0)
+	c.padPrunes.Store(0)
+	c.labelPrunes.Store(0)
 }
 
 // Index is the unified query surface of every NED index backend. All
@@ -272,23 +328,23 @@ type vpBackend struct {
 
 // NewVPBackend indexes the items in a vantage-point tree (§13.4): exact
 // sub-linear queries via floating-point triangle-inequality pruning.
-// Searches hand the metric a budget of radius + tau per node, so a
-// candidate that cannot rank or affect pruning is abandoned mid-TED*.
-// Mutations take tombstone + append paths (see dynamic.go).
+// Searches hand the metric a budget of radius + tau per node; the
+// filter cascade gates every budgeted evaluation — a candidate whose
+// precompiled bounds already exceed that budget never starts a TED* —
+// and survivors are abandoned mid-TED* once their running cost crosses
+// it. Mutations take tombstone + append paths (see dynamic.go).
 func NewVPBackend(items []Item) DynamicIndex {
 	b := &vpBackend{counters: &counterSet{}}
 	b.t = vptree.New(items, func(x, y Item) float64 {
 		c := tedComputers.Get().(*ted.Computer)
-		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
+		d, _ := verifyDistanceAtMost(c, x, y, ted.Unbounded, b.counters)
 		tedComputers.Put(c)
-		b.counters.observe(ted.OutcomeExact)
 		return float64(d)
 	})
 	b.t.SetBudgetedMetric(func(x, y Item, budget float64) (float64, bool) {
 		c := tedComputers.Get().(*ted.Computer)
-		d, out := itemDistanceAtMost(c, x, y, floatBudget(budget))
+		d, out := cascadeDistanceAtMost(c, x, y, floatBudget(budget), b.counters)
 		tedComputers.Put(c)
-		b.counters.observe(out)
 		return float64(d), out == ted.OutcomeExact
 	})
 	b.t.SetTieBreak(itemLess)
@@ -373,23 +429,24 @@ type bkBackend struct {
 // a pooled Computer, counted as serving work unless b is mid-insert.
 func (b *bkBackend) metric() func(x, y Item) int {
 	return func(x, y Item) int {
-		c := tedComputers.Get().(*ted.Computer)
-		d, _ := itemDistanceAtMost(c, x, y, ted.Unbounded)
-		tedComputers.Put(c)
-		if !b.building.Load() {
-			b.counters.observe(ted.OutcomeExact)
+		cs := b.counters
+		if b.building.Load() {
+			cs = nil
 		}
+		c := tedComputers.Get().(*ted.Computer)
+		d, _ := verifyDistanceAtMost(c, x, y, ted.Unbounded, cs)
+		tedComputers.Put(c)
 		return d
 	}
 }
 
-// budgetedMetric returns the budget-aware metric hook for b's tree.
+// budgetedMetric returns the budget-aware metric hook for b's tree:
+// the filter cascade gates the budgeted TED* per candidate.
 func (b *bkBackend) budgetedMetric() func(x, y Item, budget int) (int, bool) {
 	return func(x, y Item, budget int) (int, bool) {
 		c := tedComputers.Get().(*ted.Computer)
-		d, out := itemDistanceAtMost(c, x, y, budget)
+		d, out := cascadeDistanceAtMost(c, x, y, budget, b.counters)
 		tedComputers.Put(c)
-		b.counters.observe(out)
 		return d, out == ted.OutcomeExact
 	}
 }
@@ -468,10 +525,12 @@ type linearBackend struct {
 // NewLinearBackend evaluates every indexed item per query across the
 // given worker count (<= 0 means GOMAXPROCS). The exact baseline every
 // metric index is measured against; still the fastest option for small
-// corpora where tree traversal overhead dominates. KNN workers share the
-// running kth-best distance, so late candidates are lower-bound pruned
-// or abandoned mid-TED* once they provably cannot rank. Mutations edit
-// the item slice in place (see dynamic.go).
+// corpora where tree traversal overhead dominates. KNN precompiles the
+// cascade bound of every candidate, evaluates best-first by it, and
+// shares the running kth-best distance across workers, so late
+// candidates are dismissed tier by tier or abandoned mid-TED* once they
+// provably cannot rank. Mutations edit the item slice in place (see
+// dynamic.go).
 func NewLinearBackend(items []Item, workers int) DynamicIndex {
 	return &linearBackend{items: items, workers: BatchOptions{Workers: workers}.workers(), counters: &counterSet{}}
 }
@@ -522,13 +581,33 @@ func (b *linearBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor,
 	if l <= 0 || len(b.items) == 0 {
 		return nil, ctx.Err()
 	}
+	// Precompile every candidate's cheap cascade bounds and evaluate
+	// best-first: workers pull candidates in ascending-bound order, so
+	// the shared kth-best threshold tightens as early as possible and
+	// the precompiled tiers dismiss most of the tail — the label tier
+	// runs lazily, only for candidates size and padding admit.
+	order, bounds, err := cascadeOrder(ctx, query, b.items, b.workers)
+	if err != nil {
+		return nil, err
+	}
 	col := newTopLCollector(l)
 	comps := acquireComputers(b.workers)
 	defer releaseComputers(comps)
-	err := ParallelForCtxWorkers(ctx, len(b.items), b.workers, func(w, i int) {
-		it := b.items[i]
-		d, out := itemDistanceAtMost(comps[w], query, it, col.threshold())
-		b.counters.observe(out)
+	err = ParallelForCtxWorkers(ctx, len(b.items), b.workers, func(w, i int) {
+		j := order[i]
+		it := b.items[j]
+		t := col.threshold()
+		if t != ted.Unbounded {
+			if int(bounds[j].pad) > t {
+				b.counters.cascadePrune(bounds[j].tier(t))
+				return
+			}
+			if _, pruned := labelTierPrunes(query, it, t); pruned {
+				b.counters.cascadePrune(tierLabel)
+				return
+			}
+		}
+		d, out := verifyDistanceAtMost(comps[w], query, it, t, b.counters)
 		if out != ted.OutcomeExact {
 			return
 		}
@@ -549,8 +628,7 @@ func (b *linearBackend) Range(ctx context.Context, query Item, r int) ([]Neighbo
 	defer releaseComputers(comps)
 	err := ParallelForCtxWorkers(ctx, len(b.items), b.workers, func(w, i int) {
 		it := b.items[i]
-		d, o := itemDistanceAtMost(comps[w], query, it, r)
-		b.counters.observe(o)
+		d, o := cascadeDistanceAtMost(comps[w], query, it, r, b.counters)
 		if o == ted.OutcomeExact && d <= r {
 			mu.Lock()
 			out = append(out, Neighbor{Node: it.Node, Dist: d})
@@ -587,11 +665,12 @@ type prunedBackend struct {
 }
 
 // NewPrunedLinearBackend scans sequentially but skips full TED*
-// evaluations for items the padding lower bound proves out of range
-// (the §10 pruning strategy PrunedTopL pioneered, behind the unified
-// interface), and abandons the survivors mid-computation once their
-// running cost crosses the threshold. Mutations edit the item slice in
-// place (see dynamic.go).
+// evaluations for items the filter cascade proves out of range (the
+// §10 pruning strategy PrunedTopL pioneered, now over precompiled
+// size / padding / label-multiset bounds evaluated best-first), and
+// abandons the survivors mid-computation once their running cost
+// crosses the threshold. Mutations edit the item slice in place (see
+// dynamic.go).
 func NewPrunedLinearBackend(items []Item) DynamicIndex {
 	return &prunedBackend{items: items, counters: &counterSet{}}
 }
@@ -614,8 +693,7 @@ func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbo
 				return nil, err
 			}
 		}
-		d, o := itemDistanceAtMost(comp, query, it, r)
-		b.counters.observe(o)
+		d, o := cascadeDistanceAtMost(comp, query, it, r, b.counters)
 		if o == ted.OutcomeExact && d <= r {
 			out = append(out, Neighbor{Node: it.Node, Dist: d})
 		}
@@ -655,22 +733,15 @@ func prunedKNN(ctx context.Context, query Item, items []Item, l int, counters *c
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	// Order candidates by the cheap lower bound so likely-close ones are
-	// evaluated first, which tightens the pruning threshold early.
-	type cand struct {
-		it Item
-		lb int
+	// Precompile every candidate's cheap cascade bounds and scan
+	// best-first: likely-close candidates are verified first, which
+	// tightens the pruning threshold early, and the precompiled tiers
+	// then dismiss the tail without touching the trees — the label tier
+	// runs lazily, only for candidates size and padding admit.
+	order, bounds, err := cascadeOrder(ctx, query, items, 1)
+	if err != nil {
+		return nil, stats, err
 	}
-	cs := make([]cand, len(items))
-	for i, it := range items {
-		cs[i] = cand{it, ItemLowerBound(query, it)}
-	}
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].lb != cs[j].lb {
-			return cs[i].lb < cs[j].lb
-		}
-		return cs[i].it.Node < cs[j].it.Node
-	})
 
 	comp := tedComputers.Get().(*ted.Computer)
 	defer tedComputers.Put(comp)
@@ -689,33 +760,36 @@ func prunedKNN(ctx context.Context, query Item, items []Item, l int, counters *c
 			results = results[:l]
 		}
 	}
-	for i, c := range cs {
+	for i, j := range order {
 		if i%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, stats, err
 			}
 		}
+		it := items[j]
 		t := kth()
-		if t >= 0 && c.lb > t {
-			stats.PrunedByBound++
-			if counters != nil {
-				counters.lbPrunes.Add(1)
+		if t >= 0 {
+			if int(bounds[j].pad) > t {
+				stats.PrunedByBound++
+				counters.cascadePrune(bounds[j].tier(t))
+				continue
 			}
-			continue
+			if _, pruned := labelTierPrunes(query, it, t); pruned {
+				stats.PrunedByBound++
+				counters.cascadePrune(tierLabel)
+				continue
+			}
 		}
 		budget := ted.Unbounded
 		if t >= 0 {
 			budget = t
 		}
-		d, out := itemDistanceAtMost(comp, query, c.it, budget)
-		if counters != nil {
-			counters.observe(out)
-		}
+		d, out := verifyDistanceAtMost(comp, query, it, budget, counters)
 		switch out {
 		case ted.OutcomeExact:
 			stats.FullEvaluations++
 			if t < 0 || d <= t {
-				insert(Neighbor{Node: c.it.Node, Dist: d})
+				insert(Neighbor{Node: it.Node, Dist: d})
 			}
 		case ted.OutcomeAborted:
 			stats.EarlyExits++

@@ -111,6 +111,13 @@ func ReadSignatures(r io.Reader) ([]Signature, error) {
 // and item lines are valid signature lines — undirected snapshots still
 // parse as plain signature files, while legacy signature files (no
 // header) load as version-0 snapshots.
+//
+// Cascade profiles (Item.OutP/InP) are deliberately NOT serialized:
+// label IDs are dense handles into one corpus's in-memory shape
+// dictionary and mean nothing in another process. The format is
+// unchanged by their introduction; loaders recompile profiles against
+// a fresh dictionary (ProfileItems) after parsing, as ned.LoadCorpus
+// does.
 
 // snapshotPrefix starts the header line of every corpus snapshot.
 const snapshotPrefix = "# ned corpus v"

@@ -96,9 +96,27 @@ func (c *Computer) DistanceAtMost(t1, t2 *tree.Tree, budget int) (d int, outcome
 	return c.run(t1, t2, int64(budget), nil)
 }
 
+// DistanceAtMostOriented is DistanceAtMost for callers that have
+// already placed the pair in the canonical orientation — typically by
+// comparing precompiled profiles (size, height, interned AHU encoding;
+// see internal/ned's filter–verify cascade) so no encoding string is
+// ever derived on the hot path. lv1/lv2, when non-nil, are the pair's
+// precompiled level-size vectors (tree.Profile.Levels): the padding
+// seed then reads two flat []int32 instead of walking the trees. The
+// budget contract is exactly DistanceAtMost's.
+func (c *Computer) DistanceAtMostOriented(t1, t2 *tree.Tree, lv1, lv2 []int32, budget int) (d int, outcome Outcome) {
+	return c.runLevels(t1, t2, lv1, lv2, int64(budget), nil)
+}
+
 // run executes Algorithm 1 bottom-up under a budget, optionally
 // recording the per-level breakdown into rep.
 func (c *Computer) run(t1, t2 *tree.Tree, budget int64, rep *Report) (int, Outcome) {
+	return c.runLevels(t1, t2, nil, nil, budget, rep)
+}
+
+// runLevels is run with optional precompiled level-size vectors seeding
+// the padding sweep.
+func (c *Computer) runLevels(t1, t2 *tree.Tree, lv1, lv2 []int32, budget int64, rep *Report) (int, Outcome) {
 	maxD := t1.Height()
 	if h := t2.Height(); h > maxD {
 		maxD = h
@@ -112,13 +130,31 @@ func (c *Computer) run(t1, t2 *tree.Tree, budget int64, rep *Report) (int, Outco
 	}
 	c.pads = c.pads[:maxD+1]
 	remPad := 0
-	for d := 0; d <= maxD; d++ {
-		p := t1.LevelSize(d) - t2.LevelSize(d)
-		if p < 0 {
-			p = -p
+	if lv1 != nil && lv2 != nil {
+		for d := 0; d <= maxD; d++ {
+			var n1, n2 int32
+			if d < len(lv1) {
+				n1 = lv1[d]
+			}
+			if d < len(lv2) {
+				n2 = lv2[d]
+			}
+			p := int(n1) - int(n2)
+			if p < 0 {
+				p = -p
+			}
+			c.pads[d] = p
+			remPad += p
 		}
-		c.pads[d] = p
-		remPad += p
+	} else {
+		for d := 0; d <= maxD; d++ {
+			p := t1.LevelSize(d) - t2.LevelSize(d)
+			if p < 0 {
+				p = -p
+			}
+			c.pads[d] = p
+			remPad += p
+		}
 	}
 	if int64(remPad) > budget {
 		return remPad, OutcomePruned

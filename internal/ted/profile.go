@@ -1,0 +1,114 @@
+package ted
+
+import "ned/internal/tree"
+
+// This file is the bound side of the filter–verify cascade: lower
+// bounds on TED* computed purely from precompiled tree.Profiles — no
+// tree traversal, no canonization, no matching. The three tiers form a
+// provable dominance chain
+//
+//	SizeBound <= PaddingBound <= LabelBound <= TED*
+//
+// so an index can evaluate them cheapest-first and stop at the first
+// tier that exceeds its search threshold, while pruning stays exact:
+// every tier lower-bounds the Definition-3 optimum, which Algorithm 1's
+// value (the distance the indexes serve) never undershoots.
+//
+// Soundness arguments, per tier, against any edit script turning T1
+// into T2 (insert leaf / delete leaf / move a node within its level):
+//
+//   - Size: each insert or delete changes the node count by exactly 1
+//     and moves change nothing, so |n1-n2| ops are unavoidable.
+//   - Padding: each insert or delete changes exactly one level's size
+//     by 1 (no operation changes two levels' sizes at once), so the
+//     per-level size gaps must be paid separately: Σ_d | |L_d(T1)| −
+//     |L_d(T2)| | ops at least. Summing the per-level gaps dominates
+//     the single global gap, hence Size <= Padding.
+//   - Label multisets: give every node its subtree shape as a label
+//     (interned corpus-wide, so equal labels <=> isomorphic subtrees)
+//     and compare, per level, the two label multisets. One operation
+//     perturbs each level's multiset by at most 4 elements: an insert
+//     or delete adds/removes one leaf label at its own level (1) and
+//     relabels the one ancestor sitting at each shallower level (2 per
+//     level); a move relabels at most two nodes per shallower level —
+//     the old and new parent chains (4 per level) — and nothing at or
+//     below its own level, since the moved subtree is carried intact.
+//     The symmetric difference D_d of level d's multisets is a metric,
+//     so a script of m operations can bridge at most 4m of it:
+//     m >= max_d ceil(D_d / 4). The tier takes the max with the padding
+//     bound, which both guarantees the dominance chain and keeps the
+//     tier useful when level sizes match but wiring differs (there
+//     D_d > 0 while the padding bound is 0).
+//
+// PaddingBound is bit-identical to the tree-walking LowerBound on the
+// profiled trees (property-tested in cascade_test.go); profiles simply
+// make it two flat []int32 scans.
+
+// SizeBound is tier 0 of the cascade: |size(T1) − size(T2)| from the
+// precompiled profiles. Dominated by PaddingBound; costs two loads.
+func SizeBound(a, b *tree.Profile) int {
+	d := int(a.Size) - int(b.Size)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// PaddingBound is tier 1 of the cascade: the total padding cost
+// Σ_d | |L_d(T1)| − |L_d(T2)| |, identical to LowerBound but read off
+// the two precompiled level-size vectors in a single loop.
+func PaddingBound(a, b *tree.Profile) int {
+	la, lb := a.Levels, b.Levels
+	if len(la) < len(lb) {
+		la, lb = lb, la
+	}
+	bound := 0
+	for d, n := range la {
+		var m int32
+		if d < len(lb) {
+			m = lb[d]
+		}
+		diff := int(n) - int(m)
+		if diff < 0 {
+			diff = -diff
+		}
+		bound += diff
+	}
+	return bound
+}
+
+// LevelLabelTerm is the label-multiset half of tier 2: max over depths
+// of ceil(D_d / 4), with D_d the symmetric difference between the two
+// levels' interned subtree-label multisets (a linear merge of two
+// sorted int32 runs per level). On its own it neither dominates nor is
+// dominated by PaddingBound; LabelBound combines the two. Both
+// profiles must come from the same tree.Interner.
+func LevelLabelTerm(a, b *tree.Profile) int {
+	maxDiff := int64(0)
+	var offA, offB int32
+	for d := 0; d < len(a.Levels) || d < len(b.Levels); d++ {
+		var runA, runB []int32
+		if d < len(a.Levels) {
+			runA = a.Labels[offA : offA+a.Levels[d]]
+			offA += a.Levels[d]
+		}
+		if d < len(b.Levels) {
+			runB = b.Labels[offB : offB+b.Levels[d]]
+			offB += b.Levels[d]
+		}
+		if diff := symmetricDifference(runA, runB); diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	return int((maxDiff + 3) / 4)
+}
+
+// LabelBound is tier 2 of the cascade: max(PaddingBound, LevelLabelTerm),
+// a valid TED* lower bound that dominates the padding bound.
+func LabelBound(a, b *tree.Profile) int {
+	p := PaddingBound(a, b)
+	if t := LevelLabelTerm(a, b); t > p {
+		return t
+	}
+	return p
+}

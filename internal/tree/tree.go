@@ -40,6 +40,30 @@ type Tree struct {
 	canonOnce sync.Once
 	canon     string
 	canonSet  atomic.Bool
+
+	// profCache is the single-slot cascade-profile cache behind
+	// Interner.ProfileCached/ProfileQueryCached: query signatures are
+	// typically evaluated against one corpus many times, and
+	// recompiling the profile per query would dominate small queries.
+	// Keyed by the owning Interner's process-unique ID — not a pointer,
+	// so a retained signature tree never pins a dropped corpus
+	// dictionary — and a tree queried against several corpora stays
+	// correct (the slot just thrashes).
+	profCache atomic.Pointer[cachedProfile]
+}
+
+// cachedProfile pairs a compiled profile with the identity of the
+// dictionary it was compiled against and the dictionary's size at
+// compile time. A fully-resolved profile (every label a dictionary ID)
+// stays valid forever; one carrying query-local labels goes stale the
+// moment the dictionary interns ANY new shape — it might be one of the
+// profile's local ones — so a hit on an unresolved profile must
+// revalidate against the current dictionary size (the dictionary only
+// grows, making the size an exact change detector).
+type cachedProfile struct {
+	dict    uint64
+	dictLen int
+	p       *Profile
 }
 
 // HasCanon reports whether the AHU canonical encoding has been derived

@@ -3,6 +3,7 @@ package vptree
 import (
 	"context"
 	"math"
+	"slices"
 	"sync/atomic"
 )
 
@@ -258,6 +259,13 @@ func (t *BKTree[T]) KNN(query T, k int) []IntResult[T] {
 }
 
 // KNNContext is KNN with cancellation semantics matching RangeContext.
+//
+// Child buckets are visited best-first: rings ordered by |key − d|, the
+// triangle-inequality lower bound on what the ring can contain, so the
+// buckets most likely to hold close neighbors are searched first and
+// the kth-best window shrinks as early as possible — later rings are
+// then skipped outright instead of searched. The result is unchanged
+// (the window test is exact); only the work profile improves.
 func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult[T], error) {
 	if k <= 0 || t.root == nil {
 		return nil, ctx.Err()
@@ -291,6 +299,11 @@ func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult
 	}
 	evals := 0
 	var searchErr error
+	// ringBuf is a shared arena for the per-node sorted ring keys:
+	// each visit appends its keys, sorts its own suffix, and truncates
+	// on exit, so recursion never clobbers a parent's ring and the
+	// whole search reuses one backing array.
+	var ringBuf []int
 	var visit func(n *bkNode[T])
 	visit = func(n *bkNode[T]) {
 		if searchErr != nil {
@@ -316,18 +329,36 @@ func (t *BKTree[T]) KNNContext(ctx context.Context, query T, k int) ([]IntResult
 			(t.less != nil && d == worst() && t.less(n.point, best[len(best)-1].Item))) {
 			add(IntResult[T]{n.point, d})
 		}
-		for cd, child := range n.children {
+		base := len(ringBuf)
+		for cd := range n.children {
+			ringBuf = append(ringBuf, cd)
+		}
+		ring := ringBuf[base:]
+		slices.SortFunc(ring, func(a, b int) int {
+			da, db := a-d, b-d
+			if da < 0 {
+				da = -da
+			}
+			if db < 0 {
+				db = -db
+			}
+			if da != db {
+				return da - db
+			}
+			return a - b
+		})
+		for _, cd := range ring {
 			// Until k results exist there is no pruning radius; after
 			// that the window is |cd - d| <= worst (triangle inequality).
-			if len(best) < k {
-				visit(child)
-				continue
+			if len(best) >= k {
+				w := worst()
+				if cd < d-w || cd > d+w {
+					continue
+				}
 			}
-			w := worst()
-			if cd >= d-w && cd <= d+w {
-				visit(child)
-			}
+			visit(n.children[cd])
 		}
+		ringBuf = ringBuf[:base]
 	}
 	visit(t.root)
 	if searchErr != nil {
