@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard|cascade]
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard|cascade|serve]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
 //	         [-json results.json]
 //
@@ -16,20 +16,27 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ned"
 	"ned/internal/bench"
 	"ned/internal/datasets"
+	"ned/internal/serve"
 )
 
 // jsonResult is the machine-readable form of one nedbench invocation.
@@ -43,7 +50,7 @@ type jsonResult struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard, cascade)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard, cascade, serve)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
 		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
@@ -139,9 +146,13 @@ func main() {
 		emit(cascadeExperiment(o))
 		ran++
 	}
+	if run("serve") {
+		emit(serveExperiment(o))
+		ran++
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard cascade\n")
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard cascade serve\n")
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
@@ -510,6 +521,106 @@ func cascadeExperiment(o bench.Options) bench.Table {
 			per(stats.LabelPrunes),
 			per(stats.EarlyExits),
 			fmt.Sprint(mismatches))
+	}
+	return t
+}
+
+// serveExperiment measures the nedserve HTTP tier end to end: an
+// in-process server over a PGP-analog corpus, swept across client
+// concurrency levels. Each level fires its queries from that many
+// concurrent HTTP clients and reports throughput, p50/p99 request
+// latency, and what fraction of the KNN requests the server coalesced
+// into shared BatchKNN passes — the number that should climb with
+// concurrency while the tail stays flat.
+func serveExperiment(o bench.Options) bench.Table {
+	o.Normalize()
+	const kDepth = 3
+
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	tenant, err := serve.CreateTenant(&serve.CreateRequest{
+		Name: "bench", K: kDepth, Dataset: "PGP", Scale: o.Scale, Seed: o.Seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Registry().Put(tenant); err != nil {
+		fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+		os.Exit(1)
+	}
+	tenant.Corpus.Rebuild() // materialize outside the measured windows
+	nodes := tenant.Corpus.Stats().Nodes
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	knnURL := ts.URL + "/v1/corpora/bench/knn"
+	doKNN := func(node int) (time.Duration, error) {
+		body, _ := json.Marshal(map[string]int{"node": node, "l": 5})
+		start := time.Now()
+		resp, err := client.Post(knnURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("knn status %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	t := bench.Table{
+		Title: "nedserve: HTTP KNN latency vs client concurrency",
+		Note: fmt.Sprintf("PGP analog (%d nodes, k=%d), KNN(5) over HTTP, in-process server, coalescing window %s",
+			nodes, kDepth, 2*time.Millisecond),
+		Header: []string{"concurrency", "queries", "qps", "p50 ms", "p99 ms", "coalesced %", "errors"},
+	}
+
+	for _, conc := range []int{1, 4, 16, 64} {
+		total := max(o.Queries, conc*8)
+		before := srv.Stats()
+		durations := make([]time.Duration, total)
+		var errCount int64
+		var wg sync.WaitGroup
+		var next int64
+		start := time.Now()
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= total {
+						return
+					}
+					d, err := doKNN(rng.Intn(nodes))
+					if err != nil {
+						atomic.AddInt64(&errCount, 1)
+						continue
+					}
+					durations[i] = d
+				}
+			}(o.Seed + int64(conc*1000+w))
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		after := srv.Stats()
+
+		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(durations)-1))
+			return float64(durations[i].Nanoseconds()) / 1e6
+		}
+		coalesced := after.CoalescedRequests - before.CoalescedRequests
+		t.AddRow(fmt.Sprint(conc),
+			fmt.Sprint(total),
+			fmt.Sprintf("%.1f", float64(total)/wall.Seconds()),
+			fmt.Sprintf("%.3f", pct(0.50)),
+			fmt.Sprintf("%.3f", pct(0.99)),
+			fmt.Sprintf("%.1f", 100*float64(coalesced)/float64(total)),
+			fmt.Sprint(errCount))
 	}
 	return t
 }

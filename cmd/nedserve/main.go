@@ -1,0 +1,137 @@
+// Command nedserve is the network tier over the ned Corpus engine: a
+// multi-tenant HTTP/JSON daemon serving KNN / KNNSignature / Range /
+// NearestSet / BatchKNN queries and Insert / Remove / UpdateGraph /
+// Snapshot mutations over named corpora, with per-request deadlines,
+// admission control, request coalescing, Prometheus metrics, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	nedserve -addr :8080                                   # empty registry; create corpora over the API
+//	nedserve -addr :8080 -name demo -dataset PGP -k 3      # boot serving a built-in dataset analog
+//	nedserve -addr :8080 -name prod -snapshot corpus.neds  # boot from a corpus snapshot file
+//
+// Corpora are created and dropped at runtime over the API:
+//
+//	curl -X POST localhost:8080/v1/corpora -d '{"name":"g1","k":3,"graph":{"nodes":4,"edges":[[0,1],[1,2],[2,3]]}}'
+//	curl -X POST localhost:8080/v1/corpora/g1/knn -d '{"node":0,"l":3}'
+//	curl 'localhost:8080/v1/corpora/g1/stats'
+//	curl 'localhost:8080/metrics'
+//
+// See the README's "Serving" section for the endpoint catalog, deadline
+// and overload semantics, and a complete example session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ned/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		name     = flag.String("name", "default", "name of the corpus served at boot (with -dataset or -snapshot)")
+		dataset  = flag.String("dataset", "", "boot corpus: built-in dataset analog (CAR, PAR, AMZN, DBLP, GNU, PGP)")
+		snapshot = flag.String("snapshot", "", "boot corpus: ned corpus snapshot file")
+		k        = flag.Int("k", 3, "boot corpus neighborhood depth (dataset only; snapshots record their own)")
+		backend  = flag.String("backend", "", "boot corpus index backend (vp, bk, linear, pruned; empty = engine default)")
+		shards   = flag.Int("shards", 0, "boot corpus shard count (0 = engine default)")
+		workers  = flag.Int("workers", 0, "boot corpus worker count (0 = GOMAXPROCS)")
+		scale    = flag.Float64("scale", 1.0, "boot dataset scale factor")
+		seed     = flag.Int64("seed", 42, "boot dataset generator seed")
+		prebuild = flag.Bool("prebuild", true, "build the boot corpus's index before accepting traffic")
+
+		maxInflight = flag.Int("max-inflight", 256, "admitted query concurrency; beyond it requests get 429")
+		coalesceWin = flag.Duration("coalesce-window", 2*time.Millisecond, "KNN coalescing window (negative disables)")
+		coalesceMax = flag.Int("coalesce-max", 64, "flush a coalesced batch early at this many requests")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown: how long to wait for in-flight queries")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		MaxInflight:      *maxInflight,
+		CoalesceWindow:   *coalesceWin,
+		CoalesceMaxBatch: *coalesceMax,
+	})
+
+	if *dataset != "" || *snapshot != "" {
+		if *dataset != "" && *snapshot != "" {
+			fatal(errors.New("provide -dataset or -snapshot, not both"))
+		}
+		cr := &serve.CreateRequest{
+			Name:    *name,
+			K:       *k,
+			Backend: *backend,
+			Shards:  *shards,
+			Workers: *workers,
+		}
+		if *dataset != "" {
+			cr.Dataset = *dataset
+			cr.Scale = *scale
+			cr.Seed = *seed
+		} else {
+			cr.SnapshotPath = *snapshot
+		}
+		t, err := serve.CreateTenant(cr)
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.Registry().Put(t); err != nil {
+			fatal(err)
+		}
+		if *prebuild {
+			// Pay the lazy materialization + index build now, so the first
+			// client query is served at steady-state latency.
+			start := time.Now()
+			t.Corpus.Rebuild()
+			cs := t.Corpus.Stats()
+			fmt.Printf("nedserve: corpus %q ready: %d nodes, k=%d, backend=%s, %d shards (built in %s)\n",
+				t.Name, cs.Nodes, cs.K, cs.Backend, cs.Shards, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("nedserve: corpus %q registered (lazy build on first query)\n", t.Name)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the
+	// listener and waits for every in-flight request — admitted queries
+	// included — before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("nedserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("nedserve: draining in-flight queries")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "nedserve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("nedserve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nedserve: %v\n", err)
+	os.Exit(1)
+}

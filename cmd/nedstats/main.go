@@ -20,6 +20,11 @@
 // TED* evaluations, budget early exits, and the per-tier cascade prune
 // counters (size / padding / label-multiset) — so the filter cascade's
 // effectiveness on a dataset can be checked before serving it.
+//
+// With -json, nedstats builds a corpus (honoring -k, -shards, and
+// -probe) and emits the same machine-readable stats document the
+// nedserve stats endpoint returns, through the same encoder, so
+// offline tooling and the serving tier can never drift apart.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"ned"
 	"ned/internal/datasets"
 	"ned/internal/graph"
+	"ned/internal/serve"
 )
 
 func main() {
@@ -44,6 +50,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "report corpus shard balance for this shard count (0 = off, -1 = GOMAXPROCS-derived default)")
 		k       = flag.Int("k", 3, "neighborhood depth for the shard-balance and probe corpora")
 		probe   = flag.Int("probe", 0, "run this many self-KNN queries and report the filter-cascade work profile (0 = off)")
+		asJSON  = flag.Bool("json", false, "emit the corpus stats as the nedserve machine-readable stats document")
 	)
 	flag.Parse()
 
@@ -69,6 +76,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nedstats: provide -dataset or -file")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *asJSON {
+		emitJSON(g, label, *k, *shards, *probe)
+		return
 	}
 
 	s := graph.ComputeStats(g)
@@ -120,6 +132,51 @@ func main() {
 
 	if *probe > 0 {
 		probeCascade(g, *k, *probe)
+	}
+}
+
+// emitJSON builds a corpus over g (optionally probing it first so the
+// work counters are populated) and writes the stats document to stdout
+// via serve.EncodeStats — the exact schema and encoder the nedserve
+// stats endpoint uses.
+func emitJSON(g *graph.Graph, label string, k, shards, probe int) {
+	var opts []ned.CorpusOption
+	if shards != 0 {
+		n := shards
+		if n < 0 {
+			n = 0 // WithShards(<=0) means the GOMAXPROCS-derived default
+		}
+		opts = append(opts, ned.WithShards(n))
+	}
+	corpus, err := ned.NewCorpus(g, k, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if probe > 0 {
+		runProbes(corpus, g, probe)
+	} else {
+		corpus.Rebuild() // materialize so node/shard counts are real
+	}
+	if err := serve.EncodeStats(os.Stdout, serve.StatsDoc{Corpus: label, Stats: corpus.Stats()}); err != nil {
+		fatal(err)
+	}
+}
+
+// runProbes serves n spread-out self-KNN(5) queries so the cascade and
+// distance counters in the emitted stats reflect real serving work.
+func runProbes(corpus *ned.Corpus, g *graph.Graph, n int) {
+	ctx := context.Background()
+	if n > g.NumNodes() {
+		n = g.NumNodes()
+	}
+	step := g.NumNodes() / n
+	if step < 1 {
+		step = 1
+	}
+	for q := 0; q < n; q++ {
+		if _, err := corpus.KNN(ctx, ned.NodeID(q*step), 5); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -88,6 +88,27 @@ func (b Backend) String() string {
 	return fmt.Sprintf("backend(%d)", int(b))
 }
 
+// MarshalText encodes the backend as its flag-friendly name, so JSON
+// stats documents carry "vp" rather than a bare enum ordinal that would
+// silently renumber if backends were ever reordered.
+func (b Backend) MarshalText() ([]byte, error) {
+	if b < 0 || b >= numBackends {
+		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(b))
+	}
+	return []byte(b.String()), nil
+}
+
+// UnmarshalText parses a backend name, accepting everything
+// ParseBackend does.
+func (b *Backend) UnmarshalText(text []byte) error {
+	pb, err := ParseBackend(string(text))
+	if err != nil {
+		return err
+	}
+	*b = pb
+	return nil
+}
+
 // ParseBackend maps a name ("vp", "bk", "linear", "pruned") to its
 // Backend, for command-line flags.
 func ParseBackend(s string) (Backend, error) {
@@ -815,31 +836,48 @@ func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Nei
 
 // CorpusStats is a point-in-time snapshot of a corpus's configuration
 // and serving counters.
+//
+// The JSON field names are a stable, versioned schema: the nedserve
+// stats endpoint, nedstats -json, and nedbench artifacts all serialize
+// this struct, and TestCorpusStatsJSONSchema locks the names, so
+// renaming a Go field cannot silently break a dashboard scraping the
+// server. Backend round-trips as its flag name ("vp", "bk", "linear",
+// "pruned") via MarshalText.
 type CorpusStats struct {
-	Backend  Backend
-	K        int
-	Directed bool
-	Workers  int  // configured worker count; 0 means GOMAXPROCS
-	Nodes    int  // indexed node count, summed across shards
-	Shards   int  // shard count the corpus partitions across
-	Built    bool // whether the indexes have been materialized yet
+	// Backend is the index structure serving this corpus's queries.
+	Backend Backend `json:"backend"`
+	// K is the neighborhood depth of every signature in the corpus.
+	K int `json:"k"`
+	// Directed reports whether distances are the directed NED of Eq. 2.
+	Directed bool `json:"directed"`
+	// Workers is the configured worker count; 0 means GOMAXPROCS.
+	Workers int `json:"workers"`
+	// Nodes is the indexed node count, summed across shards.
+	Nodes int `json:"nodes"`
+	// Shards is the shard count the corpus partitions across.
+	Shards int `json:"shards"`
+	// Built reports whether the indexes have been materialized yet.
+	Built bool `json:"built"`
 
 	// ShardNodes is the indexed node count per shard — the partition
 	// balance the splitmix hash produces for this node set.
-	ShardNodes []int
+	ShardNodes []int `json:"shard_nodes"`
 
-	Queries       int64 // queries served (BatchKNN counts each signature)
-	DistanceCalls int64 // TED* evaluations started serving them (incl. early-exited)
+	// Queries counts queries served (BatchKNN counts each signature).
+	Queries int64 `json:"queries"`
+	// DistanceCalls counts TED* evaluations started serving them
+	// (including early-exited ones).
+	DistanceCalls int64 `json:"distance_calls"`
 
 	// EarlyExits counts TED* evaluations the budget pipeline abandoned
 	// mid-computation: the candidate's running cost provably crossed the
 	// search threshold (kth-best, tau, or ring radius) before the full
 	// O(k·n³) work was spent.
-	EarlyExits int64
+	EarlyExits int64 `json:"early_exits"`
 	// LowerBoundPrunes counts candidates dismissed by a precompiled
 	// lower bound alone, before any matching work; it always equals
 	// SizePrunes + PaddingPrunes + LabelPrunes.
-	LowerBoundPrunes int64
+	LowerBoundPrunes int64 `json:"lower_bound_prunes"`
 
 	// SizePrunes, PaddingPrunes, and LabelPrunes break LowerBoundPrunes
 	// down by filter-cascade tier, aggregated atomically across shards:
@@ -848,9 +886,9 @@ type CorpusStats struct {
 	// padding seed check), and the per-level label-multiset bound over
 	// corpus-interned subtree labels. See the README's "Filter cascade"
 	// section.
-	SizePrunes    int64
-	PaddingPrunes int64
-	LabelPrunes   int64
+	SizePrunes    int64 `json:"size_prunes"`
+	PaddingPrunes int64 `json:"padding_prunes"`
+	LabelPrunes   int64 `json:"label_prunes"`
 
 	// Rebuilds counts index rebuilds since construction: amortized
 	// per-shard rebuilds triggered by the staleness threshold, plus
@@ -858,12 +896,12 @@ type CorpusStats struct {
 	// refreshes; a Rebuild on a never-built corpus performs the first
 	// build and is not counted). Serving counters accumulate across
 	// rebuilds (they never reset except through ResetStats).
-	Rebuilds int64
+	Rebuilds int64 `json:"rebuilds"`
 	// StaleRatio is the current fraction of the index structure —
 	// aggregated across shards — occupied by tombstones or unindexed
 	// appends (0 for in-place backends and freshly built indexes). See
 	// WithRebuildThreshold.
-	StaleRatio float64
+	StaleRatio float64 `json:"stale_ratio"`
 }
 
 // Stats reports the corpus configuration and serving counters. Safe to

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ned"
+)
+
+// admission is the bounded in-flight query budget: a semaphore that
+// fails fast instead of queuing, so an overloaded server spends its
+// cycles finishing admitted work and answering 429s in microseconds
+// rather than stacking goroutines behind queries it will only slow
+// down.
+type admission struct {
+	slots     chan struct{}
+	overloads atomic.Int64
+}
+
+func newAdmission(limit int) *admission {
+	return &admission{slots: make(chan struct{}, limit)}
+}
+
+// tryAcquire claims a slot or reports overload immediately.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		a.overloads.Add(1)
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inflight is the currently admitted query count.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// limit is the admission capacity.
+func (a *admission) limit() int { return cap(a.slots) }
+
+// coalKey groups coalescable requests: same corpus (by engine pointer,
+// so a dropped-and-recreated name never mixes corpora) and same l.
+type coalKey struct {
+	c *ned.Corpus
+	l int
+}
+
+// coalResult is one member's share of a flushed batch.
+type coalResult struct {
+	nbs []ned.Neighbor
+	err error
+}
+
+// coalReq is one waiting KNN request.
+type coalReq struct {
+	ctx  context.Context
+	sig  ned.Signature
+	done chan coalResult // buffered: the flusher never blocks on a member that left
+}
+
+// coalBatch accumulates requests for one key until the window elapses
+// or the batch fills.
+type coalBatch struct {
+	timer *time.Timer
+	reqs  []*coalReq
+	once  sync.Once
+}
+
+// coalescer batches concurrent single-node KNN requests against the
+// same corpus into one BatchKNN executor pass. The first request for a
+// (corpus, l) pair opens a small window; requests arriving inside it
+// join the batch, and the flush fans results back out. Under burst
+// load this converts n independent shard fan-outs into one executor
+// pass over n queries — the engine's own batching path — at the cost
+// of at most one window of added latency, and only when a burst
+// actually materializes (a lone request flushes as itself, uncounted).
+//
+// Answers are node-identical to direct KNN calls: a batch member's
+// query signature is extracted from the same graph node the direct
+// path would use, and BatchKNN runs the same cascade + canonical
+// (distance, node) merge per query. The equivalence suite pins this.
+type coalescer struct {
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending map[coalKey]*coalBatch
+
+	batches   atomic.Int64 // multi-request executor passes flushed
+	coalesced atomic.Int64 // requests served by those passes
+}
+
+func newCoalescer(window time.Duration, maxBatch int) *coalescer {
+	return &coalescer{
+		window:   window,
+		maxBatch: maxBatch,
+		pending:  make(map[coalKey]*coalBatch),
+	}
+}
+
+// knn enqueues one single-node KNN request and waits for its result or
+// the request's own context. A member whose context dies stops waiting
+// immediately; the batch it joined keeps running for the others.
+func (co *coalescer) knn(ctx context.Context, c *ned.Corpus, sig ned.Signature, l int) ([]ned.Neighbor, error) {
+	key := coalKey{c, l}
+	req := &coalReq{ctx: ctx, sig: sig, done: make(chan coalResult, 1)}
+
+	co.mu.Lock()
+	b := co.pending[key]
+	if b == nil {
+		b = &coalBatch{}
+		co.pending[key] = b
+		b.timer = time.AfterFunc(co.window, func() { co.flush(key, b) })
+	}
+	b.reqs = append(b.reqs, req)
+	full := len(b.reqs) >= co.maxBatch
+	if full {
+		delete(co.pending, key)
+		b.timer.Stop()
+	}
+	co.mu.Unlock()
+	if full {
+		go co.flush(key, b)
+	}
+
+	select {
+	case res := <-req.done:
+		return res.nbs, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flush detaches the batch from the pending table (if the timer beat
+// the full-batch path to it) and runs it exactly once.
+func (co *coalescer) flush(key coalKey, b *coalBatch) {
+	co.mu.Lock()
+	if co.pending[key] == b {
+		delete(co.pending, key)
+	}
+	co.mu.Unlock()
+	b.once.Do(func() { co.run(key, b.reqs) })
+}
+
+// run executes a detached batch. Requests are only appended while a
+// batch sits in the pending table, so reqs is immutable here.
+func (co *coalescer) run(key coalKey, reqs []*coalReq) {
+	if len(reqs) == 1 {
+		// No burst materialized: serve directly under the request's own
+		// context, and don't count it as coalesced.
+		r := reqs[0]
+		nbs, err := key.c.KNNSignature(r.ctx, r.sig, key.l)
+		r.done <- coalResult{nbs, err}
+		return
+	}
+	co.batches.Add(1)
+	co.coalesced.Add(int64(len(reqs)))
+
+	// The batch context cancels only when every member has given up:
+	// one impatient client must not abort a pass others still want,
+	// while a wholly abandoned pass should stop burning executor time.
+	execCtx, cancel := context.WithCancel(context.Background())
+	execDone := make(chan struct{})
+	var live atomic.Int32
+	live.Store(int32(len(reqs)))
+	for _, r := range reqs {
+		go func(rc context.Context) {
+			select {
+			case <-rc.Done():
+				if live.Add(-1) == 0 {
+					cancel()
+				}
+			case <-execDone:
+			}
+		}(r.ctx)
+	}
+
+	sigs := make([]ned.Signature, len(reqs))
+	for i, r := range reqs {
+		sigs[i] = r.sig
+	}
+	results, err := key.c.BatchKNN(execCtx, sigs, key.l)
+	close(execDone)
+	cancel()
+	for i, r := range reqs {
+		if err != nil {
+			r.done <- coalResult{err: err}
+		} else {
+			r.done <- coalResult{nbs: results[i]}
+		}
+	}
+}
+
+// stats reports the coalescer's lifetime counters.
+func (co *coalescer) stats() (batches, coalesced int64) {
+	return co.batches.Load(), co.coalesced.Load()
+}

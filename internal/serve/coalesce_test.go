@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescedKNNNodeIdentical is the coalescing equivalence suite: for
+// every backend, a burst of concurrent single-node KNN requests — which
+// the server folds into shared BatchKNN passes — must return answers
+// node-identical to the same queries served one at a time with
+// coalescing disabled.
+func TestCoalescedKNNNodeIdentical(t *testing.T) {
+	const (
+		nodes   = 80
+		l       = 4
+		queries = 32
+	)
+	gs := ringSpec(nodes)
+
+	for _, backend := range []string{"vp", "bk", "linear", "pruned"} {
+		t.Run(backend, func(t *testing.T) {
+			// Reference answers: coalescing disabled, sequential queries.
+			_, direct := newTestServer(t, Options{CoalesceWindow: -1})
+			mustCreate(t, direct.URL, CreateRequest{Name: "c", K: 3, Backend: backend, Shards: 3, Graph: gs})
+			want := make([][]NeighborJSON, queries)
+			for i := 0; i < queries; i++ {
+				var qr QueryResponse
+				status, raw := postJSON(t, direct.URL+"/v1/corpora/c/knn", KNNRequest{Node: i % nodes, L: l}, &qr)
+				if status != 200 {
+					t.Fatalf("direct knn(%d): %d %s", i, status, raw)
+				}
+				want[i] = qr.Neighbors
+			}
+
+			// Coalesced answers: a wide window so the concurrent burst
+			// lands in shared batches.
+			coalServer, coal := newTestServer(t, Options{CoalesceWindow: 25 * time.Millisecond, CoalesceMaxBatch: queries})
+			mustCreate(t, coal.URL, CreateRequest{Name: "c", K: 3, Backend: backend, Shards: 3, Graph: gs})
+			// Materialize the index first so the burst spends its window
+			// coalescing rather than racing the initial build.
+			postJSON(t, coal.URL+"/v1/corpora/c/knn", KNNRequest{Node: 0, L: 1}, nil)
+
+			got := make([][]NeighborJSON, queries)
+			var wg sync.WaitGroup
+			errs := make(chan error, queries)
+			for i := 0; i < queries; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					var qr QueryResponse
+					status, raw := postJSON(t, coal.URL+"/v1/corpora/c/knn", KNNRequest{Node: i % nodes, L: l}, &qr)
+					if status != 200 {
+						errs <- fmt.Errorf("coalesced knn(%d): %d %s", i, status, raw)
+						return
+					}
+					got[i] = qr.Neighbors
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			for i := range want {
+				if !reflect.DeepEqual(want[i], got[i]) {
+					t.Fatalf("query %d (node %d): coalesced answer diverges\n direct:    %+v\n coalesced: %+v",
+						i, i%nodes, want[i], got[i])
+				}
+			}
+			if ss := coalServer.Stats(); ss.CoalescedRequests == 0 {
+				t.Fatalf("burst of %d concurrent queries produced no coalescing: %+v", queries, ss)
+			} else {
+				t.Logf("coalesced %d/%d requests into %d batches", ss.CoalescedRequests, queries, ss.CoalesceBatches)
+			}
+		})
+	}
+}
+
+// TestCoalescerLoneRequestDirect checks a request with no companions
+// flushes as a direct engine call and is not counted as coalesced.
+func TestCoalescerLoneRequestDirect(t *testing.T) {
+	s, ts := newTestServer(t, Options{CoalesceWindow: time.Millisecond})
+	mustCreate(t, ts.URL, CreateRequest{Name: "c", K: 2, Graph: ringSpec(30)})
+	var qr QueryResponse
+	if status, raw := postJSON(t, ts.URL+"/v1/corpora/c/knn", KNNRequest{Node: 3, L: 2}, &qr); status != 200 {
+		t.Fatalf("knn: %d %s", status, raw)
+	}
+	if len(qr.Neighbors) != 2 {
+		t.Fatalf("knn answer: %+v", qr)
+	}
+	if ss := s.Stats(); ss.CoalescedRequests != 0 || ss.CoalesceBatches != 0 {
+		t.Fatalf("lone request was counted as coalesced: %+v", ss)
+	}
+}
+
+// TestAdmissionControl pins overload semantics: with the in-flight
+// budget full, the next query is refused immediately with the 429
+// overloaded code — without disturbing the admitted queries, which
+// complete normally once unblocked.
+func TestAdmissionControl(t *testing.T) {
+	const limit = 2
+	s := New(Options{MaxInflight: limit, CoalesceWindow: -1})
+	admitted := make(chan struct{}, limit)
+	release := make(chan struct{})
+	s.afterAdmit = func() {
+		admitted <- struct{}{}
+		<-release
+	}
+	url := newUnstartedServer(t, s)
+	mustCreate(t, url, CreateRequest{Name: "a", K: 2, Graph: ringSpec(40)})
+
+	// Fill the budget with queries parked inside the admission window.
+	type result struct {
+		status int
+		raw    []byte
+	}
+	results := make(chan result, limit)
+	for i := 0; i < limit; i++ {
+		go func(i int) {
+			status, raw := postJSON(t, url+"/v1/corpora/a/knn", KNNRequest{Node: i, L: 2}, nil)
+			results <- result{status, raw}
+		}(i)
+	}
+	for i := 0; i < limit; i++ {
+		select {
+		case <-admitted:
+		case <-time.After(5 * time.Second):
+			t.Fatal("queries never reached the admission seam")
+		}
+	}
+
+	// The budget is full: the next query must be refused fast.
+	start := time.Now()
+	status, raw := postJSON(t, url+"/v1/corpora/a/knn?timeout_ms=30000", KNNRequest{Node: 9, L: 2}, nil)
+	fastFail := time.Since(start)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-budget query: status %d (body %s), want 429", status, raw)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil || er.Error.Code != "overloaded" {
+		t.Fatalf("over-budget body %s, want code overloaded", raw)
+	}
+	if fastFail > time.Second {
+		t.Fatalf("429 took %v; overload refusal must not queue", fastFail)
+	}
+	if ss := s.Stats(); ss.Inflight != limit || ss.Overloads != 1 {
+		t.Fatalf("stats during overload: %+v", ss)
+	}
+
+	// Control-plane calls stay responsive while queries are saturated.
+	if st, _ := getJSON(t, url+"/healthz", nil); st != 200 {
+		t.Fatalf("healthz during overload: %d", st)
+	}
+	if st, _ := getJSON(t, url+"/v1/corpora/a/stats", nil); st != 200 {
+		t.Fatalf("stats endpoint during overload: %d", st)
+	}
+
+	// Releasing the seam lets the admitted queries finish untouched.
+	close(release)
+	for i := 0; i < limit; i++ {
+		r := <-results
+		if r.status != 200 {
+			t.Fatalf("admitted query finished with %d (body %s), want 200", r.status, r.raw)
+		}
+	}
+	if ss := s.Stats(); ss.Inflight != 0 {
+		t.Fatalf("inflight after drain: %+v", ss)
+	}
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ned"
+)
+
+// latencyBuckets are the request-duration histogram bounds in seconds,
+// spanning sub-millisecond cache-hot KNN up to multi-second batch and
+// snapshot work.
+var latencyBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// histogram is a fixed-bucket, lock-free latency histogram in the
+// Prometheus cumulative style.
+type histogram struct {
+	counts [len(latencyBuckets) + 1]atomic.Int64 // +Inf tail
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], s)
+	h.counts[i].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// metrics holds the server-side counters: per-endpoint request counts
+// keyed by outcome code, and per-endpoint latency histograms. Endpoint
+// names are a fixed set, so the maps are built once and only their
+// values mutate (atomically).
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]*atomic.Int64 // endpoint -> HTTP status -> count
+	latency  map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]*atomic.Int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	byStatus := m.requests[endpoint]
+	if byStatus == nil {
+		byStatus = make(map[int]*atomic.Int64)
+		m.requests[endpoint] = byStatus
+	}
+	ctr := byStatus[status]
+	if ctr == nil {
+		ctr = &atomic.Int64{}
+		byStatus[status] = ctr
+	}
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.latency[endpoint] = h
+	}
+	m.mu.Unlock()
+	ctr.Add(1)
+	h.observe(d)
+}
+
+// requestTotals returns a stable-ordered copy of the request counters.
+func (m *metrics) requestTotals() (endpoints []string, rows map[string]map[int]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rows = make(map[string]map[int]int64, len(m.requests))
+	for ep, byStatus := range m.requests {
+		endpoints = append(endpoints, ep)
+		rows[ep] = make(map[int]int64, len(byStatus))
+		for status, ctr := range byStatus {
+			rows[ep][status] = ctr.Load()
+		}
+	}
+	sort.Strings(endpoints)
+	return endpoints, rows
+}
+
+// WriteMetrics renders the full exposition in Prometheus text format:
+// the server's request/latency/in-flight/overload/coalescing counters,
+// then every registered corpus's engine counters — the filter-cascade
+// tier prunes, shard sizes, epoch/rebuild stats — labeled by corpus.
+func (s *Server) WriteMetrics(w io.Writer) {
+	// --- server counters ---
+	fmt.Fprintf(w, "# HELP nedserve_requests_total Requests served, by endpoint and HTTP status.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_requests_total counter\n")
+	endpoints, rows := s.met.requestTotals()
+	for _, ep := range endpoints {
+		statuses := make([]int, 0, len(rows[ep]))
+		for st := range rows[ep] {
+			statuses = append(statuses, st)
+		}
+		sort.Ints(statuses)
+		for _, st := range statuses {
+			fmt.Fprintf(w, "nedserve_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, st, rows[ep][st])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP nedserve_request_duration_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_request_duration_seconds histogram\n")
+	s.met.mu.Lock()
+	histEndpoints := make([]string, 0, len(s.met.latency))
+	hists := make(map[string]*histogram, len(s.met.latency))
+	for ep, h := range s.met.latency {
+		histEndpoints = append(histEndpoints, ep)
+		hists[ep] = h
+	}
+	s.met.mu.Unlock()
+	sort.Strings(histEndpoints)
+	for _, ep := range histEndpoints {
+		h := hists[ep]
+		var cum int64
+		for i, bound := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "nedserve_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "nedserve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "nedserve_request_duration_seconds_sum{endpoint=%q} %g\n",
+			ep, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "nedserve_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count.Load())
+	}
+
+	ss := s.Stats()
+	fmt.Fprintf(w, "# HELP nedserve_inflight_queries Queries currently admitted and executing.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_inflight_queries gauge\n")
+	fmt.Fprintf(w, "nedserve_inflight_queries %d\n", ss.Inflight)
+	fmt.Fprintf(w, "# HELP nedserve_inflight_limit Admission-control in-flight query capacity.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_inflight_limit gauge\n")
+	fmt.Fprintf(w, "nedserve_inflight_limit %d\n", ss.InflightLimit)
+	fmt.Fprintf(w, "# HELP nedserve_overloads_total Queries refused with 429 by admission control.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_overloads_total counter\n")
+	fmt.Fprintf(w, "nedserve_overloads_total %d\n", ss.Overloads)
+	fmt.Fprintf(w, "# HELP nedserve_coalesce_batches_total Multi-request BatchKNN passes flushed by the coalescer.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_coalesce_batches_total counter\n")
+	fmt.Fprintf(w, "nedserve_coalesce_batches_total %d\n", ss.CoalesceBatches)
+	fmt.Fprintf(w, "# HELP nedserve_coalesced_requests_total KNN requests served by a shared coalesced pass.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_coalesced_requests_total counter\n")
+	fmt.Fprintf(w, "nedserve_coalesced_requests_total %d\n", ss.CoalescedRequests)
+	fmt.Fprintf(w, "# HELP nedserve_corpora Registered corpora.\n")
+	fmt.Fprintf(w, "# TYPE nedserve_corpora gauge\n")
+	fmt.Fprintf(w, "nedserve_corpora %d\n", s.reg.Len())
+
+	// --- per-corpus engine counters ---
+	// One Stats snapshot per tenant, then metric by metric: the text
+	// format wants every sample of a metric name in one block.
+	tenants := s.reg.All()
+	stats := make([]ned.CorpusStats, len(tenants))
+	for i, t := range tenants {
+		stats[i] = t.Corpus.Stats()
+	}
+	emit := func(name, typ, help string, sample func(i int)) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for i := range tenants {
+			sample(i)
+		}
+	}
+	emit("ned_corpus_nodes", "gauge", "Indexed node count.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_nodes{corpus=%q} %d\n", tenants[i].Name, stats[i].Nodes)
+	})
+	emit("ned_corpus_shards", "gauge", "Shard count the corpus partitions across.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_shards{corpus=%q} %d\n", tenants[i].Name, stats[i].Shards)
+	})
+	emit("ned_corpus_shard_nodes", "gauge", "Indexed node count per shard.", func(i int) {
+		for si, sn := range stats[i].ShardNodes {
+			fmt.Fprintf(w, "ned_corpus_shard_nodes{corpus=%q,shard=\"%d\"} %d\n", tenants[i].Name, si, sn)
+		}
+	})
+	emit("ned_corpus_queries_total", "counter", "Queries served by the engine.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_queries_total{corpus=%q} %d\n", tenants[i].Name, stats[i].Queries)
+	})
+	emit("ned_corpus_distance_calls_total", "counter", "TED* evaluations started.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_distance_calls_total{corpus=%q} %d\n", tenants[i].Name, stats[i].DistanceCalls)
+	})
+	emit("ned_corpus_early_exits_total", "counter", "TED* evaluations abandoned by the budget mid-computation.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_early_exits_total{corpus=%q} %d\n", tenants[i].Name, stats[i].EarlyExits)
+	})
+	emit("ned_corpus_lower_bound_prunes_total", "counter", "Candidates dismissed by a precompiled lower bound (sum of the cascade tiers).", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_lower_bound_prunes_total{corpus=%q} %d\n", tenants[i].Name, stats[i].LowerBoundPrunes)
+	})
+	emit("ned_corpus_cascade_prunes_total", "counter", "Candidates dismissed per filter-cascade tier (size, padding, label).", func(i int) {
+		n := tenants[i].Name
+		fmt.Fprintf(w, "ned_corpus_cascade_prunes_total{corpus=%q,tier=\"size\"} %d\n", n, stats[i].SizePrunes)
+		fmt.Fprintf(w, "ned_corpus_cascade_prunes_total{corpus=%q,tier=\"padding\"} %d\n", n, stats[i].PaddingPrunes)
+		fmt.Fprintf(w, "ned_corpus_cascade_prunes_total{corpus=%q,tier=\"label\"} %d\n", n, stats[i].LabelPrunes)
+	})
+	emit("ned_corpus_rebuilds_total", "counter", "Index rebuilds (amortized per-shard plus explicit).", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_rebuilds_total{corpus=%q} %d\n", tenants[i].Name, stats[i].Rebuilds)
+	})
+	emit("ned_corpus_stale_ratio", "gauge", "Fraction of index structure occupied by tombstones or unindexed appends.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_stale_ratio{corpus=%q} %g\n", tenants[i].Name, stats[i].StaleRatio)
+	})
+}
