@@ -890,6 +890,17 @@ type CorpusStats struct {
 	PaddingPrunes int64 `json:"padding_prunes"`
 	LabelPrunes   int64 `json:"label_prunes"`
 
+	// BlockCandidates counts candidate slots the linear and pruned scans
+	// swept through the columnar block kernels (struct-of-arrays profile
+	// arenas) instead of the scalar per-candidate cascade; the survivor
+	// counters below report how many of those passed each successive
+	// tier — BlockLabelSurvivors reached the verify stage. All zero on
+	// the tree backends, whose traversal is inherently per-candidate.
+	BlockCandidates       int64 `json:"block_candidates"`
+	BlockSizeSurvivors    int64 `json:"block_size_survivors"`
+	BlockPaddingSurvivors int64 `json:"block_padding_survivors"`
+	BlockLabelSurvivors   int64 `json:"block_label_survivors"`
+
 	// Rebuilds counts index rebuilds since construction: amortized
 	// per-shard rebuilds triggered by the staleness threshold, plus
 	// explicit Rebuild calls (each counted once, however many shards it
@@ -938,6 +949,10 @@ func (c *Corpus) Stats() CorpusStats {
 	s.SizePrunes = counters.SizePrunes
 	s.PaddingPrunes = counters.PaddingPrunes
 	s.LabelPrunes = counters.LabelPrunes
+	s.BlockCandidates = counters.BlockCandidates
+	s.BlockSizeSurvivors = counters.BlockSizeSurvivors
+	s.BlockPaddingSurvivors = counters.BlockPaddingSurvivors
+	s.BlockLabelSurvivors = counters.BlockLabelSurvivors
 	if total > 0 {
 		s.StaleRatio = float64(stale) / float64(total)
 	}

@@ -245,6 +245,74 @@ func TestCorpusShardedCascadeEquivalence(t *testing.T) {
 	}
 }
 
+// TestCorpusShardedBlockKernels extends the sharded-equivalence suite
+// to the columnar block path: on every backend at shards 1 and 4, KNN
+// and Range answers must agree node-identically across shard counts —
+// and the BlockCandidates counter must prove the scan backends actually
+// swept their candidates through the block kernels per shard (the tree
+// backends, whose traversal is per-candidate, must report zero). The
+// survivor counters must respect the tier chain.
+func TestCorpusShardedBlockKernels(t *testing.T) {
+	ctx := context.Background()
+	const k = 2
+	gCorpus := randomGraph(85, 190, 960)
+	gQuery := randomGraph(45, 95, 961)
+
+	for _, b := range allBackends {
+		scan := b == BackendLinear || b == BackendPrunedLinear
+		corpora := shardCorpora(t, gCorpus, k, b, []int{1, 4})
+		assertShardEquivalence(t, fmt.Sprintf("%v block", b), corpora, gQuery, k, 5, 962)
+		for shards, c := range corpora {
+			s := c.Stats()
+			if scan && s.BlockCandidates == 0 {
+				t.Errorf("%v shards=%d: scan backend served queries without the block kernels (stats %+v)",
+					b, shards, s)
+			}
+			if !scan && s.BlockCandidates != 0 {
+				t.Errorf("%v shards=%d: tree backend reported %d block candidates",
+					b, shards, s.BlockCandidates)
+			}
+			if s.BlockSizeSurvivors < s.BlockPaddingSurvivors || s.BlockPaddingSurvivors < s.BlockLabelSurvivors ||
+				s.BlockCandidates < s.BlockSizeSurvivors {
+				t.Errorf("%v shards=%d: survivor chain broken: candidates %d >= size %d >= padding %d >= label %d",
+					b, shards, s.BlockCandidates, s.BlockSizeSurvivors, s.BlockPaddingSurvivors, s.BlockLabelSurvivors)
+			}
+			c.ResetStats()
+			if s := c.Stats(); s.BlockCandidates != 0 || s.BlockLabelSurvivors != 0 {
+				t.Errorf("%v shards=%d: ResetStats left block counters %+v", b, shards, s)
+			}
+		}
+	}
+
+	// Churn keeps the block path live: the scan backends recompile their
+	// block on every mutation, so answers and counters must hold after
+	// removals and re-inserts at both shard counts.
+	for _, b := range []Backend{BackendLinear, BackendPrunedLinear} {
+		corpora := shardCorpora(t, gCorpus, k, b, []int{1, 4})
+		for _, c := range corpora {
+			if err := c.Remove(NodeID(3), NodeID(11), NodeID(40)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Insert(NodeID(11)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertShardEquivalence(t, fmt.Sprintf("%v block churn", b), corpora, gQuery, k, 4, 963)
+		for shards, c := range corpora {
+			if s := c.Stats(); s.BlockCandidates == 0 {
+				t.Errorf("%v shards=%d: block kernels went dark after churn (stats %+v)", b, shards, s)
+			}
+		}
+		// A Range through the corpus surface drives the bitmap kernel path.
+		sig := NewSignature(gQuery, NodeID(7), k)
+		for shards, c := range corpora {
+			if _, err := c.Range(ctx, sig, 3); err != nil {
+				t.Fatalf("%v shards=%d Range: %v", b, shards, err)
+			}
+		}
+	}
+}
+
 // TestCorpusShardedNodeQueries: node-ID KNN (the path that resolves the
 // query item out of the owning shard's table) agrees across shard
 // counts, directed corpora included.

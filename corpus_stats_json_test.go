@@ -28,8 +28,14 @@ func TestCorpusStatsJSONSchema(t *testing.T) {
 		SizePrunes:       10,
 		PaddingPrunes:    15,
 		LabelPrunes:      5,
-		Rebuilds:         2,
-		StaleRatio:       0.125,
+
+		BlockCandidates:       500,
+		BlockSizeSurvivors:    80,
+		BlockPaddingSurvivors: 60,
+		BlockLabelSurvivors:   40,
+
+		Rebuilds:   2,
+		StaleRatio: 0.125,
 	}
 	buf, err := json.Marshal(in)
 	if err != nil {
@@ -39,6 +45,8 @@ func TestCorpusStatsJSONSchema(t *testing.T) {
 		`"shards":2,"built":true,"shard_nodes":[60,40],"queries":7,` +
 		`"distance_calls":1234,"early_exits":55,"lower_bound_prunes":30,` +
 		`"size_prunes":10,"padding_prunes":15,"label_prunes":5,` +
+		`"block_candidates":500,"block_size_survivors":80,` +
+		`"block_padding_survivors":60,"block_label_survivors":40,` +
 		`"rebuilds":2,"stale_ratio":0.125}`
 	if string(buf) != want {
 		t.Errorf("CorpusStats JSON schema changed:\n got %s\nwant %s", buf, want)

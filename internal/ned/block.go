@@ -1,0 +1,174 @@
+package ned
+
+import (
+	"math/bits"
+	"slices"
+
+	"ned/internal/tree"
+)
+
+// This file wraps the columnar profile arenas (internal/tree) into the
+// candidate block the linear and pruned scans sweep: one arena for the
+// out-trees, one for the in-trees when the corpus is directed, plus the
+// slot permutation sorted by node that makes counting sort reproduce
+// cascadeOrder's canonical (padding bound, node) order. The block is
+// compiled when a scan backend is built or mutated and is immutable
+// afterwards, so epoch clones share it; the item slice and the block
+// are index-aligned (slot i describes items[i]).
+
+// profileBlock is the struct-of-arrays form of a scan backend's item
+// profiles. nil (or a failed compile) means the backend runs the
+// scalar per-candidate cascade with identical results.
+type profileBlock struct {
+	out *tree.ProfileArena
+	in  *tree.ProfileArena // nil for undirected corpora
+	n   int
+
+	// byNode holds the slots sorted ascending by node ID — the stable
+	// iteration order that lets blockOrder's counting sort break padding
+	// ties by node, matching the comparison sort bit for bit.
+	byNode []int32
+}
+
+// compileBlock builds the block over items, or returns nil when the
+// batch cannot take the block path: any item unprofiled, or a mix of
+// directed and undirected items. Callers treat nil as "use the scalar
+// cascade".
+func compileBlock(items []Item) *profileBlock {
+	if len(items) == 0 {
+		return nil
+	}
+	directed := items[0].In != nil
+	outs := make([]*tree.Profile, len(items))
+	var ins []*tree.Profile
+	if directed {
+		ins = make([]*tree.Profile, len(items))
+	}
+	for i := range items {
+		it := &items[i]
+		if it.OutP == nil || (it.In != nil) != directed {
+			return nil
+		}
+		outs[i] = it.OutP
+		if directed {
+			if it.InP == nil {
+				return nil
+			}
+			ins[i] = it.InP
+		}
+	}
+	blk := &profileBlock{out: tree.CompileArena(outs), n: len(items)}
+	if blk.out == nil {
+		return nil
+	}
+	if directed {
+		if blk.in = tree.CompileArena(ins); blk.in == nil {
+			return nil
+		}
+	}
+	blk.byNode = make([]int32, len(items))
+	for i := range blk.byNode {
+		blk.byNode[i] = int32(i)
+	}
+	slices.SortFunc(blk.byNode, func(a, b int32) int {
+		if items[a].Node < items[b].Node {
+			return -1
+		}
+		if items[a].Node > items[b].Node {
+			return 1
+		}
+		return 0
+	})
+	return blk
+}
+
+// bounds sweeps the size and padding tiers over the whole block,
+// filling the per-slot bound arrays (len >= b.n each). It reports false
+// when the query side lacks the profiles the kernels need — the scan
+// then falls back to the scalar path. The values are bit-identical to
+// itemCascadeBounds on every slot (kernels_test.go).
+func (b *profileBlock) bounds(q Item, sizeB, padB []int32) bool {
+	if q.OutP == nil {
+		return false
+	}
+	directed := b.in != nil && q.In != nil
+	if directed && q.InP == nil {
+		return false
+	}
+	sizeB, padB = sizeB[:b.n], padB[:b.n]
+	for i := range sizeB {
+		sizeB[i], padB[i] = 0, 0
+	}
+	sizeTierBlock(q.OutP.Size, b.out.Sizes, sizeB)
+	paddingTierBlock(q.OutP.Levels, b.out.LevOff, b.out.Levels, padB)
+	if directed {
+		sizeTierBlock(q.InP.Size, b.in.Sizes, sizeB)
+		paddingTierBlock(q.InP.Levels, b.in.LevOff, b.in.Levels, padB)
+	}
+	return true
+}
+
+// labelTier runs the lazy label tier for one slot at threshold t:
+// the O(1) combined-width gate first, the per-level merges only when
+// the gate says the tier could fire — decision-identical to
+// labelTierPrunes, reading the candidate side off the arenas.
+func (b *profileBlock) labelTier(q Item, slot, t int) bool {
+	directed := b.in != nil && q.In != nil
+	cap := (int(q.OutP.MaxLevel) + int(b.out.MaxW[slot]) + 3) / 4
+	if directed {
+		cap += (int(q.InP.MaxLevel) + int(b.in.MaxW[slot]) + 3) / 4
+	}
+	if cap <= t {
+		return false
+	}
+	term := labelTermArena(q.OutP.Levels, q.OutP.Labels, b.out.SlotLevels(slot), b.out.SlotLabels(slot))
+	if directed {
+		term += labelTermArena(q.InP.Levels, q.InP.Labels, b.in.SlotLevels(slot), b.in.SlotLabels(slot))
+	}
+	return term > t
+}
+
+// blockThresholdCap bounds the radii the block Range path serves:
+// beyond it the int32 tier arithmetic could not represent the
+// threshold, and a radius that large prunes nothing anyway, so those
+// queries take the scalar path.
+const blockThresholdCap = 1 << 30
+
+// rangeBlockSurvivors runs the whole filter cascade over the block at
+// the static threshold r and returns the slots that reach the verify
+// stage, in slot order: the size and padding tiers fold into a
+// survivor bitmap in one kernel sweep, then the lazy label tier walks
+// only the set bits. ok is false when the scan must take the scalar
+// path instead — no block, a block misaligned with the item slice, an
+// unprofiled query, or a radius beyond the int32 tier arithmetic. All
+// counter accounting for the filtered slots happens here; the caller
+// verifies the survivors (which records the verify outcomes).
+func rangeBlockSurvivors(q Item, items []Item, blk *profileBlock, r int, cs *counterSet) ([]int32, bool) {
+	if blk == nil || blk.n != len(items) || r < 0 || r >= blockThresholdCap {
+		return nil, false
+	}
+	sizeB := make([]int32, blk.n)
+	padB := make([]int32, blk.n)
+	if !blk.bounds(q, sizeB, padB) {
+		return nil, false
+	}
+	cs.blockSweep(blk.n)
+	words := make([]uint64, (blk.n+63)/64)
+	szPruned, padPruned := tierFilterBlock(sizeB, padB, int32(r), words)
+	cs.cascadePruneBulk(int64(szPruned), int64(padPruned))
+	survivors := make([]int32, 0, blk.n-szPruned-padPruned)
+	for w, word := range words {
+		base := int32(w) << 6
+		for word != 0 {
+			j := base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			if blk.labelTier(q, int(j), r) {
+				cs.cascadePrune(tierLabel)
+				continue
+			}
+			survivors = append(survivors, j)
+		}
+	}
+	cs.blockSurviveBulk(int64(blk.n-szPruned), int64(blk.n-szPruned-padPruned), int64(len(survivors)))
+	return survivors, true
+}

@@ -27,6 +27,23 @@ import (
 // Items without profiles (direct backend construction, legacy helpers)
 // fall back to the PR-2 behavior: tree-walk bounds and string-compare
 // orientation. Answers are identical either way; only the work differs.
+//
+// Block-vs-scalar kernel contract: the tiers exist in two forms that
+// MUST stay decision-identical. The scalar kernels in this file
+// (sizeBoundProfiled, padBoundProfiled, labelTierPrunes) evaluate one
+// candidate at a time through its *tree.Profile pointers — the BK and
+// VP backends, whose traversal order is dictated by tree geometry, run
+// every budgeted evaluation through them via cascadeDistanceAtMost.
+// The block kernels (kernels.go) evaluate the same tiers over a whole
+// candidate block laid out as a struct-of-arrays profile arena
+// (block.go): contiguous int32 sweeps emitting per-slot bound values
+// and survivor bitmaps, no per-candidate pointer chasing. The linear
+// and pruned scans consume blocks. For any (query, candidate,
+// threshold), block and scalar kernels admit and dismiss identically
+// and produce equal bound values — kernels_test.go pins this
+// bit-for-bit over fuzz-seeded corpora — so all four backends stay
+// node-identical. Whatever the filter path, survivors reach one shared
+// verify stage (verifyDistanceAtMost).
 
 // cascadeTier names the filter tier that dismissed a candidate; the
 // counters report the per-tier breakdown.
@@ -38,7 +55,7 @@ const (
 	tierLabel
 )
 
-// ProfileItem compiles it's signature trees into Profiles against the
+// ProfileItem compiles its signature trees into Profiles against the
 // corpus dictionary (idempotent: trees already profiled are kept).
 func ProfileItem(it *Item, dict *tree.Interner) {
 	if it.Out != nil && it.OutP == nil {
@@ -238,7 +255,12 @@ func verifyDistanceAtMost(c *ted.Computer, q, it Item, budget int, cs *counterSe
 // otherwise the canonical pair orientation is decided from the profiles
 // (size, height, interned encoding string), bit-compatible with
 // ted's orient, so no encoding is ever derived or compared beyond the
-// interned copy. Without profiles it is plain DistanceAtMost.
+// interned copy. The computation itself takes the profiled
+// faithful-level fast path (ted.Computer.DistanceAtMostProfiled):
+// per-level sorted label runs and per-node sorted children collections
+// come off the profiles instead of being rebuilt and re-sorted per
+// pair, with bit-identical results. Without profiles it is plain
+// DistanceAtMost.
 func treeDistanceAtMost(c *ted.Computer, t1, t2 *tree.Tree, p1, p2 *tree.Profile, budget int) (int, ted.Outcome) {
 	if p1 == nil || p2 == nil {
 		return c.DistanceAtMost(t1, t2, budget)
@@ -249,7 +271,7 @@ func treeDistanceAtMost(c *ted.Computer, t1, t2 *tree.Tree, p1, p2 *tree.Profile
 	if profileSwap(p1, p2) {
 		t1, t2, p1, p2 = t2, t1, p2, p1
 	}
-	return c.DistanceAtMostOriented(t1, t2, p1.Levels, p2.Levels, budget)
+	return c.DistanceAtMostProfiled(t1, t2, p1, p2, budget)
 }
 
 // profileSwap mirrors ted's canonical pair orientation — size, then
@@ -265,28 +287,39 @@ func profileSwap(p1, p2 *tree.Profile) bool {
 	}
 }
 
-// cascadeOrder precompiles every candidate's cheap cascade bounds in
-// parallel and returns the best-first evaluation order: ascending
-// (padding bound, node), so the candidates most likely to rank are
-// evaluated first and the shared kth-best threshold tightens as early
-// as possible. bounds is indexed by the original item position; the
+// cascadeOrder precompiles every candidate's cheap cascade bounds and
+// returns the best-first evaluation order: ascending (padding bound,
+// node), so the candidates most likely to rank are evaluated first and
+// the shared kth-best threshold tightens as early as possible. When blk
+// covers the item slice and the query is profiled, the bounds come from
+// one block-kernel sweep over the columnar arenas and the order from a
+// counting sort — no per-candidate pointer chasing; otherwise the
+// scalar per-item bounds run in parallel and a comparison sort orders
+// them. Both paths produce bit-identical bound arrays and the same
+// order. sizeB/padB are indexed by the original item position; the
 // order holds indices, so nothing item-sized is copied or re-sorted.
-func cascadeOrder(ctx context.Context, query Item, items []Item, workers int) (order []int32, bounds []candBound, err error) {
-	bounds = make([]candBound, len(items))
-	if err := ParallelForCtx(ctx, len(items), workers, func(i int) {
-		bounds[i] = itemCascadeBounds(query, items[i])
-	}); err != nil {
-		return nil, nil, err
+func cascadeOrder(ctx context.Context, query Item, items []Item, blk *profileBlock, workers int, cs *counterSet) (order, sizeB, padB []int32, blocked bool, err error) {
+	n := len(items)
+	sizeB, padB = make([]int32, n), make([]int32, n)
+	if blk != nil && blk.n == n && blk.bounds(query, sizeB, padB) {
+		cs.blockSweep(n)
+		return blockOrder(padB, blk.byNode), sizeB, padB, true, nil
 	}
-	order = make([]int32, len(items))
+	if err := ParallelForCtx(ctx, n, workers, func(i int) {
+		cb := itemCascadeBounds(query, items[i])
+		sizeB[i], padB[i] = cb.size, cb.pad
+	}); err != nil {
+		return nil, nil, nil, false, err
+	}
+	order = make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)
 	}
 	slices.SortFunc(order, func(a, b int32) int {
-		if bounds[a].pad != bounds[b].pad {
-			return int(bounds[a].pad - bounds[b].pad)
+		if padB[a] != padB[b] {
+			return int(padB[a] - padB[b])
 		}
 		return int(items[a].Node - items[b].Node)
 	})
-	return order, bounds, nil
+	return order, sizeB, padB, false, nil
 }

@@ -95,11 +95,22 @@ func removeItems(items []Item, gone map[graph.NodeID]bool) ([]Item, int) {
 
 // --- linear backend ---
 
-func (b *linearBackend) Insert(items ...Item) { b.items = append(b.items, items...) }
+// Scan mutations recompile the profile block: the columnar arenas are
+// index-aligned with the item slice and immutable (shared by epoch
+// clones), so any slice edit needs a fresh block. Linear in the item
+// count, the same order as the slice edit itself plus profile copying.
+
+func (b *linearBackend) Insert(items ...Item) {
+	b.items = append(b.items, items...)
+	b.block = compileBlock(b.items)
+}
 
 func (b *linearBackend) Remove(nodes ...graph.NodeID) int {
 	var n int
 	b.items, n = removeItems(b.items, nodeSet(nodes))
+	if n > 0 {
+		b.block = compileBlock(b.items)
+	}
 	return n
 }
 
@@ -107,11 +118,17 @@ func (b *linearBackend) Stale() (int, int) { return 0, len(b.items) }
 
 // --- pruned linear backend ---
 
-func (b *prunedBackend) Insert(items ...Item) { b.items = append(b.items, items...) }
+func (b *prunedBackend) Insert(items ...Item) {
+	b.items = append(b.items, items...)
+	b.block = compileBlock(b.items)
+}
 
 func (b *prunedBackend) Remove(nodes ...graph.NodeID) int {
 	var n int
 	b.items, n = removeItems(b.items, nodeSet(nodes))
+	if n > 0 {
+		b.block = compileBlock(b.items)
+	}
 	return n
 }
 

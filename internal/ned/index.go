@@ -163,6 +163,19 @@ type Counters struct {
 	SizePrunes    int64
 	PaddingPrunes int64
 	LabelPrunes   int64
+
+	// BlockCandidates counts candidate slots swept by the block kernels
+	// (the columnar fast path of the linear and pruned scans); the
+	// survivor counters below break down how many of them passed each
+	// successive tier during their scan — BlockLabelSurvivors is how
+	// many reached the verify stage through the block path. Candidates
+	// evaluated before a scan has a pruning threshold pass trivially.
+	// Zero on the tree backends and on scans that fell back to the
+	// scalar cascade.
+	BlockCandidates       int64
+	BlockSizeSurvivors    int64
+	BlockPaddingSurvivors int64
+	BlockLabelSurvivors   int64
 }
 
 // Add returns the element-wise sum of two counter snapshots. The Corpus
@@ -171,12 +184,16 @@ type Counters struct {
 // generation.
 func (c Counters) Add(o Counters) Counters {
 	return Counters{
-		DistanceCalls:    c.DistanceCalls + o.DistanceCalls,
-		EarlyExits:       c.EarlyExits + o.EarlyExits,
-		LowerBoundPrunes: c.LowerBoundPrunes + o.LowerBoundPrunes,
-		SizePrunes:       c.SizePrunes + o.SizePrunes,
-		PaddingPrunes:    c.PaddingPrunes + o.PaddingPrunes,
-		LabelPrunes:      c.LabelPrunes + o.LabelPrunes,
+		DistanceCalls:         c.DistanceCalls + o.DistanceCalls,
+		EarlyExits:            c.EarlyExits + o.EarlyExits,
+		LowerBoundPrunes:      c.LowerBoundPrunes + o.LowerBoundPrunes,
+		SizePrunes:            c.SizePrunes + o.SizePrunes,
+		PaddingPrunes:         c.PaddingPrunes + o.PaddingPrunes,
+		LabelPrunes:           c.LabelPrunes + o.LabelPrunes,
+		BlockCandidates:       c.BlockCandidates + o.BlockCandidates,
+		BlockSizeSurvivors:    c.BlockSizeSurvivors + o.BlockSizeSurvivors,
+		BlockPaddingSurvivors: c.BlockPaddingSurvivors + o.BlockPaddingSurvivors,
+		BlockLabelSurvivors:   c.BlockLabelSurvivors + o.BlockLabelSurvivors,
 	}
 }
 
@@ -189,6 +206,9 @@ func (c Counters) Add(o Counters) Counters {
 type counterSet struct {
 	distCalls, earlyExits, lbPrunes    atomic.Int64
 	sizePrunes, padPrunes, labelPrunes atomic.Int64
+
+	blockCands                                  atomic.Int64
+	blockSizeSurv, blockPadSurv, blockLabelSurv atomic.Int64
 }
 
 // counterHost is implemented by every backend so ShareCounters can
@@ -250,14 +270,64 @@ func (c *counterSet) cascadePrune(t cascadeTier) {
 	}
 }
 
+// blockSweep records n candidate slots swept by the block kernels.
+func (c *counterSet) blockSweep(n int) {
+	if c == nil {
+		return
+	}
+	c.blockCands.Add(int64(n))
+}
+
+// blockSurvive records one block-path candidate passing every tier up
+// to and including through (a candidate verified with no threshold yet
+// passes all three trivially — callers pass tierLabel).
+func (c *counterSet) blockSurvive(through cascadeTier) {
+	if c == nil {
+		return
+	}
+	c.blockSizeSurv.Add(1)
+	if through >= tierPadding {
+		c.blockPadSurv.Add(1)
+	}
+	if through >= tierLabel {
+		c.blockLabelSurv.Add(1)
+	}
+}
+
+// blockSurviveBulk records per-tier survivor counts for a whole block
+// filtered at a static threshold (the Range path).
+func (c *counterSet) blockSurviveBulk(size, pad, label int64) {
+	if c == nil {
+		return
+	}
+	c.blockSizeSurv.Add(size)
+	c.blockPadSurv.Add(pad)
+	c.blockLabelSurv.Add(label)
+}
+
+// cascadePruneBulk records size and padding tier prunes in bulk — the
+// block paths dismiss whole bound-sorted tails at once.
+func (c *counterSet) cascadePruneBulk(size, pad int64) {
+	if c == nil || size+pad == 0 {
+		return
+	}
+	c.lbPrunes.Add(size + pad)
+	c.sizePrunes.Add(size)
+	c.padPrunes.Add(pad)
+}
+
 func (c *counterSet) snapshot() Counters {
 	return Counters{
-		DistanceCalls:    c.distCalls.Load(),
-		EarlyExits:       c.earlyExits.Load(),
-		LowerBoundPrunes: c.lbPrunes.Load(),
-		SizePrunes:       c.sizePrunes.Load(),
-		PaddingPrunes:    c.padPrunes.Load(),
-		LabelPrunes:      c.labelPrunes.Load(),
+		DistanceCalls:         c.distCalls.Load(),
+		EarlyExits:            c.earlyExits.Load(),
+		LowerBoundPrunes:      c.lbPrunes.Load(),
+		SizePrunes:            c.sizePrunes.Load(),
+		PaddingPrunes:         c.padPrunes.Load(),
+		LabelPrunes:           c.labelPrunes.Load(),
+		BlockCandidates:       c.blockCands.Load(),
+		BlockSizeSurvivors:    c.blockSizeSurv.Load(),
+		BlockPaddingSurvivors: c.blockPadSurv.Load(),
+		BlockLabelSurvivors:   c.blockLabelSurv.Load(),
 	}
 }
 
@@ -268,6 +338,10 @@ func (c *counterSet) reset() {
 	c.sizePrunes.Store(0)
 	c.padPrunes.Store(0)
 	c.labelPrunes.Store(0)
+	c.blockCands.Store(0)
+	c.blockSizeSurv.Store(0)
+	c.blockPadSurv.Store(0)
+	c.blockLabelSurv.Store(0)
 }
 
 // Index is the unified query surface of every NED index backend. All
@@ -520,19 +594,31 @@ type linearBackend struct {
 	items    []Item
 	workers  int
 	counters *counterSet
+
+	// block is the columnar form of the item profiles (slot i describes
+	// items[i]); nil when any item is unprofiled, in which case every
+	// query takes the scalar per-candidate cascade. Recompiled on
+	// mutation, shared by clones.
+	block *profileBlock
 }
 
 // NewLinearBackend evaluates every indexed item per query across the
 // given worker count (<= 0 means GOMAXPROCS). The exact baseline every
 // metric index is measured against; still the fastest option for small
 // corpora where tree traversal overhead dominates. KNN precompiles the
-// cascade bound of every candidate, evaluates best-first by it, and
-// shares the running kth-best distance across workers, so late
-// candidates are dismissed tier by tier or abandoned mid-TED* once they
-// provably cannot rank. Mutations edit the item slice in place (see
-// dynamic.go).
+// cascade bound of every candidate — one block-kernel sweep over the
+// columnar profile arenas when all items are profiled — evaluates
+// best-first by it, and shares the running kth-best distance across
+// workers, so late candidates are dismissed tier by tier or abandoned
+// mid-TED* once they provably cannot rank. Mutations edit the item
+// slice in place (see dynamic.go).
 func NewLinearBackend(items []Item, workers int) DynamicIndex {
-	return &linearBackend{items: items, workers: BatchOptions{Workers: workers}.workers(), counters: &counterSet{}}
+	return &linearBackend{
+		items:    items,
+		workers:  BatchOptions{Workers: workers}.workers(),
+		counters: &counterSet{},
+		block:    compileBlock(items),
+	}
 }
 
 // topLCollector accumulates the l canonically-smallest neighbors across
@@ -581,12 +667,14 @@ func (b *linearBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor,
 	if l <= 0 || len(b.items) == 0 {
 		return nil, ctx.Err()
 	}
-	// Precompile every candidate's cheap cascade bounds and evaluate
+	// Precompile every candidate's cheap cascade bounds — one block-
+	// kernel sweep over the columnar arenas when the backend has a
+	// block, the scalar per-item path otherwise — and evaluate
 	// best-first: workers pull candidates in ascending-bound order, so
 	// the shared kth-best threshold tightens as early as possible and
 	// the precompiled tiers dismiss most of the tail — the label tier
 	// runs lazily, only for candidates size and padding admit.
-	order, bounds, err := cascadeOrder(ctx, query, b.items, b.workers)
+	order, sizeB, padB, blocked, err := cascadeOrder(ctx, query, b.items, b.block, b.workers, b.counters)
 	if err != nil {
 		return nil, err
 	}
@@ -598,14 +686,33 @@ func (b *linearBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor,
 		it := b.items[j]
 		t := col.threshold()
 		if t != ted.Unbounded {
-			if int(bounds[j].pad) > t {
-				b.counters.cascadePrune(bounds[j].tier(t))
+			if int(sizeB[j]) > t {
+				b.counters.cascadePrune(tierSize)
 				return
 			}
-			if _, pruned := labelTierPrunes(query, it, t); pruned {
+			if int(padB[j]) > t {
+				if blocked {
+					b.counters.blockSurvive(tierSize)
+				}
+				b.counters.cascadePrune(tierPadding)
+				return
+			}
+			var pruned bool
+			if blocked {
+				pruned = b.block.labelTier(query, int(j), t)
+			} else {
+				_, pruned = labelTierPrunes(query, it, t)
+			}
+			if pruned {
+				if blocked {
+					b.counters.blockSurvive(tierPadding)
+				}
 				b.counters.cascadePrune(tierLabel)
 				return
 			}
+		}
+		if blocked {
+			b.counters.blockSurvive(tierLabel)
 		}
 		d, out := verifyDistanceAtMost(comps[w], query, it, t, b.counters)
 		if out != ted.OutcomeExact {
@@ -622,6 +729,28 @@ func (b *linearBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor,
 }
 
 func (b *linearBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, error) {
+	if survivors, ok := rangeBlockSurvivors(query, b.items, b.block, r, b.counters); ok {
+		// The block kernels already ran every filter tier at threshold r;
+		// only the survivors need the verify stage.
+		var mu sync.Mutex
+		var out []Neighbor
+		comps := acquireComputers(b.workers)
+		defer releaseComputers(comps)
+		err := ParallelForCtxWorkers(ctx, len(survivors), b.workers, func(w, i int) {
+			it := b.items[survivors[i]]
+			d, o := verifyDistanceAtMost(comps[w], query, it, r, b.counters)
+			if o == ted.OutcomeExact && d <= r {
+				mu.Lock()
+				out = append(out, Neighbor{Node: it.Node, Dist: d})
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		sortNeighborsCanonical(out)
+		return out, nil
+	}
 	var mu sync.Mutex
 	var out []Neighbor
 	comps := acquireComputers(b.workers)
@@ -652,9 +781,10 @@ func (b *linearBackend) setCounterSink(c *counterSet) { b.counters = c }
 
 // Clone returns a structurally private copy: the item slice is
 // duplicated (in-place mutation on the clone cannot alias the
-// original's backing array), the counter accumulator shared.
+// original's backing array), the counter accumulator and the immutable
+// profile block shared (a mutation on the clone recompiles its own).
 func (b *linearBackend) Clone() DynamicIndex {
-	return &linearBackend{items: append([]Item(nil), b.items...), workers: b.workers, counters: b.counters}
+	return &linearBackend{items: append([]Item(nil), b.items...), workers: b.workers, counters: b.counters, block: b.block}
 }
 
 // --- pruned linear-scan backend ---
@@ -662,21 +792,25 @@ func (b *linearBackend) Clone() DynamicIndex {
 type prunedBackend struct {
 	items    []Item
 	counters *counterSet
+
+	// block is the columnar form of the item profiles; nil means the
+	// scalar cascade (see linearBackend.block).
+	block *profileBlock
 }
 
 // NewPrunedLinearBackend scans sequentially but skips full TED*
 // evaluations for items the filter cascade proves out of range (the
 // §10 pruning strategy PrunedTopL pioneered, now over precompiled
-// size / padding / label-multiset bounds evaluated best-first), and
-// abandons the survivors mid-computation once their running cost
-// crosses the threshold. Mutations edit the item slice in place (see
-// dynamic.go).
+// size / padding / label-multiset bounds evaluated best-first through
+// the block kernels when all items are profiled), and abandons the
+// survivors mid-computation once their running cost crosses the
+// threshold. Mutations edit the item slice in place (see dynamic.go).
 func NewPrunedLinearBackend(items []Item) DynamicIndex {
-	return &prunedBackend{items: items, counters: &counterSet{}}
+	return &prunedBackend{items: items, counters: &counterSet{}, block: compileBlock(items)}
 }
 
 func (b *prunedBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {
-	res, _, err := prunedKNN(ctx, query, b.items, l, b.counters)
+	res, _, err := prunedKNN(ctx, query, b.items, b.block, l, b.counters)
 	return res, err
 }
 
@@ -687,6 +821,22 @@ func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbo
 	comp := tedComputers.Get().(*ted.Computer)
 	defer tedComputers.Put(comp)
 	var out []Neighbor
+	if survivors, ok := rangeBlockSurvivors(query, b.items, b.block, r, b.counters); ok {
+		for i, j := range survivors {
+			if i%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			it := b.items[j]
+			d, o := verifyDistanceAtMost(comp, query, it, r, b.counters)
+			if o == ted.OutcomeExact && d <= r {
+				out = append(out, Neighbor{Node: it.Node, Dist: d})
+			}
+		}
+		sortNeighborsCanonical(out)
+		return out, nil
+	}
 	for i, it := range b.items {
 		if i%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -711,9 +861,9 @@ func (b *prunedBackend) counterSink() *counterSet     { return b.counters }
 func (b *prunedBackend) setCounterSink(c *counterSet) { b.counters = c }
 
 // Clone returns a structurally private copy: duplicated item slice,
-// shared counter accumulator.
+// shared counter accumulator and (immutable) profile block.
 func (b *prunedBackend) Clone() DynamicIndex {
-	return &prunedBackend{items: append([]Item(nil), b.items...), counters: b.counters}
+	return &prunedBackend{items: append([]Item(nil), b.items...), counters: b.counters, block: b.block}
 }
 
 // cancelCheckStride is how many candidates a sequential scan processes
@@ -725,7 +875,7 @@ const cancelCheckStride = 16
 // is exact with respect to the full TED* distance: every reported
 // neighbor carries its true distance and the set is the canonical
 // (distance, node) top-l, identical to a full scan's.
-func prunedKNN(ctx context.Context, query Item, items []Item, l int, counters *counterSet) ([]Neighbor, PruneStats, error) {
+func prunedKNN(ctx context.Context, query Item, items []Item, blk *profileBlock, l int, counters *counterSet) ([]Neighbor, PruneStats, error) {
 	var stats PruneStats
 	if l <= 0 || len(items) == 0 {
 		return nil, stats, ctx.Err()
@@ -733,12 +883,13 @@ func prunedKNN(ctx context.Context, query Item, items []Item, l int, counters *c
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	// Precompile every candidate's cheap cascade bounds and scan
-	// best-first: likely-close candidates are verified first, which
-	// tightens the pruning threshold early, and the precompiled tiers
-	// then dismiss the tail without touching the trees — the label tier
-	// runs lazily, only for candidates size and padding admit.
-	order, bounds, err := cascadeOrder(ctx, query, items, 1)
+	// Precompile every candidate's cheap cascade bounds — the block
+	// kernels when blk covers the items — and scan best-first:
+	// likely-close candidates are verified first, which tightens the
+	// pruning threshold early, and the precompiled tiers then dismiss
+	// the tail without touching the trees — the label tier runs lazily,
+	// only for candidates size and padding admit.
+	order, sizeB, padB, blocked, err := cascadeOrder(ctx, query, items, blk, 1, counters)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -769,16 +920,42 @@ func prunedKNN(ctx context.Context, query Item, items []Item, l int, counters *c
 		it := items[j]
 		t := kth()
 		if t >= 0 {
-			if int(bounds[j].pad) > t {
-				stats.PrunedByBound++
-				counters.cascadePrune(bounds[j].tier(t))
-				continue
+			if int(padB[j]) > t {
+				// The order is ascending by padding bound and the threshold
+				// only tightens, so every remaining candidate is dismissed by
+				// the same tiers right now — cut the whole tail in one pass,
+				// attributing each slot to size or padding via its bounds.
+				var bySize int64
+				for _, jj := range order[i:] {
+					if int(sizeB[jj]) > t {
+						bySize++
+					}
+				}
+				rest := int64(len(order) - i)
+				counters.cascadePruneBulk(bySize, rest-bySize)
+				if blocked {
+					counters.blockSurviveBulk(rest-bySize, 0, 0)
+				}
+				stats.PrunedByBound += int(rest)
+				break
 			}
-			if _, pruned := labelTierPrunes(query, it, t); pruned {
+			var pruned bool
+			if blocked {
+				pruned = blk.labelTier(query, int(j), t)
+			} else {
+				_, pruned = labelTierPrunes(query, it, t)
+			}
+			if pruned {
+				if blocked {
+					counters.blockSurvive(tierPadding)
+				}
 				stats.PrunedByBound++
 				counters.cascadePrune(tierLabel)
 				continue
 			}
+		}
+		if blocked {
+			counters.blockSurvive(tierLabel)
 		}
 		budget := ted.Unbounded
 		if t >= 0 {

@@ -1,0 +1,108 @@
+package ned
+
+import (
+	"slices"
+	"testing"
+
+	"ned/internal/graph"
+	"ned/internal/tree"
+)
+
+// BenchmarkCascadeKernels isolates the filter-tier cost per candidate:
+// the same bounds, evaluation order, and label-tier decisions computed
+// through the columnar block kernels versus the scalar per-candidate
+// cascade. The scans' wall-clock win (BenchmarkCorpusKNN) mixes filter
+// and verify work; this is the filter side alone, in ns per candidate.
+// CI runs it at -benchtime=1x as a compile-and-smoke gate;
+// BENCH_CASCADE.json records the measured before/after.
+func BenchmarkCascadeKernels(b *testing.B) {
+	const nItems, k = 400, 2
+	g := randomTestGraph(nItems, 2*nItems+nItems/2, 77)
+	var nodes []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		nodes = append(nodes, graph.NodeID(v))
+	}
+	items := BuildItems(g, nodes, k, false, 0)
+	dict := tree.NewInterner()
+	ProfileItems(items, dict, 0)
+	blk := compileBlock(items)
+	if blk == nil {
+		b.Fatal("profiled corpus failed to compile a block")
+	}
+	q := NewItem(randomTestGraph(nItems/2, nItems, 78), 0, k, false)
+	ProfileItem(&q, dict)
+
+	n := len(items)
+	perCand := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/cand")
+	}
+	sizeB, padB := make([]int32, n), make([]int32, n)
+
+	b.Run("bounds/block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !blk.bounds(q, sizeB, padB) {
+				b.Fatal("block bounds refused the query")
+			}
+		}
+		perCand(b)
+	})
+	b.Run("bounds/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range items {
+				cb := itemCascadeBounds(q, items[j])
+				sizeB[j], padB[j] = cb.size, cb.pad
+			}
+		}
+		perCand(b)
+	})
+
+	blk.bounds(q, sizeB, padB)
+	b.Run("order/counting", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blockOrder(padB, blk.byNode)
+		}
+		perCand(b)
+	})
+	b.Run("order/comparison", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			order := make([]int32, n)
+			for j := range order {
+				order[j] = int32(j)
+			}
+			slices.SortFunc(order, func(a, c int32) int {
+				if padB[a] != padB[c] {
+					return int(padB[a] - padB[c])
+				}
+				return int(items[a].Node - items[c].Node)
+			})
+		}
+		perCand(b)
+	})
+
+	words := make([]uint64, (n+63)/64)
+	b.Run("filter/bitmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tierFilterBlock(sizeB, padB, 4, words)
+		}
+		perCand(b)
+	})
+
+	// Label tier at threshold 0: the tightest threshold a self-match
+	// query produces, where the width gate admits the most merges.
+	b.Run("labeltier/arena", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				blk.labelTier(q, j, 0)
+			}
+		}
+		perCand(b)
+	})
+	b.Run("labeltier/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				labelTierPrunes(q, items[j], 0)
+			}
+		}
+		perCand(b)
+	})
+}

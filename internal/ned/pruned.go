@@ -19,7 +19,7 @@ import (
 // TopL's up to equal-distance ties. Stats reports how much work was
 // saved.
 func PrunedTopL(query Signature, candidates []Signature, l int) ([]Neighbor, PruneStats) {
-	res, stats, _ := prunedKNN(context.Background(), query.Item(), ItemsOf(candidates), l, nil)
+	res, stats, _ := prunedKNN(context.Background(), query.Item(), ItemsOf(candidates), nil, l, nil)
 	return res, stats
 }
 

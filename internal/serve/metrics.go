@@ -200,6 +200,15 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "ned_corpus_cascade_prunes_total{corpus=%q,tier=\"padding\"} %d\n", n, stats[i].PaddingPrunes)
 		fmt.Fprintf(w, "ned_corpus_cascade_prunes_total{corpus=%q,tier=\"label\"} %d\n", n, stats[i].LabelPrunes)
 	})
+	emit("ned_corpus_block_candidates_total", "counter", "Candidate slots swept by the columnar block kernels of the linear and pruned scans.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_block_candidates_total{corpus=%q} %d\n", tenants[i].Name, stats[i].BlockCandidates)
+	})
+	emit("ned_corpus_block_survivors_total", "counter", "Block-kernel candidates that passed each cascade tier (label survivors reached verify).", func(i int) {
+		n := tenants[i].Name
+		fmt.Fprintf(w, "ned_corpus_block_survivors_total{corpus=%q,tier=\"size\"} %d\n", n, stats[i].BlockSizeSurvivors)
+		fmt.Fprintf(w, "ned_corpus_block_survivors_total{corpus=%q,tier=\"padding\"} %d\n", n, stats[i].BlockPaddingSurvivors)
+		fmt.Fprintf(w, "ned_corpus_block_survivors_total{corpus=%q,tier=\"label\"} %d\n", n, stats[i].BlockLabelSurvivors)
+	})
 	emit("ned_corpus_rebuilds_total", "counter", "Index rebuilds (amortized per-shard plus explicit).", func(i int) {
 		fmt.Fprintf(w, "ned_corpus_rebuilds_total{corpus=%q} %d\n", tenants[i].Name, stats[i].Rebuilds)
 	})

@@ -53,6 +53,12 @@ type Computer struct {
 	counts       []int32    // label histogram for the pre-match
 	cost         []int64    // flat row-major Hungarian cost matrix
 	pads         []int      // per-depth padding costs P_d
+
+	// Scratch of the profiled faithful-level fast path (profiled.go):
+	// level-offset prefix sums of the two profiles and the leftover
+	// labels running parallel to rows/cols during the sorted merge.
+	off1p, off2p     []int32
+	rowLabs, colLabs []int32
 }
 
 // NewComputer returns an empty Computer; buffers grow on first use.

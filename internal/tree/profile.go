@@ -54,6 +54,31 @@ type Profile struct {
 	// against the search threshold gates the O(n) label merge in O(1).
 	MaxLevel int32
 
+	// Perm maps each level-sorted position back to its node: aligned
+	// with Labels, Perm[off+i] is the level-local index (node ID minus
+	// the level's first node ID) of the node whose label sits at
+	// Labels[off+i]. Within a level the sort is by (label, node index),
+	// so equal labels keep ascending node order — the order the
+	// equal-label pre-match in TED* consumes them in.
+	Perm []int32
+
+	// Kids holds every node's children's labels, sorted ascending per
+	// node: node v's run is Kids[KidOff[v] : KidOff[v+1]]. This is the
+	// children collection S(v) of TED* Definition 6 under corpus-interned
+	// labels, precomputed so the verify stage's faithful-level fast path
+	// (ted.Computer.DistanceAtMostProfiled) builds residual cost matrices
+	// without re-walking or re-sorting anything.
+	Kids   []int32
+	KidOff []int32
+
+	// LeafLabel is the interned label of the childless (leaf) shape —
+	// the label padded nodes assume during TED*'s equal-label pre-match.
+	// Two comparable profiles always agree on it: any resolved profile's
+	// dictionary has interned the leaf shape (every tree bottoms out in
+	// leaves), so even a read-only query profile resolves its leaves to
+	// the same dictionary ID.
+	LeafLabel int32
+
 	// Canon is the interned 64-bit key of the whole tree's AHU canonical
 	// encoding: two profiles from the same Interner have equal Canon iff
 	// their trees are isomorphic.
@@ -224,17 +249,21 @@ func (in *Interner) ProfileQuery(t *Tree) *Profile { return in.profile(t, true) 
 func (in *Interner) profile(t *Tree, readOnly bool) *Profile {
 	n := t.Size()
 	labels := make([]int32, n)
+	// Per-node sorted children-label runs, CSR-aligned with the tree's
+	// own child storage (same counts, same offsets).
+	kidOff := make([]int32, n+1)
+	copy(kidOff, t.childOff)
+	kidsArr := make([]int32, len(t.childIDs))
 	var key []byte
-	var kidLabels []int32
 	// Shapes repeat heavily within one tree (every leaf, for a start):
 	// a tree-local memo keeps repeated shapes off the shared lock.
 	local := make(map[string]int32, 16)
 	nextLocal := int32(-1)
 	for v := n - 1; v >= 0; v-- {
 		kids := t.Children(int32(v))
-		kidLabels = kidLabels[:0]
-		for _, c := range kids {
-			kidLabels = append(kidLabels, labels[c])
+		kidLabels := kidsArr[kidOff[v]:kidOff[v+1]]
+		for i, c := range kids {
+			kidLabels[i] = labels[c]
 		}
 		slices.Sort(kidLabels)
 		key = key[:0]
@@ -272,10 +301,14 @@ func (in *Interner) profile(t *Tree, readOnly bool) *Profile {
 		}
 	}
 	p := &Profile{
-		Levels:   levels,
-		Labels:   labels,
-		Size:     int32(n),
-		MaxLevel: maxLevel,
+		Levels:    levels,
+		Labels:    labels,
+		Perm:      make([]int32, n),
+		Kids:      kidsArr,
+		KidOff:    kidOff,
+		LeafLabel: labels[n-1], // last node in level order: deepest, a leaf
+		Size:      int32(n),
+		MaxLevel:  maxLevel,
 	}
 	if root := labels[0]; root >= 0 {
 		p.Canon = uint64(root)
@@ -288,11 +321,26 @@ func (in *Interner) profile(t *Tree, readOnly bool) *Profile {
 		p.Canon = (1 << 32) | uint64(uint32(-root))
 		p.CanonStr = Canonical(t)
 	}
-	// The bottom-up pass is done with per-node association; only the
-	// per-level multisets matter now, so sort each level's run in place.
+	// The bottom-up pass is done with per-node association; the filter
+	// tiers want per-level sorted multisets, so sort each level's run in
+	// place — keeping the association in Perm by sorting packed
+	// (label, index) keys: labels ascending (the XOR flips the sign bit
+	// so negative query-local labels order before dictionary IDs), equal
+	// labels by ascending node index.
+	packed := make([]uint64, maxLevel)
 	off := int32(0)
 	for _, w := range levels {
-		slices.Sort(labels[off : off+w])
+		run := labels[off : off+w]
+		perm := p.Perm[off : off+w]
+		keys := packed[:w]
+		for i, l := range run {
+			keys[i] = uint64(uint32(l)^(1<<31))<<32 | uint64(uint32(i))
+		}
+		slices.Sort(keys)
+		for i, k := range keys {
+			run[i] = int32(uint32(k>>32) ^ (1 << 31))
+			perm[i] = int32(uint32(k))
+		}
 		off += w
 	}
 	return p
