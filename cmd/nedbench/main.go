@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard|cascade|serve]
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard|cascade|serve|recover]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
 //	         [-json results.json]
 //
@@ -50,7 +50,7 @@ type jsonResult struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard, cascade, serve)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard, cascade, serve, recover)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
 		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
@@ -150,9 +150,13 @@ func main() {
 		emit(serveExperiment(o))
 		ran++
 	}
+	if run("recover") {
+		emit(recoverExperiment(o))
+		ran++
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard cascade serve\n")
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard cascade serve recover\n")
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
@@ -621,6 +625,162 @@ func serveExperiment(o bench.Options) bench.Table {
 			fmt.Sprintf("%.3f", pct(0.99)),
 			fmt.Sprintf("%.1f", 100*float64(coalesced)/float64(total)),
 			fmt.Sprint(errCount))
+	}
+	return t
+}
+
+// recoverExperiment measures restart-to-first-query time across the
+// persistence formats and backends: the same PGP-analog corpus written
+// as a v2 text snapshot and as a binary segment, each loaded from disk
+// and asked its first KNN query (median of three trials), plus a
+// durable-directory recovery (checkpoint segment + mutation-log replay
+// via OpenDurable) after a burst of logged mutations.
+//
+// The linear-backend rows isolate what the formats themselves cost —
+// index build is trivial, so text pays re-parsing every tree and
+// recompiling every cascade profile against the segment's
+// deserialize-and-validate. The vp-backend rows measure a production
+// restart: the VP metric tree costs O(n log n) TED* evaluations to
+// build, the segment persists the built structure (restored without a
+// single metric call), and the text snapshot — which cannot carry it —
+// pays the whole re-index inside its first query.
+func recoverExperiment(o bench.Options) bench.Table {
+	o.Normalize()
+	const kDepth = 3
+	const walBurst = 128
+	g := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed})
+	ctx := context.Background()
+
+	tmp, err := os.MkdirTemp("", "nedbench-recover-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmp)
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	writeTo := func(name string, write func(io.Writer) error) (string, int64) {
+		path := tmp + "/" + name
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		st, statErr := os.Stat(path)
+		if err == nil {
+			err = statErr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: writing %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		return path, st.Size()
+	}
+
+	t := bench.Table{
+		Title: "Durable persistence: restart-to-first-query by format and backend",
+		Note: fmt.Sprintf("PGP analog (%d nodes, k=%d), first query = KNN(5); linear rows isolate format cost, vp rows add the metric index the segment persists and text must rebuild; durable rows replay a %d-record mutation log onto their checkpoint; median of 3",
+			g.NumNodes(), kDepth, 2*walBurst),
+		Header: []string{"backend", "format", "bytes", "load ms", "first query ms", "restart ms", "speedup vs text"},
+	}
+
+	for _, backend := range []ned.Backend{ned.BackendLinear, ned.BackendVP} {
+		corpus, err := ned.NewCorpus(g, kDepth, ned.WithBackend(backend))
+		die(err)
+		corpus.Rebuild()
+		sig, err := corpus.Signature(0)
+		die(err)
+		// Warm query: builds the index structures so a VP snapshot has a
+		// built tree to persist — the state a serving process restarts
+		// from.
+		_, err = corpus.KNNSignature(ctx, sig, 5)
+		die(err)
+
+		txtPath, txtBytes := writeTo("corpus-"+backend.String()+".nedcorpus", corpus.Snapshot)
+		segPath, segBytes := writeTo("corpus-"+backend.String()+".nedseg", corpus.SnapshotSegment)
+
+		// The durable directory: attach, burst logged mutations, abandon
+		// without a drain checkpoint — recovery must replay the log tail.
+		durDir := tmp + "/durable-" + backend.String()
+		die(corpus.MakeDurable(durDir, ned.FsyncNone))
+		for i := 0; i < walBurst; i++ {
+			v := ned.NodeID(1 + i%(g.NumNodes()-1))
+			if err := corpus.Remove(v); err == nil {
+				err = corpus.Insert(v)
+			}
+			die(err)
+		}
+		die(corpus.CloseDurable())
+		var durBytes int64
+		durEntries, _ := os.ReadDir(durDir)
+		for _, e := range durEntries {
+			if st, err := e.Info(); err == nil {
+				durBytes += st.Size()
+			}
+		}
+
+		// measure times load-then-first-query three times, keeping medians.
+		measure := func(load func() (*ned.Corpus, error)) (loadMS, queryMS float64) {
+			var loads, queries []float64
+			for trial := 0; trial < 3; trial++ {
+				start := time.Now()
+				c, err := load()
+				die(err)
+				loads = append(loads, float64(time.Since(start).Nanoseconds())/1e6)
+				start = time.Now()
+				_, err = c.KNNSignature(ctx, sig, 5)
+				die(err)
+				queries = append(queries, float64(time.Since(start).Nanoseconds())/1e6)
+			}
+			sort.Float64s(loads)
+			sort.Float64s(queries)
+			return loads[1], queries[1]
+		}
+		fromFile := func(path string) func() (*ned.Corpus, error) {
+			return func() (*ned.Corpus, error) {
+				f, err := os.Open(path)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				return ned.LoadCorpus(f)
+			}
+		}
+
+		var textTotal float64
+		for _, row := range []struct {
+			name  string
+			bytes int64
+			load  func() (*ned.Corpus, error)
+		}{
+			{"text v2", txtBytes, fromFile(txtPath)},
+			{"binary segment", segBytes, fromFile(segPath)},
+			{"durable dir (ckpt+wal)", durBytes, func() (*ned.Corpus, error) {
+				c, err := ned.OpenDurable(durDir, ned.FsyncNone)
+				if err != nil {
+					return nil, err
+				}
+				return c, c.CloseDurable()
+			}},
+		} {
+			loadMS, queryMS := measure(row.load)
+			total := loadMS + queryMS
+			if row.name == "text v2" {
+				textTotal = total
+			}
+			t.AddRow(backend.String(), row.name,
+				fmt.Sprint(row.bytes),
+				fmt.Sprintf("%.1f", loadMS),
+				fmt.Sprintf("%.2f", queryMS),
+				fmt.Sprintf("%.1f", total),
+				fmt.Sprintf("%.1fx", textTotal/total))
+		}
 	}
 	return t
 }

@@ -10,6 +10,7 @@
 //	nedserve -addr :8080                                   # empty registry; create corpora over the API
 //	nedserve -addr :8080 -name demo -dataset PGP -k 3      # boot serving a built-in dataset analog
 //	nedserve -addr :8080 -name prod -snapshot corpus.neds  # boot from a corpus snapshot file
+//	nedserve -addr :8080 -data /var/lib/nedserve           # durable tenants: recover on boot, WAL every mutation
 //
 // Corpora are created and dropped at runtime over the API:
 //
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"ned"
 	"ned/internal/serve"
 )
 
@@ -54,16 +56,41 @@ func main() {
 		coalesceWin = flag.Duration("coalesce-window", 2*time.Millisecond, "KNN coalescing window (negative disables)")
 		coalesceMax = flag.Int("coalesce-max", 64, "flush a coalesced batch early at this many requests")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown: how long to wait for in-flight queries")
+
+		dataDir   = flag.String("data", "", "durable data directory: tenants persist in per-name subdirectories and recover on boot")
+		fsyncMode = flag.String("fsync", "always", "WAL fsync policy for durable tenants (always, none)")
+		ckptEvery = flag.Int64("checkpoint-every", 1024, "checkpoint a durable tenant once its mutation log holds this many records")
 	)
 	flag.Parse()
 
+	fsync, err := ned.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
 	srv := serve.New(serve.Options{
 		MaxInflight:      *maxInflight,
 		CoalesceWindow:   *coalesceWin,
 		CoalesceMaxBatch: *coalesceMax,
+		DataDir:          *dataDir,
+		Fsync:            fsync,
+		CheckpointEvery:  *ckptEvery,
 	})
 
-	if *dataset != "" || *snapshot != "" {
+	if *dataDir != "" {
+		start := time.Now()
+		recovered, err := srv.BootDurable()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nedserve: recovered %d durable corpora from %s in %s %v\n",
+			len(recovered), *dataDir, time.Since(start).Round(time.Millisecond), recovered)
+	}
+
+	if (*dataset != "" || *snapshot != "") && bootRecovered(srv, *name) {
+		// The boot tenant already lives in the data directory; the
+		// recovered state (mutations included) wins over regenerating it.
+		fmt.Printf("nedserve: corpus %q recovered from %s; skipping boot creation\n", *name, *dataDir)
+	} else if *dataset != "" || *snapshot != "" {
 		if *dataset != "" && *snapshot != "" {
 			fatal(errors.New("provide -dataset or -snapshot, not both"))
 		}
@@ -85,7 +112,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := srv.Registry().Put(t); err != nil {
+		if err := srv.AddTenant(t); err != nil {
 			fatal(err)
 		}
 		if *prebuild {
@@ -128,7 +155,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nedserve: drain incomplete: %v\n", err)
 		os.Exit(1)
 	}
+	// Checkpoint and close every durable tenant so the next boot loads
+	// a fresh segment instead of replaying a long mutation log.
+	if err := srv.CloseTenants(); err != nil {
+		fmt.Fprintf(os.Stderr, "nedserve: closing durable corpora: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println("nedserve: bye")
+}
+
+// bootRecovered reports whether BootDurable already registered name.
+func bootRecovered(srv *serve.Server, name string) bool {
+	_, err := srv.Registry().Get(name)
+	return err == nil
 }
 
 func fatal(err error) {

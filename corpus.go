@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"ned/internal/ned"
+	"ned/internal/segment"
 	"ned/internal/tree"
 )
 
@@ -309,6 +310,18 @@ type Corpus struct {
 
 	materialized atomic.Bool // signatures extracted into the epochs
 	built        atomic.Bool // per-shard indexes constructed
+
+	// Durable state, attached by MakeDurable/OpenDurable (see
+	// durable.go); nil/zero on purely in-memory corpora. wal is the
+	// active mutation log — commitShard routes every epoch publish
+	// through it so the append lands before the mutation becomes
+	// visible. durMu orders checkpoints, closes, and the attach itself
+	// against one another; walSeq (guarded by durMu) is the generation
+	// of the active log.
+	wal        atomic.Pointer[segment.WAL]
+	durMu      sync.Mutex
+	durableDir string
+	walSeq     int64
 
 	queries  atomic.Int64
 	rebuilds atomic.Int64
@@ -971,6 +984,12 @@ func (c *Corpus) ResetStats() {
 		}
 	}
 }
+
+// HasGraph reports whether a backing graph is attached — the gate for
+// Insert, UpdateGraph, Signature, and node-based queries. Corpora
+// loaded from binary segments carry their graph; text-snapshot corpora
+// need WithGraph to re-attach one.
+func (c *Corpus) HasGraph() bool { return c.g.Load() != nil }
 
 // Signature of node v of the corpus graph at the corpus's k — a
 // convenience for cross-corpus queries: sig from corpus A's graph, then

@@ -105,8 +105,11 @@ func (c *Corpus) Insert(nodes ...NodeID) error {
 			ne.ix = ix
 			c.maybeRebuildShard(ne)
 		}
-		sh.epoch.Store(ne)
+		err := c.commitShard(sh, ne, added, nil)
 		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("ned: insert: %w", err)
+		}
 	}
 	return nil
 }
@@ -154,8 +157,11 @@ func (c *Corpus) Remove(nodes ...NodeID) error {
 			ne.ix = ix
 			c.maybeRebuildShard(ne)
 		}
-		sh.epoch.Store(ne)
+		err := c.commitShard(sh, ne, nil, gone)
 		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("ned: remove: %w", err)
+		}
 	}
 	return nil
 }
@@ -294,11 +300,25 @@ func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
 			ne.ix = ix
 			c.maybeRebuildShard(ne)
 		}
-		sh.epoch.Store(ne)
+		err := c.commitShard(sh, ne, kept, gone)
 		sh.mu.Unlock()
+		if err != nil {
+			return refreshed, fmt.Errorf("ned: graph update: %w", err)
+		}
 		refreshed += len(keptNodes)
 	}
 	c.g.Store(g)
+	if c.wal.Load() != nil {
+		// The WAL records item churn, not graph swaps; only a checkpoint
+		// segment embeds the graph. Cut one now so a crash after this
+		// update recovers onto the new graph version, not the old one.
+		c.durMu.Lock()
+		err := c.checkpointLocked()
+		c.durMu.Unlock()
+		if err != nil {
+			return refreshed, fmt.Errorf("ned: graph update checkpoint: %w", err)
+		}
+	}
 	return refreshed, nil
 }
 

@@ -1,10 +1,13 @@
 package ned
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
 	"ned/internal/ned"
+	"ned/internal/segment"
+	"ned/internal/vptree"
 )
 
 // Snapshot writes the corpus — its configuration and every live
@@ -24,13 +27,7 @@ import (
 // signature files: ReadSignatures parses them (section markers are
 // comments), and LoadCorpus parses legacy signature files in turn.
 func (c *Corpus) Snapshot(w io.Writer) error {
-	c.gmu.Lock()
-	c.materializeAllLocked()
-	eps := make([]*shardEpoch, len(c.shards))
-	for i, sh := range c.shards {
-		eps[i] = sh.epoch.Load()
-	}
-	c.gmu.Unlock()
+	eps := c.snapshotEpochs()
 	meta := ned.CorpusMeta{
 		Version:  2,
 		Backend:  c.cfg.backend.String(),
@@ -45,26 +42,218 @@ func (c *Corpus) Snapshot(w io.Writer) error {
 	return ned.WriteShardedCorpusItems(w, meta, shardItems)
 }
 
-// LoadCorpus restores a corpus from a Snapshot stream — a v2 sharded
-// manifest, a v1 single-index snapshot, or a legacy WriteSignatures
-// file (which predates snapshot metadata and loads with the default
-// backend, undirected, k taken from its signatures). Parse failures
-// wrap ErrBadSnapshot. Shard placement is always re-derived by hashing
-// the restored node IDs, so any snapshot loads into any shard count:
-// WithShards overrides, a v2 manifest's recorded count is the default,
-// and v1/legacy files spread across the standard GOMAXPROCS-derived
-// default.
+// SnapshotSegment writes the corpus to w as a binary segment
+// (internal/segment): the same consistent cut as Snapshot, but carrying
+// the compiled cascade profiles, the subtree-shape dictionary, the
+// backing graph (when attached), and — on a VP-backed corpus whose
+// indexes have been built — each shard's vantage-point tree structure,
+// length- and checksum-framed. LoadCorpus restores it — the format is
+// sniffed from the first bytes — without re-extracting, re-profiling,
+// or (when the index dumps are present) re-indexing anything, which is
+// what makes binary restarts fast; the price is a format that is
+// neither human-readable nor diff-friendly. Snapshotting one corpus
+// twice is byte-identical; unlike Snapshot, two equal corpora may
+// differ on disk, because the dictionary records shapes in interning
+// order and parallel profiling interns in scheduling order.
+func (c *Corpus) SnapshotSegment(w io.Writer) error {
+	eps := c.snapshotEpochs()
+	g := c.g.Load()
+	shardItems := make([][]ned.Item, len(eps))
+	for i, ep := range eps {
+		shardItems[i] = sortedShardItems(ep.byNode)
+	}
+	meta := segment.Meta{Backend: c.cfg.backend.String(), K: c.k, Directed: c.cfg.directed}
+	return segment.Write(w, meta, c.dict, g, shardItems, shardIndexDumps(eps))
+}
+
+// shardIndexDumps exports every shard's built VP-tree index for
+// persistence. It returns nil — no index sections at all — unless at
+// least one shard has a dump worth carrying: a built, tombstone-free
+// VP backend (scan backends rebuild for free, and a tombstoned tree
+// references items the snapshot no longer holds; either way those
+// shards rebuild lazily on first query, exactly as they would have
+// without index sections).
+func shardIndexDumps(eps []*shardEpoch) []segment.VPIndex {
+	dumps := make([]segment.VPIndex, len(eps))
+	any := false
+	for i, ep := range eps {
+		if ep.ix == nil {
+			continue
+		}
+		nodes, tail, ok := ned.ExportVPBackend(ep.ix)
+		if !ok {
+			continue
+		}
+		vix := &dumps[i]
+		vix.Nodes = make([]segment.VPNode, len(nodes))
+		for j := range nodes {
+			e := &nodes[j]
+			vix.Nodes[j] = segment.VPNode{
+				Node:   e.Item.Node,
+				Radius: e.Radius,
+				Inside: e.Inside,
+				Beyond: e.Beyond,
+			}
+		}
+		vix.Tail = make([]NodeID, len(tail))
+		for j := range tail {
+			vix.Tail[j] = tail[j].Node
+		}
+		any = any || len(vix.Nodes)+len(vix.Tail) > 0
+	}
+	if !any {
+		return nil
+	}
+	return dumps
+}
+
+// snapshotEpochs materializes (if needed) and cuts a consistent epoch
+// vector under the engine's write gate.
+func (c *Corpus) snapshotEpochs() []*shardEpoch {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	c.materializeAllLocked()
+	eps := make([]*shardEpoch, len(c.shards))
+	for i, sh := range c.shards {
+		eps[i] = sh.epoch.Load()
+	}
+	return eps
+}
+
+// LoadCorpus restores a corpus from a Snapshot or SnapshotSegment
+// stream — the binary segment format (recognized by its magic bytes),
+// a v2 sharded manifest, a v1 single-index snapshot, or a legacy
+// WriteSignatures file (which predates snapshot metadata and loads
+// with the default backend, undirected, k taken from its signatures).
+// Parse failures wrap ErrBadSnapshot. Shard placement is always
+// re-derived by hashing the restored node IDs, so any snapshot loads
+// into any shard count: WithShards overrides, the recorded count is
+// the default, and v1/legacy files spread across the standard
+// GOMAXPROCS-derived default.
 //
 // The restored corpus answers signature queries — and node queries for
 // indexed nodes — identically to the corpus that was snapshotted.
 // Options apply on top of the recorded metadata: WithBackend overrides
 // the recorded backend, WithWorkers, WithShards, and
 // WithRebuildThreshold tune the restored engine, and WithGraph
-// re-attaches the backing graph, re-enabling Insert, UpdateGraph,
-// Signature, and queries for unindexed nodes. WithNodes and
-// WithDirected are ignored: the snapshot's items define the node set
-// and directedness.
+// re-attaches the backing graph (overriding a segment's embedded one),
+// re-enabling Insert, UpdateGraph, Signature, and queries for
+// unindexed nodes. WithNodes and WithDirected are ignored: the
+// snapshot's items define the node set and directedness.
+//
+// Text snapshots carry no profiles, so loading one recompiles the
+// filter cascade against a fresh dictionary; binary segments carry
+// profiles and dictionary both, and skip that work entirely.
 func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	prefix, _ := br.Peek(len(segment.Magic))
+	if segment.IsSegment(prefix) {
+		return loadSegmentCorpus(br, opts...)
+	}
+	return loadTextCorpus(br, opts...)
+}
+
+// loadSegmentCorpus restores a binary segment stream: the dictionary
+// and compiled profiles are adopted as-is.
+func loadSegmentCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
+	meta, items, dict, g, indexes, err := segment.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	cfg := corpusConfig{rebuildAt: defaultRebuildThreshold, directed: meta.Directed}
+	if cfg.backend, err = ParseBackend(meta.Backend); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	if meta.K < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadSnapshot, meta.K)
+	}
+	userGraph := applyLoadOptions(&cfg, meta.Shards, opts)
+	if cfg.backend < 0 || cfg.backend >= numBackends {
+		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
+	}
+	if userGraph != nil {
+		g = userGraph
+	}
+	if err := validateLoadedGraph(cfg, g, items); err != nil {
+		return nil, err
+	}
+	c := newShardedCorpus(meta.K, cfg, g)
+	// Adopt the segment's dictionary: every loaded profile is expressed
+	// against its label IDs. The fresh interner newShardedCorpus made
+	// has seen nothing and is safely replaced.
+	c.dict = dict
+	installLoadedItems(c, items)
+	// Restore persisted VP indexes — but only when they still describe
+	// this corpus: the engine must run the VP backend (WithBackend may
+	// have overridden it) with the snapshot's own shard count (index
+	// dumps are per-shard; a different count re-partitions the items).
+	// Otherwise the dumps are silently dropped and shards build lazily,
+	// exactly as a dump-free segment would.
+	if indexes != nil && cfg.backend == BackendVP && cfg.shards == meta.Shards {
+		if err := restoreShardIndexes(c, indexes); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+		}
+	}
+	return c, nil
+}
+
+// restoreShardIndexes rebuilds each shard's VP backend from its
+// persisted structure dump — no metric evaluations, just resolving
+// node references against the freshly installed item tables. A dump
+// must cover its shard's items exactly (every node referenced once);
+// anything else means the segment's sections disagree with each other,
+// which is corruption and fails loudly. Runs during load, before the
+// corpus is shared, so storing into the live epochs is safe.
+func restoreShardIndexes(c *Corpus, indexes []segment.VPIndex) error {
+	for si := range indexes {
+		ix := &indexes[si]
+		if len(ix.Nodes) == 0 && len(ix.Tail) == 0 {
+			continue
+		}
+		ep := c.shards[si].epoch.Load()
+		if got := len(ix.Nodes) + len(ix.Tail); got != len(ep.byNode) {
+			return fmt.Errorf("segment: shard %d index references %d items, shard holds %d", si, got, len(ep.byNode))
+		}
+		seen := make(map[NodeID]bool, len(ep.byNode))
+		resolve := func(v NodeID) (ned.Item, error) {
+			it, ok := ep.byNode[v]
+			if !ok {
+				return ned.Item{}, fmt.Errorf("segment: shard %d index references node %d, which the shard does not hold", si, v)
+			}
+			if seen[v] {
+				return ned.Item{}, fmt.Errorf("segment: shard %d index references node %d twice", si, v)
+			}
+			seen[v] = true
+			return it, nil
+		}
+		nodes := make([]vptree.ExportNode[ned.Item], len(ix.Nodes))
+		for i := range ix.Nodes {
+			n := &ix.Nodes[i]
+			it, err := resolve(n.Node)
+			if err != nil {
+				return err
+			}
+			nodes[i] = vptree.ExportNode[ned.Item]{Item: it, Radius: n.Radius, Inside: n.Inside, Beyond: n.Beyond}
+		}
+		tail := make([]ned.Item, len(ix.Tail))
+		for i, v := range ix.Tail {
+			it, err := resolve(v)
+			if err != nil {
+				return err
+			}
+			tail[i] = it
+		}
+		backend, err := ned.NewVPBackendFromExport(nodes, tail)
+		if err != nil {
+			return fmt.Errorf("segment: shard %d index: %w", si, err)
+		}
+		ep.ix = backend
+	}
+	return nil
+}
+
+// loadTextCorpus restores the text formats (v2/v1/legacy signatures).
+func loadTextCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	meta, items, err := ned.ReadCorpusItems(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
@@ -91,6 +280,26 @@ func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k=%d", ErrBadSnapshot, k)
 	}
+	g := applyLoadOptions(&cfg, meta.Shards, opts)
+	if cfg.backend < 0 || cfg.backend >= numBackends {
+		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
+	}
+	if err := validateLoadedGraph(cfg, g, items); err != nil {
+		return nil, err
+	}
+	c := newShardedCorpus(k, cfg, g)
+	// The text formats carry no profiles (they predate them and stay
+	// diff-friendly); recompile them against the fresh corpus
+	// dictionary so restored corpora serve the same filter cascade as
+	// freshly built ones.
+	ned.ProfileItems(items, c.dict, cfg.workers)
+	installLoadedItems(c, items)
+	return c, nil
+}
+
+// applyLoadOptions overlays user options onto the snapshot-recorded
+// configuration, returning the WithGraph graph (nil if none).
+func applyLoadOptions(cfg *corpusConfig, metaShards int, opts []CorpusOption) *Graph {
 	userCfg := corpusConfig{backend: cfg.backend, rebuildAt: cfg.rebuildAt}
 	for _, opt := range opts {
 		opt(&userCfg)
@@ -103,36 +312,39 @@ func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	}
 	cfg.shards = userCfg.shards
 	if cfg.shards <= 0 {
-		cfg.shards = meta.Shards // 0 for v0/v1: fall through to the default
+		cfg.shards = metaShards // 0 for v0/v1: fall through to the default
 	}
 	cfg.shards = resolveShards(cfg.shards)
-	if cfg.backend < 0 || cfg.backend >= numBackends {
-		return nil, fmt.Errorf("%w: %d", ErrBadBackend, int(cfg.backend))
+	return userCfg.graph
+}
+
+// validateLoadedGraph checks a restored item set against the graph the
+// corpus will serve with (which may be nil: signature-only corpora).
+func validateLoadedGraph(cfg corpusConfig, g *Graph, items []ned.Item) error {
+	if g == nil {
+		return nil
 	}
-	g := userCfg.graph
-	if g != nil {
-		// A directed corpus restored onto an undirected graph would
-		// extract In==Out signatures for every later Insert, silently
-		// diverging from the snapshot's true directed signatures — fail
-		// fast instead, like UpdateGraph's directedness check. (The
-		// reverse — an undirected-NED corpus over a directed graph — is
-		// a legitimate combination NewCorpus accepts.)
-		if cfg.directed && !g.Directed() {
-			return nil, fmt.Errorf("%w: directed snapshot needs a directed graph", ErrBadSnapshot)
-		}
-		for _, it := range items {
-			if int(it.Node) < 0 || int(it.Node) >= g.NumNodes() {
-				return nil, fmt.Errorf("%w: snapshot node %d not in the attached graph's [0, %d)",
-					ErrNodeOutOfRange, it.Node, g.NumNodes())
-			}
+	// A directed corpus restored onto an undirected graph would
+	// extract In==Out signatures for every later Insert, silently
+	// diverging from the snapshot's true directed signatures — fail
+	// fast instead, like UpdateGraph's directedness check. (The
+	// reverse — an undirected-NED corpus over a directed graph — is
+	// a legitimate combination NewCorpus accepts.)
+	if cfg.directed && !g.Directed() {
+		return fmt.Errorf("%w: directed snapshot needs a directed graph", ErrBadSnapshot)
+	}
+	for _, it := range items {
+		if int(it.Node) < 0 || int(it.Node) >= g.NumNodes() {
+			return fmt.Errorf("%w: snapshot node %d not in the attached graph's [0, %d)",
+				ErrNodeOutOfRange, it.Node, g.NumNodes())
 		}
 	}
-	c := newShardedCorpus(k, cfg, g)
-	// The snapshot format carries no profiles (it predates them and
-	// stays diff-friendly); recompile them against the fresh corpus
-	// dictionary so restored corpora serve the same filter cascade as
-	// freshly built ones.
-	ned.ProfileItems(items, c.dict, cfg.workers)
+	return nil
+}
+
+// installLoadedItems seeds every shard with a materialized item table
+// and files the restored items by node hash.
+func installLoadedItems(c *Corpus, items []ned.Item) {
 	// The snapshot's items arrive pre-materialized: give every shard a
 	// non-nil item table (its keys are the membership) up front.
 	for _, sh := range c.shards {
@@ -144,5 +356,4 @@ func LoadCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 		c.shardFor(it.Node).epoch.Load().byNode[it.Node] = it
 	}
 	c.materialized.Store(true)
-	return c, nil
 }

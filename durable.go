@@ -1,0 +1,296 @@
+package ned
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ned/internal/fsx"
+	"ned/internal/ned"
+	"ned/internal/segment"
+)
+
+// Durable corpora. A durable directory holds numbered generations of
+// two files: a binary segment checkpoint (the full corpus — items,
+// compiled profiles, shape dictionary, backing graph — loadable
+// without re-extraction or re-profiling) and a mutation write-ahead
+// log. Every Insert, Remove, and UpdateGraph appends a checksummed
+// record to the active log BEFORE its epoch publishes, so an
+// acknowledged mutation survives a crash (under FsyncAlways) and an
+// unacknowledged one never half-applies: recovery loads the latest
+// checkpoint and replays the log tail, dropping only a torn final
+// frame. Checkpoint rotates the log and supersedes it with a fresh
+// segment, truncating recovery time and reclaiming the old
+// generations.
+//
+// Attach durability with MakeDurable before the corpus is shared (the
+// attach itself is not atomic with respect to concurrent mutations);
+// afterwards mutations, queries, and checkpoints are safe
+// concurrently. Reopen with OpenDurable.
+
+// ErrNotDurable reports a durability operation on a corpus that has no
+// durable directory attached.
+var ErrNotDurable = errors.New("ned: corpus is not durable (attach with MakeDurable or load with OpenDurable)")
+
+// FsyncPolicy re-exports the WAL fsync policy: FsyncAlways fsyncs
+// every committed mutation batch, FsyncNone leaves flushing to the OS
+// (a crash may lose the latest acknowledged batches, never corrupt
+// earlier ones).
+type FsyncPolicy = segment.FsyncPolicy
+
+const (
+	FsyncAlways = segment.FsyncAlways
+	FsyncNone   = segment.FsyncNone
+)
+
+// ParseFsyncPolicy parses the flag spellings "always" and "none".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return segment.ParseFsyncPolicy(s) }
+
+// HasDurableState reports whether dir holds an initialized durable
+// corpus (at least one checkpoint).
+func HasDurableState(dir string) bool { return segment.HasState(dir) }
+
+// MakeDurable attaches a durable directory to the corpus: it
+// materializes the signatures, writes the generation-0 checkpoint
+// segment, and opens the generation-0 mutation log that every
+// subsequent mutation commits through. The directory is created if
+// missing and must not already hold durable state (that is
+// OpenDurable's job). Call it before the corpus is shared with
+// concurrent mutators; mutations racing the attach itself may escape
+// the log.
+func (c *Corpus) MakeDurable(dir string, policy FsyncPolicy) error {
+	c.gmu.Lock()
+	c.materializeAllLocked()
+	c.gmu.Unlock()
+	c.durMu.Lock()
+	defer c.durMu.Unlock()
+	if c.wal.Load() != nil {
+		return fmt.Errorf("ned: corpus is already durable in %s", c.durableDir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ned: creating durable directory: %w", err)
+	}
+	if segment.HasState(dir) {
+		return fmt.Errorf("ned: %s already holds durable corpus state (open it with OpenDurable)", dir)
+	}
+	c.durableDir = dir
+	if err := c.writeCheckpointFile(0); err != nil {
+		c.durableDir = ""
+		return err
+	}
+	w, err := segment.CreateWAL(segment.WALPath(dir, 0), policy)
+	if err != nil {
+		c.durableDir = ""
+		return err
+	}
+	c.walSeq = 0
+	c.wal.Store(w)
+	return nil
+}
+
+// OpenDurable recovers a corpus from a durable directory: it loads the
+// highest-generation checkpoint segment, replays every log generation
+// at or above it in order (a torn final frame — the residue of a crash
+// mid-append — is dropped; corruption anywhere else fails loudly), and
+// resumes appending to the newest log at its validated prefix. The
+// result answers every query exactly as the original did after its
+// last committed mutation. Options apply as in LoadCorpus; the
+// checkpoint's embedded graph is attached unless WithGraph overrides
+// it.
+func OpenDurable(dir string, policy FsyncPolicy, opts ...CorpusOption) (*Corpus, error) {
+	seq, ckptPath, ok, err := segment.LatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("ned: %s holds no durable corpus state", dir)
+	}
+	f, err := os.Open(ckptPath)
+	if err != nil {
+		return nil, fmt.Errorf("ned: opening checkpoint: %w", err)
+	}
+	c, err := LoadCorpus(f, opts...)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("ned: checkpoint %s: %w", ckptPath, err)
+	}
+
+	// Replay the log generations the checkpoint does not cover. A
+	// rotation advances the active generation even when the checkpoint
+	// that prompted it failed to write, so several trailing generations
+	// may hold committed mutations; they replay in order.
+	seqs, err := segment.WALSeqs(dir)
+	if err != nil {
+		return nil, err
+	}
+	activeSeq, activeValid, activeRecs := seq, int64(0), int64(0)
+	haveActive := false
+	for _, s := range seqs {
+		if s < seq {
+			continue
+		}
+		recs, valid, err := segment.ReplayWAL(segment.WALPath(dir, s))
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			if err := c.applyRecovered(rec); err != nil {
+				return nil, fmt.Errorf("ned: replaying %s: %w", segment.WALPath(dir, s), err)
+			}
+		}
+		activeSeq, activeValid, activeRecs = s, valid, int64(len(recs))
+		haveActive = true
+	}
+
+	var w *segment.WAL
+	if haveActive {
+		w, err = segment.OpenWALAt(segment.WALPath(dir, activeSeq), activeValid, activeRecs, policy)
+	} else {
+		w, err = segment.CreateWAL(segment.WALPath(dir, activeSeq), policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.durableDir = dir
+	c.walSeq = activeSeq
+	c.wal.Store(w)
+	// Generations below the checkpoint are garbage a crashed cleanup
+	// may have left behind.
+	if err := segment.RemoveObsolete(dir, seq); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// applyRecovered applies one replayed mutation record to the (not yet
+// shared) corpus: upserts re-profile their trees against the corpus
+// dictionary and land in their shard's item table, deletes drop
+// theirs. Records are absolute, so re-applying a suffix is idempotent.
+func (c *Corpus) applyRecovered(rec segment.Record) error {
+	for i := range rec.Upserts {
+		it := rec.Upserts[i]
+		if it.K != c.k {
+			return fmt.Errorf("wal upsert of node %d has k=%d, corpus has k=%d", it.Node, it.K, c.k)
+		}
+		if c.cfg.directed != (it.In != nil) {
+			return fmt.Errorf("wal upsert of node %d disagrees with corpus directedness", it.Node)
+		}
+		ned.ProfileItem(&it, c.dict)
+		c.shardFor(it.Node).epoch.Load().byNode[it.Node] = it
+	}
+	for _, v := range rec.Deletes {
+		delete(c.shardFor(v).epoch.Load().byNode, v)
+	}
+	return nil
+}
+
+// commitShard publishes ne as sh's current epoch. On a durable corpus
+// the mutation (upserts = the full post-mutation items, deletes = the
+// nodes removed) first appends to the WAL, and the publish runs under
+// the log's commit mutex — the ordering Checkpoint relies on to cut a
+// log generation consistent with the published epochs. An append
+// failure leaves the epoch unpublished: the mutation never happened,
+// for queries and recovery alike. Callers hold sh.mu.
+func (c *Corpus) commitShard(sh *corpusShard, ne *shardEpoch, upserts []ned.Item, deletes []NodeID) error {
+	w := c.wal.Load()
+	if w == nil || (len(upserts) == 0 && len(deletes) == 0) {
+		sh.epoch.Store(ne)
+		return nil
+	}
+	return w.Commit(segment.Record{Upserts: upserts, Deletes: deletes}, func() {
+		sh.epoch.Store(ne)
+	})
+}
+
+// Checkpoint writes the current corpus as a fresh checkpoint segment
+// and rotates the mutation log: the log is cut atomically with an
+// epoch snapshot, the segment is written outside all locks (queries
+// and mutations keep running), and on success the superseded
+// generations are deleted. If the segment write fails the corpus stays
+// consistent — the rotated log is already active, and recovery replays
+// both generations onto the previous checkpoint.
+func (c *Corpus) Checkpoint() error {
+	c.durMu.Lock()
+	defer c.durMu.Unlock()
+	return c.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint under an already-held durMu; it never
+// touches gmu (durable corpora are permanently materialized), so
+// UpdateGraph can checkpoint while holding the engine write gate.
+func (c *Corpus) checkpointLocked() error {
+	w := c.wal.Load()
+	if w == nil {
+		return ErrNotDurable
+	}
+	next := c.walSeq + 1
+	if err := w.Rotate(segment.WALPath(c.durableDir, next), nil); err != nil {
+		return err
+	}
+	// The active log IS generation next now, even if the segment write
+	// below fails: recovery replays every generation at or above the
+	// latest checkpoint, so advancing unconditionally keeps the naming
+	// truthful.
+	c.walSeq = next
+	if err := c.writeCheckpointFile(next); err != nil {
+		return err
+	}
+	return segment.RemoveObsolete(c.durableDir, next)
+}
+
+// writeCheckpointFile snapshots the epochs and atomically writes
+// checkpoint generation seq. The epoch snapshot needs no lock beyond
+// the implied ordering: epochs are immutable once published, and on
+// the Checkpoint path the preceding Rotate already cut the log — any
+// mutation committed after the cut lands in the new generation and
+// merely also appears in the checkpoint, which replay tolerates
+// (records are absolute and idempotent).
+func (c *Corpus) writeCheckpointFile(seq int64) error {
+	eps := make([]*shardEpoch, len(c.shards))
+	for i, sh := range c.shards {
+		eps[i] = sh.epoch.Load()
+	}
+	g := c.g.Load()
+	shardItems := make([][]ned.Item, len(eps))
+	for i, ep := range eps {
+		shardItems[i] = sortedShardItems(ep.byNode)
+	}
+	meta := segment.Meta{Backend: c.cfg.backend.String(), K: c.k, Directed: c.cfg.directed}
+	path := segment.CheckpointPath(c.durableDir, seq)
+	if err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return segment.Write(w, meta, c.dict, g, shardItems, shardIndexDumps(eps))
+	}); err != nil {
+		return fmt.Errorf("ned: checkpoint %d: %w", seq, err)
+	}
+	return nil
+}
+
+// CloseDurable syncs and closes the mutation log and detaches the
+// durable directory. Mutations after the close fail; queries keep
+// serving. The corpus is NOT checkpointed — the log already holds
+// everything committed.
+func (c *Corpus) CloseDurable() error {
+	c.durMu.Lock()
+	defer c.durMu.Unlock()
+	w := c.wal.Load()
+	if w == nil {
+		return nil
+	}
+	err := w.Close()
+	c.wal.Store(nil)
+	c.durableDir = ""
+	return err
+}
+
+// DurableStats reports whether the corpus is durable and, if so, the
+// records and bytes appended to the active log generation — the signal
+// serving layers use to decide when to Checkpoint.
+func (c *Corpus) DurableStats() (walRecords, walBytes int64, durable bool) {
+	w := c.wal.Load()
+	if w == nil {
+		return 0, 0, false
+	}
+	r, b := w.Stats()
+	return r, b, true
+}

@@ -1,0 +1,67 @@
+// Package fsx holds the one crash-safety discipline every writer of
+// durable state in this repo follows: never write a file in place.
+// A process dying mid-write must leave either the previous complete
+// file or the new complete file — a torn half-written snapshot that
+// shadows a good one is corruption, and exactly the bug the bare
+// os.Create savers used to have.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFileAtomic writes a file so a crash at any instant leaves the
+// target either absent/previous or fully written: the content goes to
+// <path>.tmp, the tmp file is fsynced, renamed over path, and the
+// parent directory is fsynced so the rename itself survives power
+// loss. write receives the open tmp file; any error it returns aborts
+// the whole operation, removing the tmp file and leaving an existing
+// target untouched.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("fsx: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("fsx: syncing %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("fsx: closing %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fsx: %w", err)
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory, making recent renames and creations in
+// it durable. Filesystems that do not support directory fsync (some
+// network and FUSE mounts report EINVAL or ENOTSUP) are tolerated:
+// they offer no stronger primitive to fall back to.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("fsx: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"ned/internal/fsx"
 )
 
 // ReadEdgeList parses a whitespace-separated edge list in the format used
@@ -89,18 +91,11 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return nil
 }
 
-// SaveEdgeListFile writes the graph to a file (see WriteEdgeList).
+// SaveEdgeListFile writes the graph to a file (see WriteEdgeList),
+// crash-safely: content goes to <path>.tmp, is fsynced, and renamed
+// over the target, so a crash mid-save never tears a good file.
 func SaveEdgeListFile(path string, g *Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("graph: %w", err)
-	}
-	if err := WriteEdgeList(f, g); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("graph: closing %s: %w", path, err)
-	}
-	return nil
+	return fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteEdgeList(w, g)
+	})
 }

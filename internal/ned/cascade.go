@@ -253,9 +253,9 @@ func verifyDistanceAtMost(c *ted.Computer, q, it Item, budget int, cs *counterSe
 // every profile shortcut available: equal interned AHU keys mean the
 // trees are isomorphic — distance 0, no matching work at all — and
 // otherwise the canonical pair orientation is decided from the profiles
-// (size, height, interned encoding string), bit-compatible with
-// ted's orient, so no encoding is ever derived or compared beyond the
-// interned copy. The computation itself takes the profiled
+// (size, height) with tree.Canonical breaking the rare full tie —
+// derived lazily, cached on each tree — bit-compatible with ted's
+// orient. The computation itself takes the profiled
 // faithful-level fast path (ted.Computer.DistanceAtMostProfiled):
 // per-level sorted label runs and per-node sorted children collections
 // come off the profiles instead of being rebuilt and re-sorted per
@@ -268,22 +268,24 @@ func treeDistanceAtMost(c *ted.Computer, t1, t2 *tree.Tree, p1, p2 *tree.Profile
 	if p1.Canon == p2.Canon {
 		return 0, ted.OutcomeExact
 	}
-	if profileSwap(p1, p2) {
+	if profileSwap(t1, t2, p1, p2) {
 		t1, t2, p1, p2 = t2, t1, p2, p1
 	}
 	return c.DistanceAtMostProfiled(t1, t2, p1, p2, budget)
 }
 
 // profileSwap mirrors ted's canonical pair orientation — size, then
-// height, then AHU encoding — on profiles: true when the pair must swap.
-func profileSwap(p1, p2 *tree.Profile) bool {
+// height, then AHU encoding — true when the pair must swap. The size
+// and height tiers come off the profiles; only a full tie consults
+// tree.Canonical, which each tree derives once and caches.
+func profileSwap(t1, t2 *tree.Tree, p1, p2 *tree.Profile) bool {
 	switch {
 	case p1.Size != p2.Size:
 		return p1.Size > p2.Size
 	case len(p1.Levels) != len(p2.Levels):
 		return len(p1.Levels) > len(p2.Levels)
 	default:
-		return p1.CanonStr > p2.CanonStr
+		return tree.Canonical(t1) > tree.Canonical(t2)
 	}
 }
 

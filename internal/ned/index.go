@@ -409,12 +409,27 @@ type vpBackend struct {
 // it. Mutations take tombstone + append paths (see dynamic.go).
 func NewVPBackend(items []Item) DynamicIndex {
 	b := &vpBackend{counters: &counterSet{}}
-	b.t = vptree.New(items, func(x, y Item) float64 {
+	b.t = vptree.New(items, b.exactMetric())
+	b.installSearchHooks()
+	b.counters.reset() // the build's evaluations are not serving work
+	return b
+}
+
+// exactMetric is the unbudgeted NED metric the VP-tree builds with.
+func (b *vpBackend) exactMetric() vptree.Metric[Item] {
+	return func(x, y Item) float64 {
 		c := tedComputers.Get().(*ted.Computer)
 		d, _ := verifyDistanceAtMost(c, x, y, ted.Unbounded, b.counters)
 		tedComputers.Put(c)
 		return float64(d)
-	})
+	}
+}
+
+// installSearchHooks arms the serving-side hooks every VP backend
+// carries regardless of how its tree came to be (fresh build or
+// restored dump): the budgeted cascade metric and the canonical
+// tie-break.
+func (b *vpBackend) installSearchHooks() {
 	b.t.SetBudgetedMetric(func(x, y Item, budget float64) (float64, bool) {
 		c := tedComputers.Get().(*ted.Computer)
 		d, out := cascadeDistanceAtMost(c, x, y, floatBudget(budget), b.counters)
@@ -422,8 +437,35 @@ func NewVPBackend(items []Item) DynamicIndex {
 		return float64(d), out == ted.OutcomeExact
 	})
 	b.t.SetTieBreak(itemLess)
-	b.counters.reset() // the build's evaluations are not serving work
-	return b
+}
+
+// ExportVPBackend dumps a VP backend's built index structure: the
+// preorder tree dump plus the post-build append tail. It returns
+// ok == false when ix is not a VP backend or when the tree carries
+// tombstones — a tombstoned vantage point's item is no longer part of
+// the corpus, so a persisted dump would dangle; such shards simply
+// rebuild on first query instead.
+func ExportVPBackend(ix Index) (nodes []vptree.ExportNode[Item], tail []Item, ok bool) {
+	b, isVP := ix.(*vpBackend)
+	if !isVP || b.t.Deleted() > 0 {
+		return nil, nil, false
+	}
+	return b.t.Export(), b.tail, true
+}
+
+// NewVPBackendFromExport restores a VP backend from an ExportVPBackend
+// dump without a single metric evaluation — the dump's radii and
+// topology were computed by the original O(n log n) build and are
+// adopted as-is. The restored backend serves, mutates, and counts
+// exactly like the original.
+func NewVPBackendFromExport(nodes []vptree.ExportNode[Item], tail []Item) (DynamicIndex, error) {
+	b := &vpBackend{counters: &counterSet{}, tail: tail}
+	var err error
+	if b.t, err = vptree.NewFromExport(nodes, b.exactMetric()); err != nil {
+		return nil, err
+	}
+	b.installSearchHooks()
+	return b, nil
 }
 
 func (b *vpBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor, error) {

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ned/internal/fsx"
 	"ned/internal/graph"
 	"ned/internal/tree"
 )
@@ -290,7 +291,15 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 			continue
 		}
 		if line[0] == '#' {
-			if contentLines == 0 && meta.Version == 0 && strings.HasPrefix(line, snapshotPrefix) {
+			if strings.HasPrefix(line, snapshotPrefix) {
+				// A snapshot header is only legal as the very first
+				// meaningful line. One appearing after items (or after
+				// another header) means two snapshots were concatenated or
+				// a file was garbled mid-write: half-parsing it as a
+				// comment would silently serve a truncated corpus.
+				if contentLines > 0 || meta.Version != 0 {
+					return meta, nil, fmt.Errorf("ned: line %d: unexpected second snapshot header %q", lineNo, line)
+				}
 				m, err := parseSnapshotHeader(line)
 				if err != nil {
 					return meta, nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
@@ -455,20 +464,13 @@ func parseSnapshotHeader(line string) (CorpusMeta, error) {
 	return meta, nil
 }
 
-// SaveSignaturesFile writes signatures to a file.
+// SaveSignaturesFile writes signatures to a file, crash-safely: the
+// content lands in <path>.tmp and is fsynced and renamed over the
+// target, so a crash mid-save can never tear a previous good file.
 func SaveSignaturesFile(path string, sigs []Signature) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("ned: %w", err)
-	}
-	if err := WriteSignatures(f, sigs); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("ned: closing %s: %w", path, err)
-	}
-	return nil
+	return fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteSignatures(w, sigs)
+	})
 }
 
 // LoadSignaturesFile reads signatures from a file.

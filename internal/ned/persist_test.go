@@ -320,6 +320,9 @@ func TestReadCorpusItemsErrors(t *testing.T) {
 		{"padded", "# ned corpus v1 backend=vp k=2 directed=0 nodes=0\n4 2 0\n", "declares 0 nodes, found 1"},
 		{"directed missing in-tree", "# ned corpus v1 backend=vp k=2 directed=1 nodes=1\n0 2 0\n", "want 4"},
 		{"directed bad in-tree", "# ned corpus v1 backend=vp k=2 directed=1 nodes=1\n0 2 0 0,?\n", "incoming tree"},
+		{"second header after items", header + "0 2 0\n" + header, "second snapshot header"},
+		{"two consecutive headers", header + header + "0 2 0\n", "second snapshot header"},
+		{"header after legacy items", "3 2 0,0\n" + header, "second snapshot header"},
 	}
 	for _, tc := range cases {
 		_, _, err := ReadCorpusItems(strings.NewReader(tc.in))
@@ -345,6 +348,36 @@ func TestWriteCorpusItemsRejectsBadItems(t *testing.T) {
 		[]Item{{Node: 3, K: 2, Out: tree.Path(2)}})
 	if err == nil || !strings.Contains(err.Error(), "no tree") {
 		t.Errorf("nil in tree on directed snapshot: %v", err)
+	}
+}
+
+// TestSaveSignaturesFileAtomic: a save failure (here: the target path
+// is a directory, so the final rename fails) must leave no tmp residue,
+// and a successful save over an existing file replaces it wholesale.
+func TestSaveSignaturesFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/sigs.txt"
+	sigs := []Signature{{Node: 1, K: 2, Tree: tree.Path(3)}}
+	if err := SaveSignaturesFile(path, sigs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+	// Target is an existing directory: the rename must fail, the tmp
+	// file must be cleaned up, and the directory must survive.
+	sub := dir + "/taken"
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSignaturesFile(sub, sigs); err == nil {
+		t.Fatal("saving over a directory succeeded")
+	}
+	if _, err := os.Stat(sub + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind after failure: %v", err)
+	}
+	if fi, err := os.Stat(sub); err != nil || !fi.IsDir() {
+		t.Fatalf("target directory damaged: %v", err)
 	}
 }
 

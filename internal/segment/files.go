@@ -1,0 +1,143 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ned/internal/fsx"
+)
+
+// A durable corpus directory holds numbered generations:
+//
+//	checkpoint-00000042.nedseg   full binary segment, generation 42
+//	wal-00000042.log             mutations committed after checkpoint 42
+//
+// Checkpoints are written atomically (tmp + fsync + rename), so a
+// visible checkpoint is always complete; WALs are append-only and may
+// end in a torn tail. Recovery loads the highest-numbered checkpoint
+// and replays every wal with generation >= that number in ascending
+// order — rotation advances the active wal's generation even if the
+// checkpoint that prompted it then fails to write, so consecutive
+// trailing generations may each hold committed mutations. A successful
+// checkpoint deletes the generations below it.
+
+const (
+	checkpointPrefix = "checkpoint-"
+	checkpointSuffix = ".nedseg"
+	walPrefix        = "wal-"
+	walSuffix        = ".log"
+)
+
+// CheckpointPath names generation seq's checkpoint segment in dir.
+func CheckpointPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", checkpointPrefix, seq, checkpointSuffix))
+}
+
+// WALPath names generation seq's mutation log in dir.
+func WALPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", walPrefix, seq, walSuffix))
+}
+
+// parseSeq extracts the generation from a checkpoint or wal file name.
+func parseSeq(name, prefix, suffix string) (int64, bool) {
+	s, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	s, ok = strings.CutSuffix(s, suffix)
+	if !ok || s == "" {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// LatestCheckpoint returns the highest checkpoint generation in dir.
+// ok is false when dir holds no checkpoints (including when dir does
+// not exist).
+func LatestCheckpoint(dir string) (seq int64, path string, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, "", false, nil
+		}
+		return 0, "", false, fmt.Errorf("segment: scanning %s: %w", dir, err)
+	}
+	best := int64(-1)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if s, isCkpt := parseSeq(e.Name(), checkpointPrefix, checkpointSuffix); isCkpt && s > best {
+			best = s
+		}
+	}
+	if best < 0 {
+		return 0, "", false, nil
+	}
+	return best, CheckpointPath(dir, best), true, nil
+}
+
+// WALSeqs returns the wal generations present in dir, ascending.
+func WALSeqs(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("segment: scanning %s: %w", dir, err)
+	}
+	var seqs []int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if s, isWAL := parseSeq(e.Name(), walPrefix, walSuffix); isWAL {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// HasState reports whether dir holds any checkpoint — i.e. whether it
+// is an initialized durable corpus directory.
+func HasState(dir string) bool {
+	_, _, ok, err := LatestCheckpoint(dir)
+	return err == nil && ok
+}
+
+// RemoveObsolete deletes checkpoints and wals with generations below
+// keep, plus stray atomic-write temporaries. Failures to unlink are
+// ignored — obsolete files are garbage, not state — but the directory
+// is synced so successful deletions are durable.
+func RemoveObsolete(dir string, keep int64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("segment: scanning %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		drop := strings.HasSuffix(name, ".tmp")
+		if s, isCkpt := parseSeq(name, checkpointPrefix, checkpointSuffix); isCkpt && s < keep {
+			drop = true
+		}
+		if s, isWAL := parseSeq(name, walPrefix, walSuffix); isWAL && s < keep {
+			drop = true
+		}
+		if drop {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return fsx.SyncDir(dir)
+}

@@ -1,0 +1,77 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func touch(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointScan(t *testing.T) {
+	dir := t.TempDir()
+	if HasState(dir) {
+		t.Fatal("empty dir reported state")
+	}
+	if _, _, ok, err := LatestCheckpoint(filepath.Join(dir, "absent")); ok || err != nil {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+	touch(t, CheckpointPath(dir, 0))
+	touch(t, CheckpointPath(dir, 7))
+	touch(t, CheckpointPath(dir, 3))
+	touch(t, filepath.Join(dir, "checkpoint-junk.nedseg"))
+	touch(t, filepath.Join(dir, "unrelated.txt"))
+	seq, path, ok, err := LatestCheckpoint(dir)
+	if err != nil || !ok || seq != 7 || path != CheckpointPath(dir, 7) {
+		t.Fatalf("LatestCheckpoint = %d %q %v %v", seq, path, ok, err)
+	}
+	if !HasState(dir) {
+		t.Fatal("dir with checkpoints reported no state")
+	}
+}
+
+func TestWALSeqScan(t *testing.T) {
+	dir := t.TempDir()
+	seqs, err := WALSeqs(dir)
+	if err != nil || len(seqs) != 0 {
+		t.Fatalf("empty dir: %v %v", seqs, err)
+	}
+	touch(t, WALPath(dir, 5))
+	touch(t, WALPath(dir, 2))
+	touch(t, WALPath(dir, 9))
+	touch(t, filepath.Join(dir, "wal-.log"))
+	touch(t, filepath.Join(dir, "wal-00000001.bak"))
+	seqs, err = WALSeqs(dir)
+	if err != nil || !reflect.DeepEqual(seqs, []int64{2, 5, 9}) {
+		t.Fatalf("WALSeqs = %v %v", seqs, err)
+	}
+}
+
+func TestRemoveObsolete(t *testing.T) {
+	dir := t.TempDir()
+	touch(t, CheckpointPath(dir, 1))
+	touch(t, CheckpointPath(dir, 4))
+	touch(t, WALPath(dir, 1))
+	touch(t, WALPath(dir, 4))
+	touch(t, WALPath(dir, 5))
+	touch(t, filepath.Join(dir, "checkpoint-00000009.nedseg.tmp"))
+	touch(t, filepath.Join(dir, "keepme.txt"))
+	if err := RemoveObsolete(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	want := []string{"checkpoint-00000004.nedseg", "keepme.txt", "wal-00000004.log", "wal-00000005.log"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("after RemoveObsolete: %v, want %v", names, want)
+	}
+}

@@ -1,0 +1,956 @@
+// Package segment is the durable persistence layer of the Corpus
+// engine: a versioned binary segment format that round-trips a
+// materialized corpus — signature trees AND their compiled cascade
+// profiles AND the shape dictionary they are expressed against —
+// without re-extracting, re-parsing, or re-profiling anything on load,
+// plus a mutation write-ahead log (wal.go) and the checkpoint/log file
+// discipline (files.go) that together recover a crashed corpus to its
+// last committed mutation.
+//
+// # Segment format
+//
+// A segment is a magic string followed by framed sections:
+//
+//	magic   "NEDSEG01" (8 bytes)
+//	section [type u8][payloadLen u64][payload][crc32c(payload) u32]
+//
+// in fixed order: meta (1), dict (2), an optional graph (3), one shard
+// item table (4) per shard, optionally one VP-index dump (6) per
+// shard, and end (5). All integers are little-endian. Every section is
+// independently length-framed and checksummed, and the end section
+// repeats the total item count, so a torn tail — truncation anywhere,
+// even between sections — fails loudly instead of loading a silently
+// smaller corpus. Segments are always written through
+// fsx.WriteFileAtomic, so a torn segment on disk means external
+// corruption, never a crashed writer.
+//
+//	meta:  backend string (u16 len + bytes), k u32, directed u8,
+//	       shards u32, items u64, dictLen u32, hasGraph u8,
+//	       hasIndex u8, then one u64 payload length per shard item
+//	       table — the section offsets that let a reader slice or
+//	       skip shards.
+//	dict:  nShapes u32, kidOff (nShapes+1)×u32, kids kidOff[n]×u32 —
+//	       the interner's CSR shape table (tree.ExportShapes).
+//	graph: nodes u32, directed u8, edges u64, then u32 pairs — the
+//	       backing graph, so a recovered corpus keeps Insert and
+//	       UpdateGraph without a sidecar file.
+//	shard: a pure u32 word stream (the payload length must be a
+//	       multiple of 4): shardIndex, itemCount, then per item
+//	       (strictly node-ascending — readers reject out-of-order or
+//	       duplicate nodes): node, k, flags (bit0 = has incoming
+//	       tree), and per tree n, parents n×u32 (parents[0] is the
+//	       root's -1), then the compiled profile columns
+//	       labels n×u32, perm n×u32, kids (n-1)×u32.
+//	index: shardIndex u32, nNodes u32, nTail u32, then per VP-tree
+//	       node in preorder: node u32, radius f64 (IEEE-754 bits as
+//	       u64), flags u8 (bit0 = has inside child, bit1 = has beyond
+//	       child), then nTail×u32 post-build tail nodes. nNodes ==
+//	       nTail == 0 means the shard carries no persisted index and
+//	       rebuilds lazily.
+//	end:   items u64 (must equal meta's).
+//
+// The index sections persist what even the item tables cannot buy
+// back: a vantage-point tree costs O(n log n) TED* evaluations to
+// build, so a segment that carries the built structure (radii and
+// split topology, restored without a single metric call) turns a
+// multi-second re-index into a sub-millisecond restore.
+//
+// The profile columns are the flat int32 vectors the filter cascade
+// reads per candidate; persisting them (against the persisted
+// dictionary) is what turns restart cost from O(corpus × reparse +
+// reprofile) into a sequential read plus validation. The shard layout
+// is deliberately word-only and word-aligned: on a little-endian host
+// the wire format IS the in-memory column layout, so the decoder
+// aliases parent vectors and profile columns straight into the
+// checksummed section payload — zero copies, zero per-column
+// allocations — and only a big-endian host pays a byte-swapping pass.
+package segment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"ned/internal/graph"
+	"ned/internal/ned"
+	"ned/internal/tree"
+)
+
+// hostLittleEndian gates the bulk int32 decode fast path: on a
+// little-endian host the wire format IS the in-memory layout, so a
+// column of persisted int32s loads with one memmove instead of a
+// per-element shift-and-or loop.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Magic identifies (and versions) the binary segment format; sniff a
+// stream's first len(Magic) bytes with IsSegment to route it here or
+// to the text snapshot parsers.
+const Magic = "NEDSEG01"
+
+// IsSegment reports whether a stream beginning with prefix is a binary
+// segment. Text snapshots start with '#' or an item line, so the first
+// byte alone separates the families; the full magic is still verified
+// by Read.
+func IsSegment(prefix []byte) bool {
+	return len(prefix) >= len(Magic) && string(prefix[:len(Magic)]) == Magic
+}
+
+// Section types, in their required order (index sections, when
+// present, sit between the shard tables and the end marker).
+const (
+	secMeta  = 1
+	secDict  = 2
+	secGraph = 3
+	secShard = 4
+	secEnd   = 5
+	secIndex = 6
+)
+
+// maxSectionLen bounds a section's declared payload length. Checked
+// before any allocation, so a corrupt length field fails loudly
+// instead of attempting an absurd allocation.
+const maxSectionLen = 1 << 32
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta is the corpus-level metadata a segment records.
+type Meta struct {
+	Backend  string // flag-style backend name recorded at snapshot time
+	K        int    // neighborhood depth shared by every item
+	Directed bool   // whether items carry incoming trees too
+	Shards   int    // shard count the writer partitioned by
+	Items    int    // total item count across shards
+}
+
+// VPNode is one persisted vantage-point-tree node, in preorder. The
+// item itself lives in the shard's item table; the node references it
+// by its graph node ID.
+type VPNode struct {
+	Node   graph.NodeID
+	Radius float64
+	Inside bool // has an inside child
+	Beyond bool // has a beyond child
+}
+
+// VPIndex is one shard's persisted VP-tree index: the preorder
+// structure dump plus the node IDs appended after the build (the
+// backend's linear tail). A zero VPIndex means "no persisted index" —
+// the shard rebuilds lazily on first query. Together Nodes and Tail
+// must reference each of the shard's items exactly once.
+type VPIndex struct {
+	Nodes []VPNode
+	Tail  []graph.NodeID
+}
+
+// empty reports whether this shard carries no persisted index.
+func (ix *VPIndex) empty() bool { return len(ix.Nodes) == 0 && len(ix.Tail) == 0 }
+
+// --- encoding helpers ---
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// dec is a bounds-checked little-endian cursor with a sticky error, so
+// decoding corrupt (but checksum-passing, i.e. faithfully persisted
+// yet inconsistent) bytes degrades to an error, never a panic or an
+// unbounded allocation.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail("segment: truncated payload")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 4 {
+		d.fail("segment: truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("segment: truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// i32s decodes n little-endian u32 values as int32s, checking the
+// byte budget before allocating.
+func (d *dec) i32s(n int) []int32 {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b) < 4*n {
+		d.fail("segment: truncated payload (want %d int32s, have %d bytes)", n, len(d.b))
+		return nil
+	}
+	out := make([]int32, n)
+	d.i32sInto(out)
+	return out
+}
+
+// i32sInto fills dst with little-endian u32 values read as int32s —
+// the bulk-decode hot loop, kept tight (binary.LittleEndian.Uint32
+// compiles to a single unaligned load).
+func (d *dec) i32sInto(dst []int32) {
+	if d.err != nil {
+		return
+	}
+	n := len(dst)
+	if len(d.b) < 4*n {
+		d.fail("segment: truncated payload (want %d int32s, have %d bytes)", n, len(d.b))
+		return
+	}
+	src := d.b[:4*n]
+	if hostLittleEndian && n > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 4*n), src)
+	} else {
+		for i := range dst {
+			dst[i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	}
+	d.b = d.b[4*n:]
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("segment: %d trailing bytes in section payload", len(d.b))
+	}
+	return nil
+}
+
+// --- section framing ---
+
+// writeSection frames one section: type, length, payload, checksum.
+func writeSection(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, 0, 9)
+	hdr = append(hdr, typ)
+	hdr = appendU64(hdr, uint64(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("segment: writing section header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("segment: writing section payload: %w", err)
+	}
+	var crc []byte
+	crc = appendU32(crc, crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(crc); err != nil {
+		return fmt.Errorf("segment: writing section checksum: %w", err)
+	}
+	return nil
+}
+
+// readSection reads and checksum-verifies one framed section. Any
+// short read — a torn tail — is a loud error: segments are written
+// atomically, so an incomplete one was corrupted after the fact.
+func readSection(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("segment: truncated section header: %w", err)
+	}
+	typ = hdr[0]
+	n := uint64(hdr[1]) | uint64(hdr[2])<<8 | uint64(hdr[3])<<16 | uint64(hdr[4])<<24 |
+		uint64(hdr[5])<<32 | uint64(hdr[6])<<40 | uint64(hdr[7])<<48 | uint64(hdr[8])<<56
+	if n > maxSectionLen {
+		return 0, nil, fmt.Errorf("segment: section declares %d bytes (cap %d)", n, uint64(maxSectionLen))
+	}
+	// Exact-size read under a trust cap: ordinary sections get a single
+	// allocation and one ReadFull. Beyond the cap, collect through a
+	// buffer that grows with the bytes actually present, so a corrupt
+	// length field on a short file cannot force a giant up-front
+	// allocation.
+	const trustedAlloc = 64 << 20
+	if n <= trustedAlloc {
+		payload = make([]byte, n)
+		got, err := io.ReadFull(r, payload)
+		if err != nil {
+			return 0, nil, fmt.Errorf("segment: truncated section payload (%d of %d bytes): %w", got, n, io.ErrUnexpectedEOF)
+		}
+	} else {
+		var buf bytes.Buffer
+		got, err := io.CopyN(&buf, r, int64(n))
+		if err != nil || uint64(got) != n {
+			return 0, nil, fmt.Errorf("segment: truncated section payload (%d of %d bytes): %w", got, n, io.ErrUnexpectedEOF)
+		}
+		payload = buf.Bytes()
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r, crcb[:]); err != nil {
+		return 0, nil, fmt.Errorf("segment: truncated section checksum: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(crcb[:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return 0, nil, fmt.Errorf("segment: section type %d checksum mismatch", typ)
+	}
+	return typ, payload, nil
+}
+
+// expectSection reads one section and requires its type.
+func expectSection(r io.Reader, want byte) ([]byte, error) {
+	typ, payload, err := readSection(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("segment: section type %d where %d expected", typ, want)
+	}
+	return payload, nil
+}
+
+// --- sizes ---
+
+// encodedTreeSize is the byte length of one serialized tree + profile:
+// 4n u32 words (n, parents n, labels n, perm n, kids n-1).
+func encodedTreeSize(n int) int { return 16 * n }
+
+// encodedItemSize is the byte length of one serialized item: the
+// 3-word header plus each tree.
+func encodedItemSize(it *ned.Item, directed bool) int {
+	s := 12 + encodedTreeSize(it.Out.Size())
+	if directed {
+		s += encodedTreeSize(it.In.Size())
+	}
+	return s
+}
+
+// --- writing ---
+
+// appendTree serializes one tree and its compiled profile. The full
+// parent vector is written — including the root's -1 — so a decoder
+// on a little-endian host can alias it in place as the tree's own
+// storage.
+func appendTree(b []byte, t *tree.Tree, p *tree.Profile) []byte {
+	parents := t.ParentVector()
+	b = appendU32(b, uint32(len(parents)))
+	for _, v := range parents {
+		b = appendU32(b, uint32(v))
+	}
+	for _, v := range p.Labels {
+		b = appendU32(b, uint32(v))
+	}
+	for _, v := range p.Perm {
+		b = appendU32(b, uint32(v))
+	}
+	for _, v := range p.Kids {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+// Write serializes a materialized corpus as a binary segment: meta,
+// the shape dictionary, the optional backing graph, shardItems[i] as
+// shard i's item table (callers MUST pass them node-ascending — the
+// format requires it and readers enforce it — which also makes equal
+// corpora produce byte-identical segments), optionally the built
+// VP-tree index of every shard, and the end marker. Every item must
+// carry compiled, fully resolved profiles against dict; meta.Shards
+// and meta.Items are derived from shardItems. indexes is nil (no
+// index sections) or one VPIndex per shard, each either empty or
+// referencing exactly that shard's items.
+func Write(w io.Writer, meta Meta, dict *tree.Interner, g *graph.Graph, shardItems [][]ned.Item, indexes []VPIndex) error {
+	meta.Shards = len(shardItems)
+	meta.Items = 0
+	for _, items := range shardItems {
+		meta.Items += len(items)
+	}
+	if indexes != nil && len(indexes) != len(shardItems) {
+		return fmt.Errorf("segment: %d index dumps for %d shards", len(indexes), len(shardItems))
+	}
+	for si, items := range shardItems {
+		if indexes != nil {
+			if ix := &indexes[si]; !ix.empty() && len(ix.Nodes)+len(ix.Tail) != len(items) {
+				return fmt.Errorf("segment: shard %d index references %d items, shard has %d",
+					si, len(ix.Nodes)+len(ix.Tail), len(items))
+			}
+		}
+		for i := range items {
+			it := &items[i]
+			if it.Node < 0 {
+				return fmt.Errorf("segment: shard %d: negative node id %d", si, it.Node)
+			}
+			if it.Out == nil || it.OutP == nil || !it.OutP.Resolved() {
+				return fmt.Errorf("segment: node %d has no compiled outgoing profile (segments require a materialized, profiled corpus)", it.Node)
+			}
+			if meta.Directed && (it.In == nil || it.InP == nil || !it.InP.Resolved()) {
+				return fmt.Errorf("segment: node %d has no compiled incoming profile on a directed corpus", it.Node)
+			}
+		}
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := io.WriteString(bw, Magic); err != nil {
+		return fmt.Errorf("segment: writing magic: %w", err)
+	}
+
+	kidOff, kids := dict.ExportShapes()
+
+	// Meta, including the shard table byte lengths (section offsets).
+	mb := make([]byte, 0, 64+8*len(shardItems))
+	if len(meta.Backend) > 0xFFFF {
+		return fmt.Errorf("segment: backend name too long")
+	}
+	mb = append(mb, byte(len(meta.Backend)), byte(len(meta.Backend)>>8))
+	mb = append(mb, meta.Backend...)
+	mb = appendU32(mb, uint32(meta.K))
+	if meta.Directed {
+		mb = append(mb, 1)
+	} else {
+		mb = append(mb, 0)
+	}
+	mb = appendU32(mb, uint32(meta.Shards))
+	mb = appendU64(mb, uint64(meta.Items))
+	mb = appendU32(mb, uint32(len(kidOff)-1))
+	if g != nil {
+		mb = append(mb, 1)
+	} else {
+		mb = append(mb, 0)
+	}
+	if indexes != nil {
+		mb = append(mb, 1)
+	} else {
+		mb = append(mb, 0)
+	}
+	for si, items := range shardItems {
+		size := 8
+		for i := range items {
+			size += encodedItemSize(&items[i], meta.Directed)
+		}
+		_ = si
+		mb = appendU64(mb, uint64(size))
+	}
+	if err := writeSection(bw, secMeta, mb); err != nil {
+		return err
+	}
+
+	// Dictionary.
+	db := make([]byte, 0, 4+4*len(kidOff)+4*len(kids))
+	db = appendU32(db, uint32(len(kidOff)-1))
+	for _, v := range kidOff {
+		db = appendU32(db, uint32(v))
+	}
+	for _, v := range kids {
+		db = appendU32(db, uint32(v))
+	}
+	if err := writeSection(bw, secDict, db); err != nil {
+		return err
+	}
+
+	// Graph.
+	if g != nil {
+		edges := g.Edges()
+		gb := make([]byte, 0, 13+8*len(edges))
+		gb = appendU32(gb, uint32(g.NumNodes()))
+		if g.Directed() {
+			gb = append(gb, 1)
+		} else {
+			gb = append(gb, 0)
+		}
+		gb = appendU64(gb, uint64(len(edges)))
+		for _, e := range edges {
+			gb = appendU32(gb, uint32(e.U))
+			gb = appendU32(gb, uint32(e.V))
+		}
+		if err := writeSection(bw, secGraph, gb); err != nil {
+			return err
+		}
+	}
+
+	// Shard item tables.
+	var sb []byte
+	for si, items := range shardItems {
+		size := 8
+		for i := range items {
+			size += encodedItemSize(&items[i], meta.Directed)
+		}
+		if cap(sb) < size {
+			sb = make([]byte, 0, size)
+		}
+		sb = sb[:0]
+		sb = appendU32(sb, uint32(si))
+		sb = appendU32(sb, uint32(len(items)))
+		for i := range items {
+			it := &items[i]
+			sb = appendU32(sb, uint32(it.Node))
+			sb = appendU32(sb, uint32(it.K))
+			flags := uint32(0)
+			if meta.Directed {
+				flags |= 1
+			}
+			sb = appendU32(sb, flags)
+			sb = appendTree(sb, it.Out, it.OutP)
+			if meta.Directed {
+				sb = appendTree(sb, it.In, it.InP)
+			}
+		}
+		if err := writeSection(bw, secShard, sb); err != nil {
+			return err
+		}
+	}
+
+	// VP-index dumps, one section per shard.
+	for si := range indexes {
+		ix := &indexes[si]
+		ib := make([]byte, 0, 12+13*len(ix.Nodes)+4*len(ix.Tail))
+		ib = appendU32(ib, uint32(si))
+		ib = appendU32(ib, uint32(len(ix.Nodes)))
+		ib = appendU32(ib, uint32(len(ix.Tail)))
+		for i := range ix.Nodes {
+			n := &ix.Nodes[i]
+			ib = appendU32(ib, uint32(n.Node))
+			ib = appendU64(ib, math.Float64bits(n.Radius))
+			flags := byte(0)
+			if n.Inside {
+				flags |= 1
+			}
+			if n.Beyond {
+				flags |= 2
+			}
+			ib = append(ib, flags)
+		}
+		for _, v := range ix.Tail {
+			ib = appendU32(ib, uint32(v))
+		}
+		if err := writeSection(bw, secIndex, ib); err != nil {
+			return err
+		}
+	}
+
+	eb := appendU64(nil, uint64(meta.Items))
+	if err := writeSection(bw, secEnd, eb); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("segment: flushing: %w", err)
+	}
+	return nil
+}
+
+// --- reading ---
+
+// shardWords exposes a shard payload as its int32 word stream. On a
+// little-endian host with the (allocator-guaranteed, but verified)
+// 4-byte alignment, the returned slice ALIASES payload — the section's
+// checksummed bytes become the backing storage of every tree and
+// profile decoded from it, which is the whole point of the word-only
+// shard layout. Otherwise one byte-swapping copy is made.
+func shardWords(payload []byte) ([]int32, error) {
+	if len(payload)%4 != 0 {
+		return nil, fmt.Errorf("segment: shard payload length %d not a multiple of 4", len(payload))
+	}
+	n := len(payload) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&payload[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&payload[0])), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return out, nil
+}
+
+// decodeTree decodes one serialized tree + profile from the word
+// stream at words[pos:], returning the cursor past it. The parent
+// vector and profile columns are subslices of words — aliased payload
+// on little-endian hosts — handed to tree.NewOwned / ProfileFromParts
+// without the defensive copies the public constructors make; both
+// treat their columns as immutable, so sharing the section payload is
+// safe. Only the tree's derived indexes are allocated, carved from s.
+func decodeTree(words []int32, pos int, in *tree.Interner, s *tree.Slab) (*tree.Tree, *tree.Profile, int, error) {
+	if pos >= len(words) {
+		return nil, nil, 0, fmt.Errorf("segment: truncated payload")
+	}
+	n := int(uint32(words[pos]))
+	pos++
+	// Budget the whole encoded tree (parents + labels + perm + kids =
+	// 4n-1 words) before slicing anything sized by n.
+	if n < 1 || n > (len(words)-pos+1)/4 {
+		return nil, nil, 0, fmt.Errorf("segment: tree declares %d nodes with %d words left", n, len(words)-pos)
+	}
+	parents := words[pos : pos+n : pos+n]
+	labels := words[pos+n : pos+2*n : pos+2*n]
+	perm := words[pos+2*n : pos+3*n : pos+3*n]
+	kids := words[pos+3*n : pos+4*n-1 : pos+4*n-1]
+	pos += 4*n - 1
+	t, err := tree.NewOwned(parents, s)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("segment: %w", err)
+	}
+	p, err := in.ProfileFromParts(t, labels, perm, kids)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("segment: %w", err)
+	}
+	return t, p, pos, nil
+}
+
+// decodeShard decodes one shard item table payload.
+func decodeShard(payload []byte, si int, meta Meta, in *tree.Interner) ([]ned.Item, error) {
+	words, err := shardWords(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(words) < 2 {
+		return nil, fmt.Errorf("segment: shard %d payload truncated", si)
+	}
+	if got := int(uint32(words[0])); got != si {
+		return nil, fmt.Errorf("segment: shard section %d out of order (want %d)", got, si)
+	}
+	count := int(uint32(words[1]))
+	pos := 2
+	// Minimum item: 3 header words + a 1-node tree's 4 words.
+	if count < 0 || count > (len(words)-pos)/7 {
+		return nil, fmt.Errorf("segment: shard %d declares %d items with %d words left", si, count, len(words)-pos)
+	}
+	slab := &tree.Slab{}
+	items := make([]ned.Item, 0, count)
+	last := int32(-1)
+	for i := 0; i < count; i++ {
+		if len(words)-pos < 3 {
+			return nil, fmt.Errorf("segment: shard %d truncated at item %d", si, i)
+		}
+		node := words[pos]
+		k := int(uint32(words[pos+1]))
+		flags := uint32(words[pos+2])
+		pos += 3
+		if node < 0 {
+			return nil, fmt.Errorf("segment: shard %d item %d has negative node id", si, i)
+		}
+		// Writers emit items strictly node-ascending per shard; since a
+		// node always hashes to the same shard, this single ordered pass
+		// doubles as the whole-segment duplicate check.
+		if node <= last {
+			return nil, fmt.Errorf("segment: shard %d items not node-ascending (%d after %d)", si, node, last)
+		}
+		last = node
+		if k != meta.K {
+			return nil, fmt.Errorf("segment: node %d has k=%d, segment k=%d", node, k, meta.K)
+		}
+		hasIn := flags&1 != 0
+		if hasIn != meta.Directed {
+			return nil, fmt.Errorf("segment: node %d directedness disagrees with segment meta", node)
+		}
+		if ned.ShardOf(graph.NodeID(node), meta.Shards) != si {
+			return nil, fmt.Errorf("segment: node %d filed under shard %d, hashes to %d",
+				node, si, ned.ShardOf(graph.NodeID(node), meta.Shards))
+		}
+		it := ned.Item{Node: graph.NodeID(node), K: k}
+		var err error
+		if it.Out, it.OutP, pos, err = decodeTree(words, pos, in, slab); err != nil {
+			return nil, fmt.Errorf("node %d: %w", node, err)
+		}
+		if hasIn {
+			if it.In, it.InP, pos, err = decodeTree(words, pos, in, slab); err != nil {
+				return nil, fmt.Errorf("node %d incoming: %w", node, err)
+			}
+		}
+		items = append(items, it)
+	}
+	if pos != len(words) {
+		return nil, fmt.Errorf("segment: shard %d: %d trailing words in section payload", si, len(words)-pos)
+	}
+	return items, nil
+}
+
+// decodeIndex decodes one shard's VP-index dump section.
+func decodeIndex(payload []byte, si int) (VPIndex, error) {
+	var ix VPIndex
+	d := &dec{b: payload}
+	if got := int(d.u32()); d.err == nil && got != si {
+		return ix, fmt.Errorf("segment: index section %d out of order (want %d)", got, si)
+	}
+	nNodes := int(d.u32())
+	nTail := int(d.u32())
+	if d.err == nil && (nNodes < 0 || nTail < 0 || len(d.b) != 13*nNodes+4*nTail) {
+		d.fail("segment: shard %d index declares %d nodes and %d tail items with %d bytes",
+			si, nNodes, nTail, len(d.b))
+	}
+	if d.err != nil {
+		return ix, d.err
+	}
+	if nNodes > 0 {
+		ix.Nodes = make([]VPNode, nNodes)
+		for i := range ix.Nodes {
+			n := &ix.Nodes[i]
+			node := int32(d.u32())
+			n.Radius = math.Float64frombits(d.u64())
+			flags := d.u8()
+			if node < 0 {
+				return ix, fmt.Errorf("segment: shard %d index node %d has negative node id", si, i)
+			}
+			if flags > 3 {
+				return ix, fmt.Errorf("segment: shard %d index node %d has unknown flags %#x", si, i, flags)
+			}
+			n.Node = graph.NodeID(node)
+			n.Inside = flags&1 != 0
+			n.Beyond = flags&2 != 0
+		}
+	}
+	if nTail > 0 {
+		ix.Tail = make([]graph.NodeID, nTail)
+		for i := range ix.Tail {
+			v := int32(d.u32())
+			if v < 0 {
+				return ix, fmt.Errorf("segment: shard %d index tail entry %d has negative node id", si, i)
+			}
+			ix.Tail[i] = graph.NodeID(v)
+		}
+	}
+	if err := d.done(); err != nil {
+		return ix, fmt.Errorf("segment: shard %d index: %w", si, err)
+	}
+	return ix, nil
+}
+
+// Read parses a binary segment, reconstructing the shape dictionary,
+// every item with its compiled profiles, the embedded graph (nil when
+// the segment carries none), and the persisted per-shard VP-index
+// dumps (nil when the segment carries none — indexes[si] may also be
+// empty for individual shards, which then rebuild lazily). Items are
+// returned flattened in shard order (node-ascending within each
+// shard, as written); callers re-derive placement by hash for
+// whatever shard count they run with — and must discard the index
+// dumps if that count differs from meta.Shards. Any truncation,
+// checksum mismatch, or internal inconsistency is a loud error.
+func Read(r io.Reader) (Meta, []ned.Item, *tree.Interner, *graph.Graph, []VPIndex, error) {
+	var meta Meta
+	fail := func(err error) (Meta, []ned.Item, *tree.Interner, *graph.Graph, []VPIndex, error) {
+		return meta, nil, nil, nil, nil, err
+	}
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fail(fmt.Errorf("segment: reading magic: %w", err))
+	}
+	if !IsSegment(magic[:]) {
+		return fail(fmt.Errorf("segment: bad magic %q", magic[:]))
+	}
+
+	// Meta.
+	payload, err := expectSection(r, secMeta)
+	if err != nil {
+		return fail(err)
+	}
+	d := &dec{b: payload}
+	if len(d.b) < 2 {
+		return fail(fmt.Errorf("segment: truncated meta"))
+	}
+	blen := int(d.b[0]) | int(d.b[1])<<8
+	d.b = d.b[2:]
+	if len(d.b) < blen {
+		return fail(fmt.Errorf("segment: truncated meta backend name"))
+	}
+	meta.Backend = string(d.b[:blen])
+	d.b = d.b[blen:]
+	meta.K = int(d.u32())
+	directed := d.u8()
+	meta.Shards = int(d.u32())
+	meta.Items = int(d.u64())
+	dictLen := int(d.u32())
+	hasGraph := d.u8()
+	hasIndex := d.u8()
+	if d.err == nil && (directed > 1 || hasGraph > 1 || hasIndex > 1 || meta.K < 1 || meta.Shards < 1 ||
+		meta.Items < 0 || dictLen < 0 || meta.Shards > 1<<20) {
+		d.fail("segment: implausible meta (k=%d shards=%d items=%d dict=%d)", meta.K, meta.Shards, meta.Items, dictLen)
+	}
+	meta.Directed = directed == 1
+	shardLens := make([]uint64, 0, max(meta.Shards, 0))
+	for i := 0; d.err == nil && i < meta.Shards; i++ {
+		shardLens = append(shardLens, d.u64())
+	}
+	if d.err != nil {
+		return fail(d.err)
+	}
+	if err := d.done(); err != nil {
+		return fail(err)
+	}
+
+	// Dictionary.
+	payload, err = expectSection(r, secDict)
+	if err != nil {
+		return fail(err)
+	}
+	d = &dec{b: payload}
+	n := int(d.u32())
+	if d.err == nil && n != dictLen {
+		d.fail("segment: dict section has %d shapes, meta declares %d", n, dictLen)
+	}
+	kidOff := d.i32s(n + 1)
+	var kids []int32
+	if d.err == nil {
+		kids = d.i32s(int(kidOff[n]))
+	}
+	if d.err != nil {
+		return fail(d.err)
+	}
+	if err := d.done(); err != nil {
+		return fail(err)
+	}
+	in, err := tree.NewInternerFromShapes(kidOff, kids)
+	if err != nil {
+		return fail(fmt.Errorf("segment: %w", err))
+	}
+
+	// Graph.
+	var g *graph.Graph
+	if hasGraph == 1 {
+		payload, err = expectSection(r, secGraph)
+		if err != nil {
+			return fail(err)
+		}
+		d = &dec{b: payload}
+		nodes := int(d.u32())
+		gdir := d.u8()
+		edges := int(d.u64())
+		if d.err == nil && (gdir > 1 || edges < 0 || len(d.b) != 8*edges) {
+			d.fail("segment: graph section declares %d edges with %d bytes", edges, len(d.b))
+		}
+		if d.err != nil {
+			return fail(d.err)
+		}
+		b := graph.NewBuilder(nodes, gdir == 1)
+		for i := 0; i < edges; i++ {
+			u, v := int32(d.u32()), int32(d.u32())
+			if u < 0 || int(u) >= nodes || v < 0 || int(v) >= nodes {
+				return fail(fmt.Errorf("segment: graph edge (%d,%d) outside [0,%d)", u, v, nodes))
+			}
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		g = b.Build()
+	}
+
+	// Shard item tables: collect payloads sequentially, decode in
+	// parallel — item decoding (tree construction + profile
+	// reconstruction) dominates load time and shards are independent.
+	payloads := make([][]byte, meta.Shards)
+	for si := 0; si < meta.Shards; si++ {
+		payloads[si], err = expectSection(r, secShard)
+		if err != nil {
+			return fail(err)
+		}
+		if uint64(len(payloads[si])) != shardLens[si] {
+			return fail(fmt.Errorf("segment: shard %d payload is %d bytes, meta declares %d",
+				si, len(payloads[si]), shardLens[si]))
+		}
+	}
+	shardItems := make([][]ned.Item, meta.Shards)
+	errs := make([]error, meta.Shards)
+	workers := min(runtime.GOMAXPROCS(0), meta.Shards)
+	var wg sync.WaitGroup
+	next := make(chan int, meta.Shards)
+	for si := 0; si < meta.Shards; si++ {
+		next <- si
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range next {
+				shardItems[si], errs[si] = decodeShard(payloads[si], si, meta, in)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// VP-index dumps.
+	var indexes []VPIndex
+	if hasIndex == 1 {
+		indexes = make([]VPIndex, meta.Shards)
+		for si := 0; si < meta.Shards; si++ {
+			payload, err = expectSection(r, secIndex)
+			if err != nil {
+				return fail(err)
+			}
+			if indexes[si], err = decodeIndex(payload, si); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// End marker.
+	payload, err = expectSection(r, secEnd)
+	if err != nil {
+		return fail(err)
+	}
+	d = &dec{b: payload}
+	total := int(d.u64())
+	if err := d.done(); err != nil {
+		return fail(err)
+	}
+	// No cross-shard duplicate scan needed: decodeShard enforced strict
+	// node-ascending order within each shard, and a duplicate node would
+	// hash to the same shard.
+	items := make([]ned.Item, 0, meta.Items)
+	for _, sh := range shardItems {
+		items = append(items, sh...)
+	}
+	if len(items) != meta.Items || total != meta.Items {
+		return fail(fmt.Errorf("segment: item counts disagree: meta %d, end %d, decoded %d",
+			meta.Items, total, len(items)))
+	}
+	// A segment is a whole file: trailing bytes mean concatenation or
+	// corruption, the same garble the text loader rejects.
+	var one [1]byte
+	if n, _ := r.Read(one[:]); n != 0 {
+		return fail(fmt.Errorf("segment: trailing data after end section"))
+	}
+	return meta, items, in, g, indexes, nil
+}

@@ -1,0 +1,441 @@
+package segment
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ned/internal/fsx"
+	"ned/internal/graph"
+	"ned/internal/ned"
+	"ned/internal/tree"
+)
+
+// The mutation write-ahead log. Every committed mutation batch —
+// Insert, Remove, or an UpdateGraph's refresh — appends one
+// checksummed frame BEFORE the corresponding epoch pointers publish,
+// so a crash after the append replays the mutation and a crash before
+// it never exposed the mutation to a query. Frames record absolute
+// state (the full post-mutation items for upserts, node IDs for
+// deletes), which makes replay idempotent: re-applying a suffix that
+// partially survived a crash converges to the same corpus.
+//
+// Log format: a sequence of frames
+//
+//	[payloadLen u32][crc32c(payload) u32][payload]
+//
+// with payload
+//
+//	version u8 (=1)
+//	upserts u32, then per upsert: node u32, k u32, flags u8
+//	  (bit0 = has incoming tree), then per tree n u32 + parents (n-1)×u32
+//	deletes u32, then node u32 each
+//
+// Upserts carry trees only, not profiles: replay re-profiles against
+// the recovering corpus's dictionary (growing it as needed), which
+// keeps frames small — the WAL is the per-mutation hot path; the
+// segment checkpoint is where profile bytes belong.
+//
+// Torn-tail semantics (the crash contract): a final frame cut short —
+// header or payload extending past EOF, or a checksum mismatch on a
+// frame that runs exactly to EOF — is the expected residue of a crash
+// mid-append and is silently dropped; replay returns the committed
+// prefix and its byte length so the log can be truncated before
+// appending resumes. Corruption strictly inside the file (bytes
+// follow the bad frame) cannot be a torn append and fails loudly.
+
+// FsyncPolicy controls when the WAL forces its appends to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every committed batch: a crash loses
+	// nothing that was acknowledged.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncNone leaves flushing to the OS: faster commits, but a crash
+	// may lose the most recent acknowledged batches (never corrupting
+	// earlier ones — torn tails are dropped on replay).
+	FsyncNone
+)
+
+// ParseFsyncPolicy parses the flag spellings "always" and "none".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("segment: unknown fsync policy %q (want always or none)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	if p == FsyncAlways {
+		return "always"
+	}
+	return "none"
+}
+
+// Record is one committed mutation batch. Upserts are the full
+// post-mutation items (trees; profiles are recomputed on replay),
+// deletes the nodes the batch removed. A node never appears in both.
+type Record struct {
+	Upserts []ned.Item
+	Deletes []graph.NodeID
+}
+
+// maxWALPayload bounds a frame's declared payload length; a larger
+// declaration is either a torn tail (if the file ends first) or loud
+// corruption.
+const maxWALPayload = 1 << 30
+
+// WAL is an open, append-only mutation log. The commit mutex orders
+// append-then-publish pairs, which is what Rotate relies on to cut a
+// consistent checkpoint: state captured under the same mutex reflects
+// exactly the mutations already appended to the old file.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	policy  FsyncPolicy
+	records int64
+	bytes   int64
+	buf     []byte
+}
+
+// CreateWAL creates a new, empty log at path (which must not exist)
+// and makes its directory entry durable.
+func CreateWAL(path string, policy FsyncPolicy) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: creating wal: %w", err)
+	}
+	if err := fsx.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &WAL{f: f, path: path, policy: policy}, nil
+}
+
+// OpenWALAt reopens an existing log for appending at a replay-validated
+// prefix: the file is truncated to size — discarding a torn tail the
+// replay already refused — and appends resume from there.
+func OpenWALAt(path string, size int64, records int64, policy FsyncPolicy) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: reopening wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment: reopening wal: %w", err)
+	}
+	if st.Size() < size {
+		f.Close()
+		return nil, fmt.Errorf("segment: wal %s is %d bytes, shorter than its validated prefix %d", path, st.Size(), size)
+	}
+	if st.Size() > size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("segment: truncating wal torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("segment: syncing truncated wal: %w", err)
+		}
+	}
+	return &WAL{f: f, path: path, policy: policy, records: records, bytes: size}, nil
+}
+
+// Commit appends rec as one frame, forces it to disk per the fsync
+// policy, and only then runs publish (the epoch-pointer stores that
+// make the mutation visible). The append and the publish happen under
+// one mutex so Rotate can cut the log at a point consistent with the
+// published state.
+func (w *WAL) Commit(rec Record, publish func()) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("segment: wal is closed")
+	}
+	w.buf = appendRecord(w.buf[:0], rec)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("segment: wal append: %w", err)
+	}
+	if w.policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("segment: wal sync: %w", err)
+		}
+	}
+	w.records++
+	w.bytes += int64(len(w.buf))
+	if publish != nil {
+		publish()
+	}
+	return nil
+}
+
+// Rotate atomically cuts the log: capture runs under the commit mutex
+// (snapshot the epoch pointers there — every mutation committed to the
+// old file is visible to it, and none from the new file are), the old
+// file is synced and closed, and appends continue in a fresh log at
+// path. On error the WAL keeps its current file and capture must be
+// discarded.
+func (w *WAL) Rotate(path string, capture func()) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("segment: wal is closed")
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("segment: syncing wal before rotation: %w", err)
+	}
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("segment: creating rotated wal: %w", err)
+	}
+	if err := fsx.SyncDir(filepath.Dir(path)); err != nil {
+		nf.Close()
+		os.Remove(path)
+		return err
+	}
+	if capture != nil {
+		capture()
+	}
+	old := w.f
+	w.f, w.path = nf, path
+	w.records, w.bytes = 0, 0
+	old.Close()
+	return nil
+}
+
+// Sync forces appended frames to stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs (under FsyncAlways the data already is) and closes the
+// log. Further commits fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	w.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Stats reports the records and bytes appended to the current file.
+func (w *WAL) Stats() (records, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes
+}
+
+// Path returns the current log file path.
+func (w *WAL) Path() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.path
+}
+
+// appendRecord encodes rec as one framed record appended to b.
+func appendRecord(b []byte, rec Record) []byte {
+	start := len(b)
+	// Reserve the frame header; patch once the payload is known.
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = append(b, 1) // payload version
+	b = appendU32(b, uint32(len(rec.Upserts)))
+	for i := range rec.Upserts {
+		it := &rec.Upserts[i]
+		b = appendU32(b, uint32(it.Node))
+		b = appendU32(b, uint32(it.K))
+		if it.In != nil {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendWALTree(b, it.Out)
+		if it.In != nil {
+			b = appendWALTree(b, it.In)
+		}
+	}
+	b = appendU32(b, uint32(len(rec.Deletes)))
+	for _, v := range rec.Deletes {
+		b = appendU32(b, uint32(v))
+	}
+	payload := b[start+8:]
+	n := uint32(len(payload))
+	crc := crc32.Checksum(payload, castagnoli)
+	h := b[start:]
+	h[0], h[1], h[2], h[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	h[4], h[5], h[6], h[7] = byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24)
+	return b
+}
+
+func appendWALTree(b []byte, t *tree.Tree) []byte {
+	parents := t.ParentVector()
+	b = appendU32(b, uint32(len(parents)))
+	for _, v := range parents[1:] {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+// decodeRecord decodes one checksum-verified frame payload.
+func decodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	d := &dec{b: payload}
+	if v := d.u8(); d.err == nil && v != 1 {
+		return rec, fmt.Errorf("segment: wal record version %d unsupported", v)
+	}
+	nUp := int(d.u32())
+	if d.err == nil && (nUp < 0 || len(d.b) < nUp*13) {
+		d.fail("segment: wal record declares %d upserts with %d bytes", nUp, len(d.b))
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	rec.Upserts = make([]ned.Item, 0, nUp)
+	for i := 0; i < nUp; i++ {
+		node := int32(d.u32())
+		k := int(d.u32())
+		flags := d.u8()
+		if d.err != nil {
+			return rec, d.err
+		}
+		if node < 0 || k < 1 || flags > 1 {
+			return rec, fmt.Errorf("segment: wal upsert %d malformed (node=%d k=%d flags=%d)", i, node, k, flags)
+		}
+		it := ned.Item{Node: graph.NodeID(node), K: k}
+		var err error
+		if it.Out, err = decodeWALTree(d); err != nil {
+			return rec, err
+		}
+		if flags&1 != 0 {
+			if it.In, err = decodeWALTree(d); err != nil {
+				return rec, err
+			}
+		}
+		rec.Upserts = append(rec.Upserts, it)
+	}
+	nDel := int(d.u32())
+	if d.err == nil && (nDel < 0 || len(d.b) != nDel*4) {
+		d.fail("segment: wal record declares %d deletes with %d bytes", nDel, len(d.b))
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	rec.Deletes = make([]graph.NodeID, 0, nDel)
+	for i := 0; i < nDel; i++ {
+		v := int32(d.u32())
+		if v < 0 {
+			return rec, fmt.Errorf("segment: wal delete %d has negative node id", i)
+		}
+		rec.Deletes = append(rec.Deletes, graph.NodeID(v))
+	}
+	if err := d.done(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+func decodeWALTree(d *dec) (*tree.Tree, error) {
+	n := int(d.u32())
+	if d.err == nil && (n < 1 || len(d.b) < 4*(n-1)) {
+		d.fail("segment: wal tree declares %d nodes with %d bytes", n, len(d.b))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	parents := make([]int32, n)
+	parents[0] = -1
+	for i := 1; i < n; i++ {
+		parents[i] = int32(d.u32())
+	}
+	t, err := tree.New(parents)
+	if err != nil {
+		return nil, fmt.Errorf("segment: wal tree: %w", err)
+	}
+	return t, nil
+}
+
+// DecodeWAL replays a log image, returning the committed records and
+// the byte length of the valid prefix. A torn tail (see the package
+// comment for the exact contract) ends replay silently; corruption
+// with further data behind it is a loud error.
+func DecodeWAL(b []byte) ([]Record, int64, error) {
+	var recs []Record
+	off := 0
+	for {
+		rest := b[off:]
+		if len(rest) < 8 {
+			if len(rest) > 0 {
+				// Torn frame header.
+				return recs, int64(off), nil
+			}
+			return recs, int64(off), nil
+		}
+		plen := int(uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24)
+		crc := uint32(rest[4]) | uint32(rest[5])<<8 | uint32(rest[6])<<16 | uint32(rest[7])<<24
+		if plen > maxWALPayload {
+			if len(rest)-8 < plen {
+				// The declared frame runs past EOF: a torn length field.
+				return recs, int64(off), nil
+			}
+			return nil, int64(off), fmt.Errorf("segment: wal frame at %d declares %d bytes (cap %d)", off, plen, maxWALPayload)
+		}
+		if len(rest)-8 < plen {
+			// Torn payload.
+			return recs, int64(off), nil
+		}
+		payload := rest[8 : 8+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			if 8+plen == len(rest) {
+				// The final frame is checksum-broken: its bytes landed out
+				// of order during the crash. Same torn tail, drop it.
+				return recs, int64(off), nil
+			}
+			return nil, int64(off), fmt.Errorf("segment: wal frame at %d checksum mismatch with %d bytes following", off, len(rest)-8-plen)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// The checksum passed, so these bytes are what was written —
+			// and they are malformed. Never a torn append.
+			return nil, int64(off), fmt.Errorf("segment: wal frame at %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += 8 + plen
+	}
+}
+
+// ReplayWAL reads and replays the log at path. A missing file is not
+// an error: it replays to nothing, as an empty log would.
+func ReplayWAL(path string) ([]Record, int64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("segment: reading wal: %w", err)
+	}
+	recs, valid, err := DecodeWAL(b)
+	if err != nil {
+		return nil, valid, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	return recs, valid, nil
+}

@@ -1,0 +1,330 @@
+package segment
+
+import (
+	"bytes"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ned/internal/graph"
+	"ned/internal/ned"
+	"ned/internal/tree"
+)
+
+// walFixtureRecords builds a deterministic mutation sequence.
+func walFixtureRecords(t testing.TB) []Record {
+	t.Helper()
+	mk := func(parents ...int32) *tree.Tree {
+		tr, err := tree.New(parents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	return []Record{
+		{Upserts: []ned.Item{
+			{Node: 3, K: 2, Out: mk(-1, 0, 0, 1)},
+			{Node: 9, K: 2, Out: mk(-1, 0), In: mk(-1, 0, 1)},
+		}},
+		{Deletes: []graph.NodeID{3}},
+		{Upserts: []ned.Item{{Node: 12, K: 2, Out: mk(-1)}},
+			Deletes: []graph.NodeID{9, 44}},
+		{}, // an empty batch must still frame and replay
+	}
+}
+
+func sameRecord(a, b Record) bool {
+	if len(a.Upserts) != len(b.Upserts) || len(a.Deletes) != len(b.Deletes) {
+		return false
+	}
+	for i := range a.Upserts {
+		x, y := a.Upserts[i], b.Upserts[i]
+		if x.Node != y.Node || x.K != y.K || !sameTree(x.Out, y.Out) || !sameTree(x.In, y.In) {
+			return false
+		}
+	}
+	for i := range a.Deletes {
+		if a.Deletes[i] != b.Deletes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeFixtureWAL commits the fixture records into a fresh log, and
+// returns the path along with each frame's end offset.
+func writeFixtureWAL(t *testing.T, dir string, policy FsyncPolicy) (string, []int64) {
+	t.Helper()
+	path := filepath.Join(dir, "wal-00000000.log")
+	w, err := CreateWAL(path, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int64
+	published := 0
+	for _, rec := range walFixtureRecords(t) {
+		if err := w.Commit(rec, func() { published++ }); err != nil {
+			t.Fatal(err)
+		}
+		_, b := w.Stats()
+		bounds = append(bounds, b)
+	}
+	if published != len(walFixtureRecords(t)) {
+		t.Fatalf("published %d of %d commits", published, len(walFixtureRecords(t)))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, bounds
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path, bounds := writeFixtureWAL(t, t.TempDir(), FsyncAlways)
+	recs, valid, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	want := walFixtureRecords(t)
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !sameRecord(recs[i], want[i]) {
+			t.Fatalf("record %d did not round-trip", i)
+		}
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != st.Size() || valid != bounds[len(bounds)-1] {
+		t.Fatalf("valid prefix %d, file %d, last frame end %d", valid, st.Size(), bounds[len(bounds)-1])
+	}
+}
+
+// Truncating the log at every byte must recover exactly the fully
+// framed prefix — no error, no partial record, valid marking the cut.
+func TestWALTornTailEveryByte(t *testing.T) {
+	path, bounds := writeFixtureWAL(t, t.TempDir(), FsyncNone)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(blob); cut++ {
+		recs, valid, err := DecodeWAL(blob[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: torn tail reported as error: %v", cut, err)
+		}
+		wantN, wantValid := 0, int64(0)
+		for _, b := range bounds {
+			if int64(cut) >= b {
+				wantN++
+				wantValid = b
+			}
+		}
+		if len(recs) != wantN || valid != wantValid {
+			t.Fatalf("cut %d: recovered %d records to byte %d, want %d records to byte %d",
+				cut, len(recs), valid, wantN, wantValid)
+		}
+	}
+}
+
+// Corruption strictly inside the log — bytes follow the broken frame —
+// can never be a torn append and must fail loudly.
+func TestWALMidFileCorruptionFailsLoudly(t *testing.T) {
+	path, bounds := writeFixtureWAL(t, t.TempDir(), FsyncNone)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := int(bounds[0])
+	// Flip each payload and checksum byte of the first frame; later
+	// frames follow, so replay must refuse rather than truncate.
+	for off := 4; off < firstEnd; off++ {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x40
+		if _, _, err := DecodeWAL(mut); err == nil {
+			t.Fatalf("byte %d flipped mid-file, replay reported no error", off)
+		}
+	}
+}
+
+// A checksum-valid frame whose payload is malformed is faithful
+// persistence of garbage — loud, even at the tail.
+func TestWALMalformedPayloadFailsLoudly(t *testing.T) {
+	b := appendRecord(nil, Record{})
+	// Rewrite the version byte and re-checksum: framing is intact, the
+	// payload is not.
+	b[8] = 77
+	crc := crc32.Checksum(b[8:], castagnoli)
+	b[4], b[5], b[6], b[7] = byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24)
+	if _, _, err := DecodeWAL(b); err == nil {
+		t.Fatal("malformed checksummed payload replayed without error")
+	}
+}
+
+func TestOpenWALAtDropsTornTailAndResumesAppending(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeFixtureWAL(t, dir, FsyncAlways)
+	// Simulate a crash mid-append: garbage tail past the last frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, valid, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatalf("ReplayWAL over torn tail: %v", err)
+	}
+	st, _ := os.Stat(path)
+	if valid >= st.Size() {
+		t.Fatalf("valid prefix %d should exclude the torn tail (file %d)", valid, st.Size())
+	}
+	w, err := OpenWALAt(path, valid, int64(len(recs)), FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Record{Deletes: []graph.NodeID{7}}
+	if err := w.Commit(extra, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs2, valid2, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatalf("ReplayWAL after resume: %v", err)
+	}
+	if len(recs2) != len(recs)+1 || !sameRecord(recs2[len(recs2)-1], extra) {
+		t.Fatalf("resume produced %d records, want %d", len(recs2), len(recs)+1)
+	}
+	st2, _ := os.Stat(path)
+	if valid2 != st2.Size() {
+		t.Fatalf("resumed log has invalid tail: valid %d, size %d", valid2, st2.Size())
+	}
+}
+
+func TestOpenWALAtRejectsShorterFile(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeFixtureWAL(t, dir, FsyncNone)
+	st, _ := os.Stat(path)
+	if _, err := OpenWALAt(path, st.Size()+10, 4, FsyncNone); err == nil {
+		t.Fatal("OpenWALAt accepted a validated prefix longer than the file")
+	}
+}
+
+func TestCreateWALRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeFixtureWAL(t, dir, FsyncNone)
+	if _, err := CreateWAL(path, FsyncNone); err == nil {
+		t.Fatal("CreateWAL overwrote an existing log")
+	}
+}
+
+func TestWALRotate(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateWAL(WALPath(dir, 0), FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walFixtureRecords(t)
+	if err := w.Commit(recs[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	captured := false
+	if err := w.Rotate(WALPath(dir, 1), func() { captured = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !captured {
+		t.Fatal("capture hook did not run")
+	}
+	if w.Path() != WALPath(dir, 1) {
+		t.Fatalf("active wal is %s", w.Path())
+	}
+	if n, b := w.Stats(); n != 0 || b != 0 {
+		t.Fatalf("rotated wal reports %d records %d bytes", n, b)
+	}
+	if err := w.Commit(recs[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	old, _, err := ReplayWAL(WALPath(dir, 0))
+	if err != nil || len(old) != 1 || !sameRecord(old[0], recs[0]) {
+		t.Fatalf("old wal: %d records, err %v", len(old), err)
+	}
+	cur, _, err := ReplayWAL(WALPath(dir, 1))
+	if err != nil || len(cur) != 1 || !sameRecord(cur[0], recs[1]) {
+		t.Fatalf("rotated wal: %d records, err %v", len(cur), err)
+	}
+}
+
+func TestWALClosedCommitFails(t *testing.T) {
+	w, err := CreateWAL(filepath.Join(t.TempDir(), "w.log"), FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(Record{}, nil); err == nil {
+		t.Fatal("commit on closed wal succeeded")
+	}
+}
+
+func TestReplayMissingWAL(t *testing.T) {
+	recs, valid, err := ReplayWAL(filepath.Join(t.TempDir(), "absent.log"))
+	if err != nil || len(recs) != 0 || valid != 0 {
+		t.Fatalf("missing wal: %d records, %d valid, %v", len(recs), valid, err)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	if p, err := ParseFsyncPolicy("always"); err != nil || p != FsyncAlways {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, err := ParseFsyncPolicy("none"); err != nil || p != FsyncNone {
+		t.Fatalf("none: %v %v", p, err)
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if FsyncAlways.String() != "always" || FsyncNone.String() != "none" {
+		t.Fatal("policy String round-trip broken")
+	}
+}
+
+// The golden log locks the WAL frame format both directions, exactly
+// like the segment golden. Regenerate with -update.
+func TestWALGolden(t *testing.T) {
+	var blob []byte
+	for _, rec := range walFixtureRecords(t) {
+		blob = appendRecord(blob, rec)
+	}
+	path := filepath.Join("testdata", "golden-wal.log")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatal("wal encoder diverged from golden log")
+	}
+	recs, valid, err := DecodeWAL(want)
+	if err != nil || len(recs) != len(walFixtureRecords(t)) || valid != int64(len(want)) {
+		t.Fatalf("golden log replay: %d records, %d valid, %v", len(recs), valid, err)
+	}
+}

@@ -51,6 +51,12 @@ func validateName(name string) error {
 	if name == "" || len(name) > maxCorpusName {
 		return fmt.Errorf("%w: corpus name must be 1-%d characters", ErrBadRequest, maxCorpusName)
 	}
+	// Tenant names become durable-directory path segments: "." and ".."
+	// would escape or alias the data directory, and any other leading-dot
+	// name would hide the tenant's directory from directory scans.
+	if name[0] == '.' {
+		return fmt.Errorf("%w: corpus name %q may not start with '.'", ErrBadRequest, name)
+	}
 	for _, r := range name {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',

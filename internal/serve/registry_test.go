@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Tenant names become durable-directory path segments, so the dot
+// names that alias or escape a data directory must be rejected at
+// validation, not discovered as filesystem surprises later.
+func TestValidateNameRejectsDotNames(t *testing.T) {
+	for _, name := range []string{".", "..", ".hidden", ".config", ""} {
+		if err := validateName(name); err == nil {
+			t.Errorf("validateName(%q) accepted", name)
+		} else if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("validateName(%q) = %v, want ErrBadRequest", name, err)
+		}
+	}
+	for _, name := range []string{"a", "pgp-small", "v2.1_final", "A.B", strings.Repeat("x", 128)} {
+		if err := validateName(name); err != nil {
+			t.Errorf("validateName(%q) = %v, want nil", name, err)
+		}
+	}
+	for _, name := range []string{strings.Repeat("x", 129), "a/b", "a b", "café"} {
+		if err := validateName(name); err == nil {
+			t.Errorf("validateName(%q) accepted", name)
+		}
+	}
+}

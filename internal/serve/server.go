@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"ned"
@@ -28,6 +29,21 @@ type Options struct {
 	CoalesceMaxBatch int
 	// MaxRequestBytes bounds a request body. <= 0 means 8 MiB.
 	MaxRequestBytes int64
+
+	// DataDir, when non-empty, makes every tenant durable: creating a
+	// corpus attaches a per-tenant directory under it (MakeDurable),
+	// BootDurable recovers every tenant found there on startup, and
+	// dropping a corpus deletes its directory. Empty means tenants live
+	// only in memory, as before.
+	DataDir string
+	// Fsync is the WAL fsync policy for durable tenants: FsyncAlways
+	// makes every acknowledged mutation crash-durable, FsyncNone trades
+	// the latest acknowledged batches for mutation latency.
+	Fsync ned.FsyncPolicy
+	// CheckpointEvery cuts a fresh checkpoint segment once a durable
+	// tenant's active mutation log holds this many records, bounding
+	// recovery replay. <= 0 means 1024.
+	CheckpointEvery int64
 }
 
 func (o *Options) defaults() {
@@ -43,6 +59,9 @@ func (o *Options) defaults() {
 	if o.MaxRequestBytes <= 0 {
 		o.MaxRequestBytes = 8 << 20
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1024
+	}
 }
 
 // Server is the multi-tenant HTTP service over the Corpus engine. Build
@@ -56,6 +75,10 @@ type Server struct {
 	coal *coalescer // nil when coalescing is disabled
 	met  *metrics
 	mux  *http.ServeMux
+
+	// durMu serializes durable tenant attach/detach (create, drop, boot
+	// recovery, drain) — control-plane only, never on the query path.
+	durMu sync.Mutex
 
 	// afterAdmit, when set, runs after a query passes admission control
 	// and before it executes — a test seam for holding slots open.
@@ -367,7 +390,7 @@ func (s *Server) handleCreate(ctx context.Context, r *http.Request) (int, any, e
 	if err != nil {
 		return 0, nil, err
 	}
-	if err := s.reg.Put(t); err != nil {
+	if err := s.AddTenant(t); err != nil {
 		return 0, nil, err
 	}
 	return http.StatusCreated, infoOf(t), nil
@@ -375,7 +398,7 @@ func (s *Server) handleCreate(ctx context.Context, r *http.Request) (int, any, e
 
 func (s *Server) handleDrop(ctx context.Context, r *http.Request) (int, any, error) {
 	name := r.PathValue("name")
-	if err := s.reg.Drop(name); err != nil {
+	if err := s.DropTenant(name); err != nil {
 		return 0, nil, err
 	}
 	return http.StatusOK, map[string]any{"dropped": name}, nil
@@ -577,6 +600,9 @@ func (s *Server) handleInsert(ctx context.Context, r *http.Request) (int, any, e
 	if err := t.Corpus.Insert(nodes...); err != nil {
 		return 0, nil, err
 	}
+	if err := s.maybeCheckpoint(t); err != nil {
+		return 0, nil, err
+	}
 	return http.StatusOK, map[string]any{"inserted": len(nodes)}, nil
 }
 
@@ -594,6 +620,9 @@ func (s *Server) handleRemove(ctx context.Context, r *http.Request) (int, any, e
 		nodes[i] = ned.NodeID(v)
 	}
 	if err := t.Corpus.Remove(nodes...); err != nil {
+		return 0, nil, err
+	}
+	if err := s.maybeCheckpoint(t); err != nil {
 		return 0, nil, err
 	}
 	return http.StatusOK, map[string]any{"removed": len(nodes)}, nil

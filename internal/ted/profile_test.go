@@ -161,7 +161,7 @@ func TestProfileOrientedMatchesDistance(t *testing.T) {
 			a, b, pa, pb := t1, t2, p1, p2
 			if pa.Size > pb.Size ||
 				(pa.Size == pb.Size && len(pa.Levels) > len(pb.Levels)) ||
-				(pa.Size == pb.Size && len(pa.Levels) == len(pb.Levels) && pa.CanonStr > pb.CanonStr) {
+				(pa.Size == pb.Size && len(pa.Levels) == len(pb.Levels) && tree.Canonical(a) > tree.Canonical(b)) {
 				a, b, pa, pb = b, a, pb, pa
 			}
 			for _, budget := range []int{Unbounded, want, want - 1, want / 2, 0} {

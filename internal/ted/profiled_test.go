@@ -31,7 +31,7 @@ func TestProfiledBitIdenticalToOriented(t *testing.T) {
 				continue // the cascade answers isomorphic pairs before TED*
 			}
 			a, b, pa, pb := t1, t2, p1, p2
-			if profileSwapTest(pa, pb) {
+			if profileSwapTest(a, b, pa, pb) {
 				a, b, pa, pb = b, a, pb, pa
 			}
 			want := cOriented.Distance(a, b)
@@ -77,7 +77,7 @@ func TestProfiledQueryProfiles(t *testing.T) {
 				continue
 			}
 			a, b, pa, pb := q, tr, qp, p
-			if profileSwapTest(pa, pb) {
+			if profileSwapTest(a, b, pa, pb) {
 				a, b, pa, pb = b, a, pb, pa
 			}
 			want := cOriented.Distance(a, b)
@@ -111,14 +111,14 @@ func TestProfiledQueryProfiles(t *testing.T) {
 }
 
 // profileSwapTest mirrors the cascade's canonical pair orientation
-// (size, height, interned AHU encoding) for the tests.
-func profileSwapTest(p1, p2 *tree.Profile) bool {
+// (size, height, then the trees' AHU encodings) for the tests.
+func profileSwapTest(t1, t2 *tree.Tree, p1, p2 *tree.Profile) bool {
 	switch {
 	case p1.Size != p2.Size:
 		return p1.Size > p2.Size
 	case len(p1.Levels) != len(p2.Levels):
 		return len(p1.Levels) > len(p2.Levels)
 	default:
-		return p1.CanonStr > p2.CanonStr
+		return tree.Canonical(t1) > tree.Canonical(t2)
 	}
 }

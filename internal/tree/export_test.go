@@ -1,0 +1,152 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// exportTestTrees builds a varied batch of trees sharing one interner.
+func exportTestTrees(t *testing.T, n int, seed int64) ([]*Tree, *Interner) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in := NewInterner()
+	var trees []*Tree
+	trees = append(trees, MustNew([]int32{-1})) // single node
+	trees = append(trees, Path(5), Star(6))
+	for i := 0; i < n; i++ {
+		trees = append(trees, Random(rng, 2+rng.Intn(40), 1+rng.Intn(4)))
+	}
+	for _, tr := range trees {
+		in.Profile(tr)
+	}
+	return trees, in
+}
+
+// The shape table must round-trip to a dictionary with identical label
+// assignments and identical AHU encodings.
+func TestInternerShapesRoundTrip(t *testing.T) {
+	trees, in := exportTestTrees(t, 60, 7)
+	kidOff, kids := in.ExportShapes()
+	in2, err := NewInternerFromShapes(kidOff, kids)
+	if err != nil {
+		t.Fatalf("NewInternerFromShapes: %v", err)
+	}
+	if in2.Len() != in.Len() {
+		t.Fatalf("rebuilt dictionary has %d shapes, want %d", in2.Len(), in.Len())
+	}
+	// Re-profiling the same trees against the rebuilt dictionary must
+	// reproduce identical labels without interning anything new.
+	for i, tr := range trees {
+		p1 := in.Profile(tr.Clone())
+		p2 := in2.Profile(tr.Clone())
+		if !reflect.DeepEqual(p1.Labels, p2.Labels) || p1.Canon != p2.Canon {
+			t.Fatalf("tree %d profiles diverged across dictionary round-trip", i)
+		}
+	}
+	if in2.Len() != in.Len() {
+		t.Fatalf("re-profiling grew the rebuilt dictionary to %d shapes, want %d", in2.Len(), in.Len())
+	}
+	// Determinism: exporting twice yields the same table.
+	off2, kids2 := in.ExportShapes()
+	if !reflect.DeepEqual(kidOff, off2) || !reflect.DeepEqual(kids, kids2) {
+		t.Fatal("ExportShapes is not deterministic")
+	}
+}
+
+func TestNewInternerFromShapesRejectsBadTables(t *testing.T) {
+	cases := []struct {
+		name   string
+		kidOff []int32
+		kids   []int32
+	}{
+		{"empty offsets", nil, nil},
+		{"offset not zero", []int32{1, 2}, []int32{0}},
+		{"length mismatch", []int32{0, 2}, []int32{0}},
+		{"negative count", []int32{0, 2, 1}, []int32{0, 0}},
+		{"forward reference", []int32{0, 0, 1}, []int32{1}},
+		{"self reference", []int32{0, 0, 1}, []int32{1}},
+		{"unsorted kids", []int32{0, 0, 0, 0, 2}, []int32{1, 0}},
+		{"duplicate shape", []int32{0, 0, 0}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewInternerFromShapes(tc.kidOff, tc.kids); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// ProfileFromParts must rebuild a profile bit-identical to a fresh
+// compile of the same tree against the same dictionary.
+func TestProfileFromPartsRoundTrip(t *testing.T) {
+	trees, in := exportTestTrees(t, 60, 11)
+	kidOff, kids := in.ExportShapes()
+	in2, err := NewInternerFromShapes(kidOff, kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range trees {
+		want := in.Profile(tr)
+		clone := tr.Clone()
+		got, err := in2.ProfileFromParts(clone,
+			append([]int32(nil), want.Labels...),
+			append([]int32(nil), want.Perm...),
+			append([]int32(nil), want.Kids...))
+		if err != nil {
+			t.Fatalf("tree %d: ProfileFromParts: %v", i, err)
+		}
+		if !slices.Equal(got.Levels, want.Levels) ||
+			!slices.Equal(got.Labels, want.Labels) ||
+			!slices.Equal(got.Perm, want.Perm) ||
+			!slices.Equal(got.Kids, want.Kids) ||
+			!slices.Equal(got.KidOff, want.KidOff) ||
+			got.Size != want.Size || got.MaxLevel != want.MaxLevel ||
+			got.LeafLabel != want.LeafLabel || got.Canon != want.Canon {
+			t.Fatalf("tree %d: reconstructed profile differs:\n got %+v\nwant %+v", i, got, want)
+		}
+		if !got.Resolved() {
+			t.Fatalf("tree %d: reconstructed profile unresolved", i)
+		}
+		// The reconstruction must have primed the tree's profile cache.
+		if c := clone.profCache.Load(); c == nil || c.p != got {
+			t.Fatalf("tree %d: profile cache not primed", i)
+		}
+	}
+}
+
+func TestProfileFromPartsRejectsBadColumns(t *testing.T) {
+	in := NewInterner()
+	tr := MustNew([]int32{-1, 0, 0, 1})
+	p := in.Profile(tr)
+	dup := func(s []int32) []int32 { return append([]int32(nil), s...) }
+	if _, err := in.ProfileFromParts(tr, dup(p.Labels[:2]), dup(p.Perm), dup(p.Kids)); err == nil {
+		t.Error("short labels accepted")
+	}
+	if _, err := in.ProfileFromParts(tr, dup(p.Labels), dup(p.Perm), dup(p.Kids[:1])); err == nil {
+		t.Error("short kids accepted")
+	}
+	bad := dup(p.Labels)
+	bad[0] = int32(in.Len()) + 5
+	if _, err := in.ProfileFromParts(tr, bad, dup(p.Perm), dup(p.Kids)); err == nil {
+		t.Error("out-of-dictionary label accepted")
+	}
+	bad = dup(p.Labels)
+	bad[0] = -1
+	if _, err := in.ProfileFromParts(tr, bad, dup(p.Perm), dup(p.Kids)); err == nil {
+		t.Error("negative label accepted")
+	}
+	badPerm := dup(p.Perm)
+	badPerm[1] = 99
+	if _, err := in.ProfileFromParts(tr, dup(p.Labels), badPerm, dup(p.Kids)); err == nil {
+		t.Error("out-of-level perm accepted")
+	}
+	// Unsorted labels within a level: nodes 1 and 2 share level 1.
+	unsorted := dup(p.Labels)
+	if unsorted[1] != unsorted[2] {
+		unsorted[1], unsorted[2] = unsorted[2], unsorted[1]
+		if _, err := in.ProfileFromParts(tr, unsorted, dup(p.Perm), dup(p.Kids)); err == nil {
+			t.Error("unsorted level labels accepted")
+		}
+	}
+}

@@ -2,8 +2,6 @@ package tree
 
 import (
 	"slices"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -21,10 +19,12 @@ import (
 //     by depth and sorted within each level (the per-level label-multiset
 //     lower bound becomes a linear merge of two sorted int32 runs),
 //   - the AHU canonical encoding of the whole tree as an interned 64-bit
-//     key (isomorphism testing becomes one integer compare) plus the
-//     interned encoding string itself (so the canonical TED* pair
-//     orientation still breaks ties exactly as tree.Canonical does,
-//     without re-deriving or re-allocating the encoding per pair).
+//     key (isomorphism testing becomes one integer compare). The
+//     encoding STRING is not part of the profile: the rare size-and-
+//     height tie in the canonical TED* pair orientation compares
+//     tree.Canonical of the two trees, which each tree derives once,
+//     lazily, and caches — so neither profile compilation nor segment
+//     load ever materializes encoding strings up front.
 //
 // Labels come from an Interner — one dictionary per corpus, shared by
 // every index shard and epoch clone — so two nodes anywhere in the
@@ -81,15 +81,11 @@ type Profile struct {
 
 	// Canon is the interned 64-bit key of the whole tree's AHU canonical
 	// encoding: two profiles from the same Interner have equal Canon iff
-	// their trees are isomorphic.
+	// their trees are isomorphic. When the pair orientation needs the
+	// encoding itself (size and height tie), callers compare
+	// tree.Canonical of the profiled trees — cached on the trees, never
+	// stored here.
 	Canon uint64
-
-	// CanonStr is the AHU canonical encoding itself, interned (one copy
-	// per distinct shape per corpus, shared by every profile of that
-	// shape). Byte-identical to Canonical of the profiled tree; the
-	// canonical TED* pair orientation compares it when size and height
-	// tie.
-	CanonStr string
 }
 
 // Height returns the profiled tree's height.
@@ -104,10 +100,9 @@ func (p *Profile) Resolved() bool { return p.Canon>>32 == 0 }
 
 // Interner is a corpus-wide dictionary of subtree shapes: it assigns
 // dense int32 label IDs such that two subtrees anywhere in the corpus
-// get equal IDs iff they are isomorphic, and memoizes each distinct
-// shape's AHU encoding string (built once per shape, not once per node
-// or per tree). All methods are safe for concurrent use; profile builds
-// from parallel extraction workers and from queries share one Interner.
+// get equal IDs iff they are isomorphic. All methods are safe for
+// concurrent use; profile builds from parallel extraction workers and
+// from queries share one Interner.
 //
 // The dictionary only grows — shapes are never evicted, so label IDs
 // stay stable for the life of the corpus (epoch clones and rebuilt
@@ -119,7 +114,7 @@ type Interner struct {
 	id    uint64 // process-unique; profile caches key on it (no pointer pinning)
 	mu    sync.RWMutex
 	byKey map[string]int32 // packed sorted child-label IDs -> label ID
-	strs  []string         // label ID -> AHU encoding of the shape
+	n     int32            // next label ID == number of interned shapes
 }
 
 // internerIDs hands every dictionary a process-unique identity.
@@ -134,7 +129,7 @@ func NewInterner() *Interner {
 func (in *Interner) Len() int {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
-	return len(in.strs)
+	return int(in.n)
 }
 
 // lookup resolves a shape key without mutating the dictionary.
@@ -145,45 +140,16 @@ func (in *Interner) lookup(key []byte) (int32, bool) {
 	return id, ok
 }
 
-// str returns the AHU encoding of an interned shape. The slice header
-// is read under the lock (appends may reallocate it concurrently); the
-// string itself is immutable.
-func (in *Interner) str(id int32) string {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	return in.strs[id]
-}
-
 // intern resolves one shape — identified by the packed, ascending child
-// label IDs in key — to its label, registering it (and deriving its AHU
-// encoding from the children's, which are interned already) on first
-// sight.
-func (in *Interner) intern(key []byte, kidLabels []int32) int32 {
+// label IDs in key — to its label, registering it on first sight.
+func (in *Interner) intern(key []byte) int32 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if id, ok := in.byKey[string(key)]; ok {
 		return id
 	}
-	// New shape: its AHU encoding wraps the child encodings sorted
-	// lexicographically, exactly as Canonical builds them — the key's
-	// ID-order multiset and the string's lexicographic order differ, but
-	// both determine (and are determined by) the same multiset.
-	parts := make([]string, len(kidLabels))
-	total := 2
-	for i, id := range kidLabels {
-		parts[i] = in.strs[id]
-		total += len(parts[i])
-	}
-	sort.Strings(parts)
-	var sb strings.Builder
-	sb.Grow(total)
-	sb.WriteByte('(')
-	for _, p := range parts {
-		sb.WriteString(p)
-	}
-	sb.WriteByte(')')
-	id := int32(len(in.strs))
-	in.strs = append(in.strs, sb.String())
+	id := in.n
+	in.n++
 	in.byKey[string(key)] = id
 	return id
 }
@@ -284,7 +250,7 @@ func (in *Interner) profile(t *Tree, readOnly bool) *Profile {
 				id = nextLocal
 				nextLocal--
 			} else {
-				id = in.intern(key, kidLabels)
+				id = in.intern(key)
 			}
 		}
 		local[string(key)] = id
@@ -312,14 +278,11 @@ func (in *Interner) profile(t *Tree, readOnly bool) *Profile {
 	}
 	if root := labels[0]; root >= 0 {
 		p.Canon = uint64(root)
-		p.CanonStr = in.str(root)
 	} else {
 		// Whole-tree shape unknown to the corpus: no indexed tree is
 		// isomorphic, so give the key a value outside the dictionary's
-		// int32 range (equality with any interned key is impossible)
-		// and derive the encoding from the tree itself (cached there).
+		// int32 range (equality with any interned key is impossible).
 		p.Canon = (1 << 32) | uint64(uint32(-root))
-		p.CanonStr = Canonical(t)
 	}
 	// The bottom-up pass is done with per-node association; the filter
 	// tiers want per-level sorted multisets, so sort each level's run in

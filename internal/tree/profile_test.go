@@ -19,8 +19,7 @@ func profileTestTrees(n int) []*Tree {
 
 // TestProfileShape pins the Profile invariants everything downstream
 // reads blind: Levels mirrors LevelSize, Labels is level-grouped and
-// sorted within each level, Size is the node count, and CanonStr is
-// byte-identical to the AHU encoding Canonical derives from the tree.
+// sorted within each level, and Size is the node count.
 func TestProfileShape(t *testing.T) {
 	in := NewInterner()
 	for _, tr := range profileTestTrees(60) {
@@ -47,9 +46,6 @@ func TestProfileShape(t *testing.T) {
 			}
 			off += w
 		}
-		if p.CanonStr != Canonical(tr) {
-			t.Fatalf("CanonStr %q differs from Canonical %q", p.CanonStr, Canonical(tr))
-		}
 	}
 }
 
@@ -74,7 +70,7 @@ func TestInternerKeyIsIsomorphism(t *testing.T) {
 	}
 	for i, tr := range trees {
 		q := in.Profile(tr)
-		if q.Canon != ps[i].Canon || q.CanonStr != ps[i].CanonStr {
+		if q.Canon != ps[i].Canon {
 			t.Fatalf("re-profiling drifted: %d -> %d", ps[i].Canon, q.Canon)
 		}
 		for k := range q.Labels {
@@ -88,10 +84,9 @@ func TestInternerKeyIsIsomorphism(t *testing.T) {
 // TestProfileQueryReadOnly pins the query-mode contract: compiling a
 // tree the corpus has never seen grows nothing, known shapes keep
 // their dictionary labels, unknown shapes get negative profile-local
-// labels that can never equal an indexed one, the whole-tree key never
-// collides with an interned key, and the encoding string still matches
-// Canonical. The single-slot cache must also never hand a read-only
-// profile to the interning path.
+// labels that can never equal an indexed one, and the whole-tree key
+// never collides with an interned key. The single-slot cache must also
+// never hand a read-only profile to the interning path.
 func TestProfileQueryReadOnly(t *testing.T) {
 	in := NewInterner()
 	indexed := in.Profile(Star(4))
@@ -101,9 +96,6 @@ func TestProfileQueryReadOnly(t *testing.T) {
 	q := in.ProfileQuery(novel)
 	if in.Len() != before {
 		t.Fatalf("ProfileQuery grew the dictionary: %d -> %d", before, in.Len())
-	}
-	if q.CanonStr != Canonical(novel) {
-		t.Fatalf("query CanonStr %q != Canonical %q", q.CanonStr, Canonical(novel))
 	}
 	if q.Canon <= uint64(^uint32(0)>>1) {
 		t.Fatalf("unknown-shape query key %d is inside the dictionary's int32 range", q.Canon)
@@ -121,7 +113,7 @@ func TestProfileQueryReadOnly(t *testing.T) {
 
 	// Known shape: query mode must resolve to the exact interned profile.
 	q2 := in.ProfileQuery(Star(4))
-	if q2.Canon != indexed.Canon || q2.CanonStr != indexed.CanonStr {
+	if q2.Canon != indexed.Canon {
 		t.Fatalf("query profile of an indexed shape diverged: %d vs %d", q2.Canon, indexed.Canon)
 	}
 

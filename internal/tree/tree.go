@@ -72,6 +72,34 @@ type cachedProfile struct {
 // ≤k-hop neighborhoods: untouched signatures must keep their cache.
 func (t *Tree) HasCanon() bool { return t.canonSet.Load() }
 
+// Slab bulk-allocates int32 backing storage for batches of trees: a
+// segment load reconstructing thousands of small trees pays one large
+// allocation per chunk instead of several small ones per tree. Alloc
+// never reuses memory — every returned slice is freshly zeroed make()
+// storage carved from the current chunk — so slab-built trees are
+// indistinguishable from heap-built ones; the slab is an allocation
+// batcher, not a pool. The zero value is ready. Not safe for
+// concurrent use: give each decoding worker its own.
+type Slab struct{ free []int32 }
+
+// slabChunk is the slab allocation quantum: 64K int32s (256 KiB).
+const slabChunk = 64 << 10
+
+// Alloc returns a zeroed int32 slice of length and capacity n. A nil
+// receiver degrades to plain make, so callers thread an optional slab
+// without branching.
+func (s *Slab) Alloc(n int) []int32 {
+	if s == nil || n >= slabChunk {
+		return make([]int32, n)
+	}
+	if n > len(s.free) {
+		s.free = make([]int32, slabChunk)
+	}
+	out := s.free[:n:n]
+	s.free = s.free[n:]
+	return out
+}
+
 // New constructs a Tree from a parent vector. parent[0] must be -1 and
 // every other entry must point to an earlier node (level order). New
 // returns an error when the vector violates those invariants.
@@ -79,22 +107,83 @@ func New(parent []int32) (*Tree, error) {
 	if len(parent) == 0 {
 		return nil, fmt.Errorf("tree: empty parent vector")
 	}
+	return NewOwned(append([]int32(nil), parent...), nil)
+}
+
+// NewOwned is New without the defensive copy: the tree takes ownership
+// of parent (which must not be mutated afterwards) and carves its
+// derived arrays from s when s is non-nil. This is the bulk-decode
+// path — internal/segment owns every parent vector it just decoded and
+// builds thousands of trees per load; everyone else wants New.
+func NewOwned(parent []int32, s *Slab) (*Tree, error) {
+	if len(parent) == 0 {
+		return nil, fmt.Errorf("tree: empty parent vector")
+	}
 	if parent[0] != -1 {
 		return nil, fmt.Errorf("tree: root parent must be -1, got %d", parent[0])
 	}
-	t := &Tree{parent: append([]int32(nil), parent...)}
-	t.depth = make([]int32, len(parent))
-	for v := 1; v < len(parent); v++ {
+	n := len(parent)
+	t := &Tree{parent: parent}
+	// One combined zeroed allocation for depth, childOff, and childIDs
+	// (full-capacity subslices, so an append on one can never bleed into
+	// the next); levelOff is carved separately once the height is known.
+	buf := s.Alloc(n + (n + 1) + (n - 1))
+	t.depth = buf[0:n:n]
+	t.childOff = buf[n : 2*n+1 : 2*n+1]
+	t.childIDs = buf[2*n+1:]
+	depth, childOff := t.depth, t.childOff
+	// Single validation pass also counts children and detects BFS order
+	// (parent non-decreasing), the layout every extractor and the
+	// segment writer emit, which admits a cursor-free CSR fill below.
+	bfsOrder := true
+	for v := 1; v < n; v++ {
 		p := parent[v]
 		if p < 0 || int(p) >= v {
 			return nil, fmt.Errorf("tree: node %d has invalid parent %d (must precede it)", v, p)
 		}
-		t.depth[v] = t.depth[p] + 1
-		if t.depth[v] < t.depth[v-1] {
+		depth[v] = depth[p] + 1
+		if depth[v] < depth[v-1] {
 			return nil, fmt.Errorf("tree: nodes not in level order at %d", v)
 		}
+		childOff[p+1]++
+		bfsOrder = bfsOrder && p >= parent[v-1]
 	}
-	t.buildIndexes()
+
+	// Level offsets from the depth boundaries: depth is non-decreasing
+	// and (validated above) steps by exactly one, so each depth d ≥ 1
+	// starts at the single index where depth first reaches d.
+	height := int(depth[n-1])
+	t.levelOff = s.Alloc(height + 2)
+	t.levelOff[height+1] = int32(n)
+	for v := 1; v < n; v++ {
+		if depth[v] != depth[v-1] {
+			t.levelOff[depth[v]] = int32(v)
+		}
+	}
+
+	for v := 1; v <= n; v++ {
+		childOff[v] += childOff[v-1]
+	}
+	if bfsOrder {
+		// Children sorted by (parent, id) are exactly 1..n-1 in order.
+		for i := range t.childIDs {
+			t.childIDs[i] = int32(i + 1)
+		}
+		return t, nil
+	}
+	// General level order: fill childIDs using childOff[p] itself as the
+	// write cursor; the advancement leaves childOff[v] holding the
+	// original childOff[v+1], which one backward shift undoes — no
+	// scratch cursor array.
+	for v := 1; v < n; v++ {
+		p := parent[v]
+		t.childIDs[childOff[p]] = int32(v)
+		childOff[p]++
+	}
+	for v := n; v >= 1; v-- {
+		childOff[v] = childOff[v-1]
+	}
+	childOff[0] = 0
 	return t, nil
 }
 
@@ -105,34 +194,6 @@ func MustNew(parent []int32) *Tree {
 		panic(err)
 	}
 	return t
-}
-
-func (t *Tree) buildIndexes() {
-	n := len(t.parent)
-	height := int(t.depth[n-1])
-	t.levelOff = make([]int32, height+2)
-	for _, d := range t.depth {
-		t.levelOff[d+1]++
-	}
-	for d := 1; d <= height+1; d++ {
-		t.levelOff[d] += t.levelOff[d-1]
-	}
-
-	t.childOff = make([]int32, n+1)
-	for v := 1; v < n; v++ {
-		t.childOff[t.parent[v]+1]++
-	}
-	for v := 1; v <= n; v++ {
-		t.childOff[v] += t.childOff[v-1]
-	}
-	t.childIDs = make([]int32, n-1)
-	cursor := make([]int32, n)
-	copy(cursor, t.childOff[:n])
-	for v := 1; v < n; v++ {
-		p := t.parent[v]
-		t.childIDs[cursor[p]] = int32(v)
-		cursor[p]++
-	}
 }
 
 // Size returns the number of nodes.
