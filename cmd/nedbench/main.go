@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard|cascade|serve|recover]
+//	nedbench [-exp all|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|hausdorff|directed|weighted|ablation|corpus|churn|shard|plan|cascade|serve|recover]
 //	         [-scale 1.0] [-pairs 400] [-queries 100] [-candidates 1000] [-seed 1]
 //	         [-json results.json]
 //
@@ -50,7 +50,7 @@ type jsonResult struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard, cascade, serve, recover)")
+		exp        = flag.String("exp", "all", "experiment to run (all, table2, fig5, fig6, fig7, fig8, fig9, fig10, fig11, hausdorff, directed, weighted, ablation, corpus, churn, shard, plan, cascade, serve, recover)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
 		pairs      = flag.Int("pairs", 400, "node pairs per timing experiment")
 		queries    = flag.Int("queries", 100, "query nodes per query experiment")
@@ -142,6 +142,11 @@ func main() {
 		emit(shardExperiment(o))
 		ran++
 	}
+	if run("plan") {
+		t1, t2 := planExperiment(o)
+		emit(t1, t2)
+		ran++
+	}
 	if run("cascade") {
 		emit(cascadeExperiment(o))
 		ran++
@@ -156,7 +161,7 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nedbench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard cascade serve recover\n")
+		fmt.Fprintf(os.Stderr, "valid: all table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 hausdorff directed weighted ablation corpus churn shard plan cascade serve recover\n")
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
@@ -446,6 +451,240 @@ func shardExperiment(o bench.Options) bench.Table {
 			fmt.Sprint(mutations),
 			fmt.Sprint(stats.Rebuilds),
 			fmt.Sprint(mismatches))
+	}
+	return t
+}
+
+// planExperiment measures the two halves of the adaptive engine.
+//
+// Table 1 — adaptive placement vs fixed hash: a skewed-hotspot mixed
+// read/write workload (all writes concentrated on nodes that hash into
+// one shard) driven against the same 8-shard corpus with and without
+// rebalancer ticks. Under fixed hash placement every hot write pays a
+// copy-on-write epoch clone of the whole hot shard; the rebalancer
+// splits the hot shard until each write clones a fraction of it, so
+// mixed throughput rises with zero answer drift.
+//
+// Table 2 — cost-based planner vs hand-picked shard counts: the
+// single-goroutine mirror of BenchmarkCorpusParallelChurn (every 8th
+// operation churns a node, the rest are KNN queries) across explicit
+// WithShards settings with the planner disabled, against the planner-on
+// default configuration. The planner must land within a few percent of
+// the best hand-picked setting without being told the core count.
+func planExperiment(o bench.Options) (bench.Table, bench.Table) {
+	return planAdaptiveTable(o), planPlannerTable(o)
+}
+
+func planAdaptiveTable(o bench.Options) bench.Table {
+	o.Normalize()
+	const kDepth = 2
+	const base = 8        // seed shard count under test
+	const hotSize = 32    // nodes carrying every write
+	const writesPerQ = 16 // churned nodes per query (skewed, write-heavy)
+	const tickEvery = 8   // workload cycles between rebalancer ticks
+	window := 1200 * time.Millisecond
+
+	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed})
+	g2 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: o.Scale, Seed: o.Seed + 999})
+	rng := rand.New(rand.NewSource(o.Seed + 101))
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	queries := make([]ned.Signature, 0, o.Queries)
+	for _, v := range rng.Perm(g1.NumNodes())[:min(o.Queries, g1.NumNodes())] {
+		queries = append(queries, ned.NewSignature(g1, ned.NodeID(v), kDepth))
+	}
+	cands := make([]ned.NodeID, 0, o.Candidates)
+	for _, v := range rng.Perm(g2.NumNodes())[:min(o.Candidates, g2.NumNodes())] {
+		cands = append(cands, ned.NodeID(v))
+	}
+	var hot []ned.NodeID
+	for _, v := range cands {
+		if ned.HashShard(v, base) == 0 && len(hot) < hotSize {
+			hot = append(hot, v)
+		}
+	}
+
+	t := bench.Table{
+		Title: "Adaptive sharding: skewed-hotspot mixed read/write throughput vs fixed hash",
+		Note: fmt.Sprintf("%d candidates in %d shards, all writes on %d nodes hashing into shard 0, %d Remove+Insert pairs per KNN(5) query, %s window per config, PGP analog, k=%d; adaptive = RebalanceTick every %d cycles",
+			len(cands), base, len(hot), writesPerQ, window, kDepth, tickEvery),
+		Header: []string{"backend", "placement", "ops/s", "queries", "mutations", "splits", "merges", "overrides", "vs fixed", "mismatches"},
+	}
+
+	ctx := context.Background()
+	pol := ned.RebalancePolicy{MinShardNodes: 8, SplitMinMutations: 4, SplitFraction: 0.25}
+	for _, backend := range []ned.Backend{ned.BackendPrunedLinear, ned.BackendVP} {
+		// Ground truth for the mismatch column: churn always restores
+		// membership, so a fresh single-shard corpus over the full pool.
+		fresh, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(ned.BackendLinear), ned.WithNodes(cands))
+		die(err)
+		want, err := fresh.BatchKNN(ctx, queries, 1)
+		die(err)
+
+		var fixedOps float64
+		for _, adaptive := range []bool{false, true} {
+			corpus, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(backend),
+				ned.WithNodes(cands), ned.WithShards(base))
+			die(err)
+			_, err = corpus.KNNSignature(ctx, queries[0], 1) // materialize
+			die(err)
+
+			nQueries, nMutations, cycles := 0, 0, 0
+			deadline := time.Now().Add(window)
+			start := time.Now()
+			for time.Now().Before(deadline) {
+				for j := 0; j < writesPerQ; j++ {
+					v := hot[(cycles*writesPerQ+j)%len(hot)]
+					die(corpus.Remove(v))
+					die(corpus.Insert(v))
+					nMutations += 2
+				}
+				_, err := corpus.KNNSignature(ctx, queries[cycles%len(queries)], 5)
+				die(err)
+				nQueries++
+				cycles++
+				if adaptive && cycles%tickEvery == 0 {
+					corpus.RebalanceTick(pol)
+				}
+			}
+			wall := time.Since(start)
+			opsPerSec := float64(nQueries+nMutations) / wall.Seconds()
+
+			res, err := corpus.BatchKNN(ctx, queries, 1)
+			die(err)
+			mismatches := 0
+			for i := range res {
+				if len(res[i]) == 0 || len(want[i]) == 0 ||
+					res[i][0].Dist != want[i][0].Dist {
+					mismatches++
+				}
+			}
+
+			placement, ratio := "fixed hash", ""
+			if adaptive {
+				placement = "adaptive"
+				ratio = fmt.Sprintf("%.2fx", opsPerSec/fixedOps)
+			} else {
+				fixedOps = opsPerSec
+				ratio = "1.00x"
+			}
+			stats := corpus.Stats()
+			t.AddRow(backend.String(), placement,
+				fmt.Sprintf("%.1f", opsPerSec),
+				fmt.Sprint(nQueries),
+				fmt.Sprint(nMutations),
+				fmt.Sprint(stats.ShardSplits),
+				fmt.Sprint(stats.ShardMerges),
+				fmt.Sprint(stats.PlacementOverrides),
+				ratio,
+				fmt.Sprint(mismatches))
+		}
+	}
+	return t
+}
+
+func planPlannerTable(o bench.Options) bench.Table {
+	// Mirrors BenchmarkCorpusParallelChurn's workload constants so the
+	// table reads against BENCH_PARALLEL_CHURN.json directly.
+	const kDepth, nQueries, nCands, l = 3, 16, 300, 5
+	const scale = 0.1
+	const nOps = 600
+	const trials = 3
+
+	g1 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: scale, Seed: 7})
+	g2 := ned.MustGenerateDataset(ned.DatasetPGP, ned.DatasetOptions{Scale: scale, Seed: 8})
+	rng := rand.New(rand.NewSource(9))
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nedbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	queries := make([]ned.Signature, 0, nQueries)
+	for _, v := range rng.Perm(g1.NumNodes())[:nQueries] {
+		queries = append(queries, ned.NewSignature(g1, ned.NodeID(v), kDepth))
+	}
+	cands := make([]ned.NodeID, 0, nCands)
+	for _, v := range rng.Perm(g2.NumNodes())[:min(nCands, g2.NumNodes())] {
+		cands = append(cands, ned.NodeID(v))
+	}
+
+	ctx := context.Background()
+	fresh, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(ned.BackendLinear), ned.WithNodes(cands))
+	die(err)
+	want, err := fresh.BatchKNN(ctx, queries, 1)
+	die(err)
+
+	// measure runs the churn loop trials times and keeps the median.
+	measure := func(corpus *ned.Corpus) (nsPerOp float64, mismatches int) {
+		_, err := corpus.KNNSignature(ctx, queries[0], 1) // materialize
+		die(err)
+		var times []float64
+		for trial := 0; trial < trials; trial++ {
+			start := time.Now()
+			for i := 1; i <= nOps; i++ {
+				if i%8 == 0 {
+					v := cands[(i/8)%len(cands)]
+					die(corpus.Remove(v))
+					die(corpus.Insert(v))
+				} else {
+					_, err := corpus.KNNSignature(ctx, queries[i%len(queries)], l)
+					die(err)
+				}
+			}
+			times = append(times, float64(time.Since(start).Nanoseconds())/nOps)
+		}
+		sort.Float64s(times)
+		res, err := corpus.BatchKNN(ctx, queries, 1)
+		die(err)
+		for i := range res {
+			if len(res[i]) == 0 || len(want[i]) == 0 ||
+				res[i][0].Dist != want[i][0].Dist {
+				mismatches++
+			}
+		}
+		return times[trials/2], mismatches
+	}
+
+	type row struct {
+		config     string
+		nsPerOp    float64
+		mismatches int
+	}
+	var rows []row
+	best := 0.0
+	for _, shards := range []int{1, 2, 4, 8} {
+		corpus, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(ned.BackendVP),
+			ned.WithNodes(cands), ned.WithShards(shards), ned.WithPlanner(false))
+		die(err)
+		ns, mm := measure(corpus)
+		rows = append(rows, row{fmt.Sprintf("planner off, WithShards(%d)", shards), ns, mm})
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	corpus, err := ned.NewCorpus(g2, kDepth, ned.WithBackend(ned.BackendVP), ned.WithNodes(cands))
+	die(err)
+	ns, mm := measure(corpus)
+	rows = append(rows, row{"planner on, default shards", ns, mm})
+
+	t := bench.Table{
+		Title: "Cost-based planner: churn ns/op vs hand-picked shard counts",
+		Note: fmt.Sprintf("single-goroutine mirror of BenchmarkCorpusParallelChurn (%d candidates, every 8th op Remove+Insert, rest KNN(%d), PGP analog scale %.1f, k=%d, backend=vp), %d ops x %d trials (median), GOMAXPROCS=%d",
+			len(cands), l, scale, kDepth, nOps, trials, runtime.GOMAXPROCS(0)),
+		Header: []string{"config", "ns/op", "vs best hand-picked", "mismatches"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.config,
+			fmt.Sprintf("%.0f", r.nsPerOp),
+			fmt.Sprintf("%.2fx", r.nsPerOp/best),
+			fmt.Sprint(r.mismatches))
 	}
 	return t
 }

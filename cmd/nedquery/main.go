@@ -74,7 +74,7 @@ func main() {
 	}
 
 	corpus, err := ned.NewCorpus(gTo, *k,
-		ned.WithBackend(be), ned.WithWorkers(*workers), ned.WithShards(*shards))
+		ned.WithBackend(be), ned.WithWorkers(*workers), ned.WithShards(ned.ShardsFlag(*shards)))
 	if err != nil {
 		fatal(err)
 	}

@@ -105,11 +105,7 @@ func main() {
 	}
 
 	if *shards != 0 {
-		n := *shards
-		if n < 0 {
-			n = 0 // WithShards(<=0) means the GOMAXPROCS-derived default
-		}
-		corpus, err := ned.NewCorpus(g, *k, ned.WithShards(n))
+		corpus, err := ned.NewCorpus(g, *k, ned.WithShards(ned.ShardsFlag(*shards)))
 		if err != nil {
 			fatal(err)
 		}
@@ -142,11 +138,7 @@ func main() {
 func emitJSON(g *graph.Graph, label string, k, shards, probe int) {
 	var opts []ned.CorpusOption
 	if shards != 0 {
-		n := shards
-		if n < 0 {
-			n = 0 // WithShards(<=0) means the GOMAXPROCS-derived default
-		}
-		opts = append(opts, ned.WithShards(n))
+		opts = append(opts, ned.WithShards(ned.ShardsFlag(shards)))
 	}
 	corpus, err := ned.NewCorpus(g, k, opts...)
 	if err != nil {

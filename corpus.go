@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ned/internal/ned"
 	"ned/internal/segment"
@@ -159,6 +161,7 @@ type corpusConfig struct {
 	nodes     []NodeID
 	nodesSet  bool
 	rebuildAt float64
+	planner   bool
 	graph     *Graph // LoadCorpus only; see WithGraph
 }
 
@@ -190,6 +193,18 @@ func WithWorkers(n int) CorpusOption {
 // monolithic index.
 func WithShards(n int) CorpusOption {
 	return func(c *corpusConfig) { c.shards = n }
+}
+
+// ShardsFlag maps a CLI -shards flag value onto a WithShards argument:
+// every non-positive value (the tools document -1 and 0 as "engine
+// default") selects the GOMAXPROCS-derived default, which WithShards
+// spells as 0. The cmd/ tools share this one helper so their -shards
+// semantics cannot drift apart.
+func ShardsFlag(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // WithDirected switches the corpus to the directed NED of Equation 2:
@@ -229,6 +244,18 @@ func WithNodes(nodes []NodeID) CorpusOption {
 // does, as do other mutations targeting the same shard.
 func WithRebuildThreshold(r float64) CorpusOption {
 	return func(c *corpusConfig) { c.rebuildAt = r }
+}
+
+// WithPlanner enables or disables the cost-based query planner
+// (default on). With the planner on, each query builds an explicit
+// plan from live statistics — shard sizes, index staleness, observed
+// cascade prune rates — choosing the fan-out mode (all shards in
+// parallel, sequential largest-first with range narrowing, or a single
+// shard) and, for the tree backends, scan-vs-tree per shard.
+// WithPlanner(false) restores the unconditional all-shards fan-out;
+// answers are node-identical either way.
+func WithPlanner(on bool) CorpusOption {
+	return func(c *corpusConfig) { c.planner = on }
 }
 
 // WithGraph attaches the backing graph to a corpus restored by
@@ -285,15 +312,26 @@ type Corpus struct {
 
 	// gmu orders whole-engine transitions against one another:
 	// materialization and index builds, UpdateGraph, explicit Rebuild,
-	// and Snapshot cuts take the write side. Insert holds the read side
-	// for its whole span so the graph version cannot move underneath its
-	// out-of-lock signature extraction. Queries and Remove never touch
-	// gmu; Stats and ResetStats are entirely atomic.
+	// rebalance ticks, and Snapshot cuts take the write side. Insert
+	// holds the read side for its whole span so the graph version
+	// cannot move underneath its out-of-lock signature extraction;
+	// Remove holds it so the placement cannot be rebalanced under its
+	// shard routing. Queries never touch gmu; Stats and ResetStats are
+	// entirely atomic.
 	gmu sync.RWMutex
 
-	g      atomic.Pointer[Graph] // nil for snapshot-loaded corpora without WithGraph
-	shards []*corpusShard
-	exec   *ned.Executor // pooled workers for shard fan-out and BatchKNN
+	g atomic.Pointer[Graph] // nil for snapshot-loaded corpora without WithGraph
+
+	// tab is the atomically published shard table: the shard slots plus
+	// the placement directory routing nodes to them. Queries load it
+	// once and validate it unchanged after loading the epochs (see
+	// acquire); the rebalancer publishes successors under gmu. The
+	// slots slice only ever grows — placement indices stay stable, and
+	// a slot merged away stays behind as an empty husk until a split
+	// reuses it.
+	tab atomic.Pointer[shardTable]
+
+	exec *ned.Executor // pooled workers for shard fan-out and BatchKNN
 
 	// dict is the corpus-wide subtree-shape dictionary behind the
 	// filter–verify cascade: every signature is compiled against it —
@@ -325,13 +363,94 @@ type Corpus struct {
 
 	queries  atomic.Int64
 	rebuilds atomic.Int64
+
+	// avgSig is the mean signature size (tree nodes per item), set at
+	// materialization — the planner's unit cost for sizing the
+	// sequential-vs-parallel threshold.
+	avgSig atomic.Int64
+
+	// Planner counters: plans built per fan-out mode, and shards
+	// answered by direct scan instead of their tree index.
+	planPar    atomic.Int64
+	planSeq    atomic.Int64
+	planSingle atomic.Int64
+	planScans  atomic.Int64
+
+	// Rebalancer counters and tick state (balPrev is guarded by gmu,
+	// which every RebalanceTick holds for writing).
+	rebalances  atomic.Int64
+	shardSplits atomic.Int64
+	shardMerges atomic.Int64
+	balPrev     map[*corpusShard]balanceSnap
 }
 
-// corpusShard is one partition of the corpus: a mutation lock and the
-// atomically published current epoch.
+// shardTable pairs the shard slots with the placement directory that
+// routes nodes to them. Published atomically as one value so a reader
+// never sees a placement referring to slots it did not load.
+type shardTable struct {
+	shards []*corpusShard
+	place  *ned.Placement
+}
+
+// corpusShard is one partition of the corpus: a mutation lock, the
+// atomically published current epoch, and the contention telemetry the
+// rebalancer feeds on.
 type corpusShard struct {
 	mu    sync.Mutex // serializes mutations to this shard only
 	epoch atomic.Pointer[shardEpoch]
+
+	// Contention counters, monotone for the corpus lifetime (never
+	// reset — the rebalancer diffs successive readings, and ResetStats
+	// must not corrupt its deltas): nanoseconds mutators spent waiting
+	// for mu, mutated-node count, and bytes of epoch state cloned to
+	// publish successors.
+	lockWaitNS atomic.Int64
+	mutations  atomic.Int64
+	cloneBytes atomic.Int64
+
+	// hotRing remembers the most recently mutated nodes. Written under
+	// mu; the rebalancer reads it under gmu's write side, which excludes
+	// every mutator, so no extra synchronization is needed.
+	hotRing [64]NodeID
+	hotLen  int
+	hotPos  int
+}
+
+// lockTimed is sh.mu.Lock with the wait time accounted to the shard's
+// contention counters; the uncontended path costs one TryLock.
+func (sh *corpusShard) lockTimed() {
+	if sh.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	sh.mu.Lock()
+	sh.lockWaitNS.Add(time.Since(t0).Nanoseconds())
+}
+
+// noteMutation records a committed mutation touching the given nodes:
+// epochSize and ixLen size the clone the commit paid (the per-mutation
+// cost the rebalancer exists to shrink — a map clone plus an index
+// clone or recompile, both linear in shard size). Callers hold sh.mu.
+func (sh *corpusShard) noteMutation(nodes []NodeID, epochSize, ixLen int) {
+	sh.mutations.Add(int64(len(nodes)))
+	sh.cloneBytes.Add(int64(epochSize)*48 + int64(ixLen)*16)
+	for _, v := range nodes {
+		sh.hotRing[sh.hotPos] = v
+		sh.hotPos = (sh.hotPos + 1) % len(sh.hotRing)
+		if sh.hotLen < len(sh.hotRing) {
+			sh.hotLen++
+		}
+	}
+}
+
+// hotSet is the distinct recently mutated nodes. Callers hold gmu for
+// writing (see hotRing).
+func (sh *corpusShard) hotSet() map[NodeID]bool {
+	hot := make(map[NodeID]bool, sh.hotLen)
+	for i := 0; i < sh.hotLen; i++ {
+		hot[sh.hotRing[i]] = true
+	}
+	return hot
 }
 
 // shardEpoch is one published, immutable generation of one shard.
@@ -348,6 +467,20 @@ type shardEpoch struct {
 	members map[NodeID]bool     // pre-materialization node set; nil once byNode exists
 	byNode  map[NodeID]ned.Item // live items; nil until materialized
 	ix      ned.DynamicIndex    // nil until the index is built
+
+	// scanItems caches the node-ascending item view the planner's
+	// scan-over-items path reads, built lazily once per epoch (readers
+	// race on scanOnce; byNode is immutable by then). A clone starts
+	// with a fresh cache.
+	scanOnce  sync.Once
+	scanItems []ned.Item
+}
+
+// planScanItems is the epoch's live items in ascending node order, for
+// the planner's direct-scan path.
+func (e *shardEpoch) planScanItems() []ned.Item {
+	e.scanOnce.Do(func() { e.scanItems = sortedShardItems(e.byNode) })
+	return e.scanItems
 }
 
 // has reports whether v is indexed in this epoch.
@@ -401,18 +534,34 @@ func newShardedCorpus(k int, cfg corpusConfig, g *Graph) *Corpus {
 	if g != nil {
 		c.g.Store(g)
 	}
-	c.shards = make([]*corpusShard, cfg.shards)
-	for i := range c.shards {
-		c.shards[i] = &corpusShard{}
-		c.shards[i].epoch.Store(&shardEpoch{members: make(map[NodeID]bool)})
+	shards := make([]*corpusShard, cfg.shards)
+	for i := range shards {
+		shards[i] = &corpusShard{}
+		shards[i].epoch.Store(&shardEpoch{members: make(map[NodeID]bool)})
 	}
+	c.tab.Store(&shardTable{shards: shards, place: ned.NewHashPlacement(cfg.shards)})
 	return c
 }
 
-// shardFor returns the shard owning node v.
+// shardFor returns the shard owning node v per the current table.
+// Mutators call it under gmu (read side suffices), which excludes
+// rebalances, so the routing cannot move between the lookup and the
+// shard lock.
 func (c *Corpus) shardFor(v NodeID) *corpusShard {
-	return c.shards[ned.ShardOf(v, len(c.shards))]
+	t := c.tab.Load()
+	return t.shards[t.place.Of(v)]
 }
+
+// shardSlots returns the current table's shard slot vector.
+func (c *Corpus) shardSlots() []*corpusShard {
+	return c.tab.Load().shards
+}
+
+// HashShard is the deterministic seed placement: the shard slot node v
+// hashes to among n. It is the layout every corpus starts from (and
+// keeps, absent a rebalance); tools use it to reason about or construct
+// node colocation.
+func HashShard(v NodeID, n int) int { return ned.ShardOf(v, n) }
 
 // NewCorpus validates the configuration and returns a query engine over
 // g's nodes with neighborhood depth k. Errors are typed: ErrNilGraph,
@@ -425,7 +574,7 @@ func NewCorpus(g *Graph, k int, opts ...CorpusOption) (*Corpus, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
 	}
-	cfg := corpusConfig{backend: BackendVP, rebuildAt: defaultRebuildThreshold}
+	cfg := corpusConfig{backend: BackendVP, rebuildAt: defaultRebuildThreshold, planner: true}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -478,7 +627,9 @@ func (c *Corpus) shardWorkers() int {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	n := (w + len(c.shards) - 1) / len(c.shards)
+	// Split across the configured seed shard count (stable), not the
+	// live slot count a rebalance may have grown.
+	n := (w + c.cfg.shards - 1) / c.cfg.shards
 	if n < 1 {
 		n = 1
 	}
@@ -532,8 +683,9 @@ func (c *Corpus) materializeAllLocked() {
 		return
 	}
 	g := c.g.Load()
+	tab := c.tab.Load()
 	var nodes []NodeID
-	for _, sh := range c.shards {
+	for _, sh := range tab.shards {
 		for v := range sh.epoch.Load().members {
 			nodes = append(nodes, v)
 		}
@@ -541,11 +693,12 @@ func (c *Corpus) materializeAllLocked() {
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	items := ned.BuildItems(g, nodes, c.k, c.cfg.directed, c.cfg.workers)
 	ned.ProfileItems(items, c.dict, c.cfg.workers)
+	c.noteAvgSig(items)
 	itemOf := make(map[NodeID]ned.Item, len(items))
 	for _, it := range items {
 		itemOf[it.Node] = it
 	}
-	for _, sh := range c.shards {
+	for _, sh := range tab.shards {
 		sh.mu.Lock()
 		// Re-read under the shard lock: a concurrent Remove may have
 		// shrunk the membership since the extraction snapshot (Insert is
@@ -576,7 +729,7 @@ func (c *Corpus) buildAllLocked() {
 		return
 	}
 	c.materializeAllLocked()
-	for _, sh := range c.shards {
+	for _, sh := range c.tab.Load().shards {
 		sh.mu.Lock()
 		ep := sh.epoch.Load()
 		if ep.ix == nil {
@@ -587,19 +740,48 @@ func (c *Corpus) buildAllLocked() {
 	c.built.Store(true)
 }
 
-// acquire returns the current epoch of every shard, building lazily on
-// first use. The hot path is one atomic load per shard — no locks.
-func (c *Corpus) acquire() []*shardEpoch {
+// noteAvgSig records the mean signature size of the given items — the
+// planner's unit cost per candidate. Cheap: Size is O(1).
+func (c *Corpus) noteAvgSig(items []ned.Item) {
+	if len(items) == 0 {
+		return
+	}
+	var tot int
+	for i := range items {
+		tot += items[i].Out.Size()
+		if items[i].In != nil {
+			tot += items[i].In.Size()
+		}
+	}
+	c.avgSig.Store(int64(tot / len(items)))
+}
+
+// acquire returns the current shard table and the current epoch of
+// every slot in it, building lazily on first use. The hot path is one
+// atomic load per shard plus a table re-validation — no locks. The
+// validation closes the rebalance race: a split or merge publishes the
+// moved nodes' destination epoch BEFORE the new table and shrinks the
+// source only AFTER it, so as long as the table did not change while
+// the epochs were loaded, every live node is present in the epoch its
+// table routes it to (a node may transiently appear in two epochs —
+// the merge layer dedups). If the table moved, reload; rebalances are
+// rare and serialized, so the loop settles immediately.
+func (c *Corpus) acquire() (*shardTable, []*shardEpoch) {
 	if !c.built.Load() {
 		c.gmu.Lock()
 		c.buildAllLocked()
 		c.gmu.Unlock()
 	}
-	eps := make([]*shardEpoch, len(c.shards))
-	for i, sh := range c.shards {
-		eps[i] = sh.epoch.Load()
+	for {
+		tab := c.tab.Load()
+		eps := make([]*shardEpoch, len(tab.shards))
+		for i, sh := range tab.shards {
+			eps[i] = sh.epoch.Load()
+		}
+		if c.tab.Load() == tab {
+			return tab, eps
+		}
 	}
-	return eps
 }
 
 // indexes projects the epochs' index vector for the shard router.
@@ -657,22 +839,37 @@ func (c *Corpus) checkUnindexedNode(v NodeID) (*Graph, error) {
 // build, so an out-of-range node on a never-queried corpus errors
 // immediately instead of paying the full materialization first: indexed
 // nodes are always valid; anything else passes checkUnindexedNode.
-// Lock-free — it reads the owning shard's published epoch.
+// Lock-free — it reads the owning shard's published epoch, re-resolving
+// if a rebalance republished the table mid-read (an unvalidated lookup
+// could catch a node between its old and new shard and misreport a
+// live node as unindexed — fatal on graphless corpora).
 func (c *Corpus) checkNode(v NodeID) error {
-	if int(v) >= 0 && c.shardFor(v).epoch.Load().has(v) {
-		return nil
+	if int(v) >= 0 {
+		for {
+			t := c.tab.Load()
+			ep := t.shards[t.place.Of(v)].epoch.Load()
+			if c.tab.Load() != t {
+				continue
+			}
+			if ep.has(v) {
+				return nil
+			}
+			break
+		}
 	}
 	_, err := c.checkUnindexedNode(v)
 	return err
 }
 
-// nodeItem resolves the query item for a node against an acquired epoch
-// vector: the cached index item when the node is indexed, a fresh
-// extraction from the graph otherwise. Snapshot-loaded corpora without
-// WithGraph can only query indexed nodes.
-func (c *Corpus) nodeItem(eps []*shardEpoch, v NodeID) (ned.Item, error) {
+// nodeItem resolves the query item for a node against an acquired
+// table + epoch vector: the cached index item when the node is indexed,
+// a fresh extraction from the graph otherwise. Snapshot-loaded corpora
+// without WithGraph can only query indexed nodes. The acquire
+// validation guarantees a live node is present in the epoch its table
+// routes it to, so a miss here really is an unindexed node.
+func (c *Corpus) nodeItem(tab *shardTable, eps []*shardEpoch, v NodeID) (ned.Item, error) {
 	if int(v) >= 0 {
-		if it, ok := eps[ned.ShardOf(v, len(c.shards))].byNode[v]; ok {
+		if it, ok := eps[tab.place.Of(v)].byNode[v]; ok {
 			return it, nil
 		}
 	}
@@ -683,6 +880,95 @@ func (c *Corpus) nodeItem(eps []*shardEpoch, v NodeID) (ned.Item, error) {
 	it := ned.NewItem(g, v, c.k, c.cfg.directed)
 	ned.ProfileQueryItem(&it, c.dict)
 	return it, nil
+}
+
+// buildPlan assembles the cost-based query plan for one query (or one
+// batch) over an acquired epoch vector: live shards only, with the
+// per-shard scan-vs-tree decision for the tree backends (the scan
+// backends already are scans) and the fan-out mode chosen from total
+// size and executor width. l is the result count, 0 for range queries.
+func (c *Corpus) buildPlan(eps []*shardEpoch, l int) *ned.Plan {
+	treeBacked := c.cfg.backend == BackendVP || c.cfg.backend == BackendBK
+	var pruneRate float64
+	if treeBacked {
+		var dc, lb int64
+		for _, ep := range eps {
+			if ep.ix != nil {
+				cs := ep.ix.Counters()
+				dc += cs.DistanceCalls
+				lb += cs.LowerBoundPrunes
+			}
+		}
+		if dc+lb > 0 {
+			pruneRate = float64(lb) / float64(dc+lb)
+		}
+	}
+	live := make([]ned.PlanShard, 0, len(eps))
+	for _, ep := range eps {
+		n := ep.size()
+		if n == 0 {
+			continue
+		}
+		ps := ned.PlanShard{Ix: ep.ix, N: n}
+		if treeBacked {
+			st, tt := ep.ix.Stale()
+			var stale float64
+			if tt > 0 {
+				stale = float64(st) / float64(tt)
+			}
+			if ned.UseScanOverTree(n, l, stale, pruneRate) {
+				ps.Scan = ep.planScanItems()
+			}
+		}
+		live = append(live, ps)
+	}
+	p := ned.BuildPlan(ned.PlanInput{Shards: live, Workers: c.exec.Workers(), L: l, SeqMax: c.seqMax()})
+	switch p.Mode {
+	case ned.PlanParallel:
+		c.planPar.Add(1)
+	case ned.PlanSequential:
+		c.planSeq.Add(1)
+	default:
+		c.planSingle.Add(1)
+	}
+	if s := p.Scans(); s > 0 {
+		c.planScans.Add(int64(s))
+	}
+	return p
+}
+
+// seqMax is the total-corpus-size threshold below which the planner
+// prefers a sequential shard visit over the parallel fan-out, scaled
+// by the mean signature size: the bigger each candidate comparison,
+// the sooner parallelism pays for its dispatch overhead.
+func (c *Corpus) seqMax() int {
+	avg := c.avgSig.Load()
+	if avg < 16 {
+		avg = 16
+	}
+	n := int(1024 * 64 / avg)
+	if n < 128 {
+		n = 128
+	}
+	return n
+}
+
+// runKNN answers an already-validated, already-profiled KNN query over
+// acquired epochs: through a cost-based plan by default, through the
+// unconditional all-shards fan-out under WithPlanner(false).
+func (c *Corpus) runKNN(ctx context.Context, eps []*shardEpoch, q ned.Item, l int) ([]Neighbor, error) {
+	if !c.cfg.planner {
+		return ned.FanKNN(ctx, c.exec, indexes(eps), q, l)
+	}
+	return c.buildPlan(eps, l).KNN(ctx, c.exec, q, l)
+}
+
+// runRange is runKNN for range queries.
+func (c *Corpus) runRange(ctx context.Context, eps []*shardEpoch, q ned.Item, r int) ([]Neighbor, error) {
+	if !c.cfg.planner {
+		return ned.FanRange(ctx, c.exec, indexes(eps), q, r)
+	}
+	return c.buildPlan(eps, 0).Range(ctx, c.exec, q, r)
 }
 
 // KNN returns the l indexed nodes most NED-similar to node v of the
@@ -700,13 +986,13 @@ func (c *Corpus) KNN(ctx context.Context, v NodeID, l int) ([]Neighbor, error) {
 	if err := c.checkNode(v); err != nil {
 		return nil, err
 	}
-	eps := c.acquire()
-	q, err := c.nodeItem(eps, v)
+	tab, eps := c.acquire()
+	q, err := c.nodeItem(tab, eps, v)
 	if err != nil {
 		return nil, err
 	}
 	c.queries.Add(1)
-	return ned.FanKNN(ctx, c.exec, indexes(eps), q, l)
+	return c.runKNN(ctx, eps, q, l)
 }
 
 // KNNSignature is KNN for an external query signature — typically a
@@ -723,10 +1009,10 @@ func (c *Corpus) KNNSignature(ctx context.Context, sig Signature, l int) ([]Neig
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	eps := c.acquire()
+	_, eps := c.acquire()
 	c.profileQuery(&q)
 	c.queries.Add(1)
-	return ned.FanKNN(ctx, c.exec, indexes(eps), q, l)
+	return c.runKNN(ctx, eps, q, l)
 }
 
 // Range returns every indexed node within NED distance r of the query
@@ -742,10 +1028,10 @@ func (c *Corpus) Range(ctx context.Context, sig Signature, r int) ([]Neighbor, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	eps := c.acquire()
+	_, eps := c.acquire()
 	c.profileQuery(&q)
 	c.queries.Add(1)
-	return ned.FanRange(ctx, c.exec, indexes(eps), q, r)
+	return c.runRange(ctx, eps, q, r)
 }
 
 // NearestSet returns every indexed node at the minimum NED distance
@@ -760,22 +1046,21 @@ func (c *Corpus) NearestSet(ctx context.Context, sig Signature) ([]Neighbor, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	eps := c.acquire()
+	_, eps := c.acquire()
 	c.profileQuery(&q)
-	ixs := indexes(eps)
 	n := 0
-	for _, ix := range ixs {
-		n += ix.Len()
+	for _, ep := range eps {
+		n += ep.size()
 	}
 	if n == 0 {
 		return nil, ctx.Err()
 	}
 	c.queries.Add(1)
-	best, err := ned.FanKNN(ctx, c.exec, ixs, q, 1)
+	best, err := c.runKNN(ctx, eps, q, 1)
 	if err != nil {
 		return nil, err
 	}
-	all, err := ned.FanRange(ctx, c.exec, ixs, q, best[0].Dist)
+	all, err := c.runRange(ctx, eps, q, best[0].Dist)
 	if err != nil {
 		return nil, err
 	}
@@ -818,12 +1103,21 @@ func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Nei
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	eps := c.acquire()
+	_, eps := c.acquire()
 	for i := range qs {
 		c.profileQuery(&qs[i])
 	}
-	ixs := indexes(eps)
 	c.queries.Add(int64(len(sigs)))
+	// One plan serves the whole batch: the statistics that shape it do
+	// not move meaningfully within one call, and per-query planning
+	// would pay the live-shard walk len(sigs) times.
+	var plan *ned.Plan
+	var ixs []ned.Index
+	if c.cfg.planner {
+		plan = c.buildPlan(eps, l)
+	} else {
+		ixs = indexes(eps)
+	}
 	// The linear backend already spreads each scan across the worker
 	// pool (and the shard fan-out multiplies that); batching on top
 	// would oversubscribe, so batch sequentially there and let each
@@ -835,7 +1129,11 @@ func (c *Corpus) BatchKNN(ctx context.Context, sigs []Signature, l int) ([][]Nei
 	results := make([][]Neighbor, len(sigs))
 	errs := make([]error, len(sigs))
 	if err := c.exec.Do(ctx, len(sigs), batchWorkers, func(i int) {
-		results[i], errs[i] = ned.FanKNN(ctx, c.exec, ixs, qs[i], l)
+		if plan != nil {
+			results[i], errs[i] = plan.KNN(ctx, c.exec, qs[i], l)
+		} else {
+			results[i], errs[i] = ned.FanKNN(ctx, c.exec, ixs, qs[i], l)
+		}
 	}); err != nil {
 		return nil, err
 	}
@@ -872,9 +1170,43 @@ type CorpusStats struct {
 	// Built reports whether the indexes have been materialized yet.
 	Built bool `json:"built"`
 
-	// ShardNodes is the indexed node count per shard — the partition
-	// balance the splitmix hash produces for this node set.
+	// ShardNodes is the indexed node count per shard slot — the
+	// partition balance of the current placement (the splitmix hash,
+	// until a rebalance edits it).
 	ShardNodes []int `json:"shard_nodes"`
+
+	// ShardLockWaitNS, ShardMutations, and ShardCloneBytes are the
+	// per-shard-slot contention telemetry the rebalancer feeds on:
+	// nanoseconds mutators spent waiting on the shard write lock, nodes
+	// mutated, and bytes of epoch state cloned publishing successors.
+	// Monotone for the corpus lifetime — ResetStats leaves them alone
+	// so the rebalancer's deltas stay truthful.
+	ShardLockWaitNS []int64 `json:"shard_lock_wait_ns"`
+	ShardMutations  []int64 `json:"shard_mutations"`
+	ShardCloneBytes []int64 `json:"shard_clone_bytes"`
+
+	// PlacementBase is the hash domain of the placement directory (the
+	// seed shard count); PlacementOverrides counts node-level moves the
+	// rebalancer has layered on top of the hash. 0 overrides with base
+	// == shards means the layout is still the blind hash.
+	PlacementBase      int `json:"placement_base"`
+	PlacementOverrides int `json:"placement_overrides"`
+
+	// Rebalances counts completed rebalancer ticks that changed the
+	// layout; ShardSplits and ShardMerges break them down.
+	Rebalances  int64 `json:"rebalances"`
+	ShardSplits int64 `json:"shard_splits"`
+	ShardMerges int64 `json:"shard_merges"`
+
+	// Planner reports whether the cost-based query planner is on; the
+	// Plan* counters count plans built per fan-out mode (a BatchKNN
+	// plans once per batch) and shards answered by direct scan instead
+	// of their tree index.
+	Planner        bool  `json:"planner"`
+	PlanParallel   int64 `json:"plan_parallel"`
+	PlanSequential int64 `json:"plan_sequential"`
+	PlanSingle     int64 `json:"plan_single"`
+	PlanScans      int64 `json:"plan_scans"`
 
 	// Queries counts queries served (BatchKNN counts each signature).
 	Queries int64 `json:"queries"`
@@ -926,34 +1258,69 @@ type CorpusStats struct {
 	// appends (0 for in-place backends and freshly built indexes). See
 	// WithRebuildThreshold.
 	StaleRatio float64 `json:"stale_ratio"`
+
+	// SizeHist and DepthHist profile the indexed signatures, computed
+	// on demand from the live items (null until materialized):
+	// SizeHist[i] counts items whose total signature size (tree nodes,
+	// both trees when directed) has bit length i — i.e. lands in
+	// [2^(i-1), 2^i) — and DepthHist[d] counts items whose out-tree
+	// height is d (bounded by k). The planner's cost inputs, exported
+	// for inspection.
+	SizeHist  []int64 `json:"size_hist"`
+	DepthHist []int64 `json:"depth_hist"`
 }
 
 // Stats reports the corpus configuration and serving counters. Safe to
 // call concurrently with queries and mutations — it reads each shard's
 // published epoch and atomic counters without locking.
 func (c *Corpus) Stats() CorpusStats {
+	tab := c.tab.Load()
 	s := CorpusStats{
-		Backend:    c.cfg.backend,
-		K:          c.k,
-		Directed:   c.cfg.directed,
-		Workers:    c.cfg.workers,
-		Shards:     len(c.shards),
-		ShardNodes: make([]int, len(c.shards)),
-		Built:      c.built.Load(),
-		Queries:    c.queries.Load(),
-		Rebuilds:   c.rebuilds.Load(),
+		Backend:            c.cfg.backend,
+		K:                  c.k,
+		Directed:           c.cfg.directed,
+		Workers:            c.cfg.workers,
+		Shards:             len(tab.shards),
+		ShardNodes:         make([]int, len(tab.shards)),
+		ShardLockWaitNS:    make([]int64, len(tab.shards)),
+		ShardMutations:     make([]int64, len(tab.shards)),
+		ShardCloneBytes:    make([]int64, len(tab.shards)),
+		PlacementBase:      tab.place.Base,
+		PlacementOverrides: len(tab.place.Moves),
+		Rebalances:         c.rebalances.Load(),
+		ShardSplits:        c.shardSplits.Load(),
+		ShardMerges:        c.shardMerges.Load(),
+		Planner:            c.cfg.planner,
+		PlanParallel:       c.planPar.Load(),
+		PlanSequential:     c.planSeq.Load(),
+		PlanSingle:         c.planSingle.Load(),
+		PlanScans:          c.planScans.Load(),
+		Built:              c.built.Load(),
+		Queries:            c.queries.Load(),
+		Rebuilds:           c.rebuilds.Load(),
 	}
 	var counters ned.Counters
 	var stale, total int
-	for i, sh := range c.shards {
+	for i, sh := range tab.shards {
 		ep := sh.epoch.Load()
 		s.ShardNodes[i] = ep.size()
 		s.Nodes += ep.size()
+		s.ShardLockWaitNS[i] = sh.lockWaitNS.Load()
+		s.ShardMutations[i] = sh.mutations.Load()
+		s.ShardCloneBytes[i] = sh.cloneBytes.Load()
 		if ep.ix != nil {
 			counters = counters.Add(ep.ix.Counters())
 			st, tt := ep.ix.Stale()
 			stale += st
 			total += tt
+		}
+		for _, it := range ep.byNode {
+			size := it.Out.Size()
+			if it.In != nil {
+				size += it.In.Size()
+			}
+			s.SizeHist = bumpHist(s.SizeHist, bits.Len(uint(size)))
+			s.DepthHist = bumpHist(s.DepthHist, it.Out.Height())
 		}
 	}
 	s.DistanceCalls = counters.DistanceCalls
@@ -972,13 +1339,30 @@ func (c *Corpus) Stats() CorpusStats {
 	return s
 }
 
-// ResetStats zeroes the query and distance counters. Each shard's
-// accumulator is shared by every epoch of that shard, so the reset
-// covers retired generations and epochs still serving in-flight
-// queries; like Stats, it takes no locks.
+// bumpHist increments histogram bucket i, growing the slice to reach
+// it; histograms stay as short as their highest occupied bucket.
+func bumpHist(h []int64, i int) []int64 {
+	for len(h) <= i {
+		h = append(h, 0)
+	}
+	h[i]++
+	return h
+}
+
+// ResetStats zeroes the query, plan, and distance counters. Each
+// shard's accumulator is shared by every epoch of that shard, so the
+// reset covers retired generations and epochs still serving in-flight
+// queries; like Stats, it takes no locks. The per-shard contention
+// counters (lock wait, mutations, clone bytes) are deliberately NOT
+// reset: the rebalancer differences successive readings, and a reset
+// would fabricate negative load.
 func (c *Corpus) ResetStats() {
 	c.queries.Store(0)
-	for _, sh := range c.shards {
+	c.planPar.Store(0)
+	c.planSeq.Store(0)
+	c.planSingle.Store(0)
+	c.planScans.Store(0)
+	for _, sh := range c.tab.Load().shards {
 		if ep := sh.epoch.Load(); ep.ix != nil {
 			ep.ix.ResetStats()
 		}

@@ -77,12 +77,14 @@ func (c *Corpus) Insert(nodes ...NodeID) error {
 			itemOf[it.Node] = it
 		}
 	}
-	for si, vs := range groupByShard(fresh, len(c.shards)) {
-		sh := c.shards[si]
-		sh.mu.Lock()
+	tab := c.tab.Load() // stable under gmu: rebalances hold the write side
+	for si, vs := range groupByShard(fresh, tab.place) {
+		sh := tab.shards[si]
+		sh.lockTimed()
 		ep := sh.epoch.Load()
 		ne := ep.clone()
 		var added []ned.Item
+		var addedNodes []NodeID
 		for _, v := range vs {
 			if ne.has(v) { // another Insert won the race for this node
 				continue
@@ -95,6 +97,7 @@ func (c *Corpus) Insert(nodes ...NodeID) error {
 				}
 				ne.byNode[v] = it
 				added = append(added, it)
+				addedNodes = append(addedNodes, v)
 			} else {
 				ne.members[v] = true
 			}
@@ -106,6 +109,9 @@ func (c *Corpus) Insert(nodes ...NodeID) error {
 			c.maybeRebuildShard(ne)
 		}
 		err := c.commitShard(sh, ne, added, nil)
+		if err == nil && len(addedNodes) > 0 {
+			sh.noteMutation(addedNodes, ne.size(), ixLen(ne.ix))
+		}
 		sh.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("ned: insert: %w", err)
@@ -114,14 +120,23 @@ func (c *Corpus) Insert(nodes ...NodeID) error {
 	return nil
 }
 
-// groupByShard buckets a node batch by owning shard.
-func groupByShard(nodes []NodeID, shards int) map[int][]NodeID {
+// groupByShard buckets a node batch by owning shard slot under the
+// given placement.
+func groupByShard(nodes []NodeID, place *ned.Placement) map[int][]NodeID {
 	out := make(map[int][]NodeID)
 	for _, v := range nodes {
-		si := ned.ShardOf(v, shards)
+		si := place.Of(v)
 		out[si] = append(out[si], v)
 	}
 	return out
+}
+
+// ixLen is ix.Len() tolerating the pre-build nil index.
+func ixLen(ix ned.DynamicIndex) int {
+	if ix == nil {
+		return 0
+	}
+	return ix.Len()
 }
 
 // Remove deletes nodes from the indexed set. Nodes that are not
@@ -130,11 +145,16 @@ func groupByShard(nodes []NodeID, shards int) map[int][]NodeID {
 // shard publishes a tombstoned (metric trees) or compacted (scan
 // backends) successor epoch; queries never wait, and shards the batch
 // does not touch are never locked. A batch spanning shards commits
-// shard by shard.
+// shard by shard. Remove holds the engine's read gate so the placement
+// cannot be rebalanced out from under its shard routing; it still runs
+// concurrently with queries, Inserts, and other Removes.
 func (c *Corpus) Remove(nodes ...NodeID) error {
-	for si, vs := range groupByShard(nodes, len(c.shards)) {
-		sh := c.shards[si]
-		sh.mu.Lock()
+	c.gmu.RLock()
+	defer c.gmu.RUnlock()
+	tab := c.tab.Load()
+	for si, vs := range groupByShard(nodes, tab.place) {
+		sh := tab.shards[si]
+		sh.lockTimed()
 		ep := sh.epoch.Load()
 		var gone []NodeID
 		for _, v := range vs {
@@ -158,6 +178,9 @@ func (c *Corpus) Remove(nodes ...NodeID) error {
 			c.maybeRebuildShard(ne)
 		}
 		err := c.commitShard(sh, ne, nil, gone)
+		if err == nil && ne.byNode != nil {
+			sh.noteMutation(gone, ne.size(), ixLen(ne.ix))
+		}
 		sh.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("ned: remove: %w", err)
@@ -179,7 +202,7 @@ func (c *Corpus) Rebuild() {
 		c.buildAllLocked()
 		return
 	}
-	for _, sh := range c.shards {
+	for _, sh := range c.tab.Load().shards {
 		sh.mu.Lock()
 		ep := sh.epoch.Load()
 		sh.epoch.Store(&shardEpoch{byNode: ep.byNode, ix: c.rebuiltShardIndex(ep)})
@@ -228,7 +251,7 @@ func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
 		// Nothing extracted yet: the lazy build reads whatever graph is
 		// current, so the update is just a swap plus a membership shrink.
 		c.g.Store(g)
-		for _, sh := range c.shards {
+		for _, sh := range c.tab.Load().shards {
 			sh.mu.Lock()
 			ep := sh.epoch.Load()
 			ne := ep.clone()
@@ -259,13 +282,14 @@ func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
 	}
 	items := ned.BuildItems(g, refresh, c.k, c.cfg.directed, c.cfg.workers)
 	ned.ProfileItems(items, c.dict, c.cfg.workers)
+	tab := c.tab.Load()
 	refreshByShard := make(map[int][]ned.Item)
 	for _, it := range items {
-		si := ned.ShardOf(it.Node, len(c.shards))
+		si := tab.place.Of(it.Node)
 		refreshByShard[si] = append(refreshByShard[si], it)
 	}
 
-	for si, sh := range c.shards {
+	for si, sh := range tab.shards {
 		sh.mu.Lock()
 		ep := sh.epoch.Load()
 		ne := ep.clone()
@@ -301,6 +325,9 @@ func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
 			c.maybeRebuildShard(ne)
 		}
 		err := c.commitShard(sh, ne, kept, gone)
+		if err == nil {
+			sh.noteMutation(append(append([]NodeID(nil), gone...), keptNodes...), ne.size(), ixLen(ne.ix))
+		}
 		sh.mu.Unlock()
 		if err != nil {
 			return refreshed, fmt.Errorf("ned: graph update: %w", err)

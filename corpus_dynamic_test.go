@@ -17,7 +17,7 @@ import (
 // for white-box assertions on signature reuse across graph updates.
 func liveItems(c *Corpus) map[NodeID]ned.Item {
 	out := make(map[NodeID]ned.Item)
-	for _, sh := range c.shards {
+	for _, sh := range c.shardSlots() {
 		for v, it := range sh.epoch.Load().byNode {
 			out[v] = it
 		}

@@ -17,7 +17,7 @@ import (
 // any query triggers a lazy build.
 func restoredShards(c *Corpus) int {
 	n := 0
-	for _, sh := range c.shards {
+	for _, sh := range c.shardSlots() {
 		if sh.epoch.Load().ix != nil {
 			n++
 		}
@@ -65,18 +65,18 @@ func TestSegmentSnapshotRestoresVPIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := restoredShards(loaded); n != len(loaded.shards) {
-		t.Fatalf("warm segment restored %d of %d shard indexes", n, len(loaded.shards))
+	if n := restoredShards(loaded); n != len(loaded.shardSlots()) {
+		t.Fatalf("warm segment restored %d of %d shard indexes", n, len(loaded.shardSlots()))
 	}
 
 	// The restored trees are the originals, structurally: same preorder
 	// dump, node for node, radius for radius.
-	for si, sh := range c.shards {
+	for si, sh := range c.shardSlots() {
 		wantNodes, wantTail, ok := ned.ExportVPBackend(sh.epoch.Load().ix)
 		if !ok {
 			t.Fatalf("shard %d: original backend not exportable", si)
 		}
-		gotNodes, gotTail, ok := ned.ExportVPBackend(loaded.shards[si].epoch.Load().ix)
+		gotNodes, gotTail, ok := ned.ExportVPBackend(loaded.shardSlots()[si].epoch.Load().ix)
 		if !ok {
 			t.Fatalf("shard %d: restored backend not exportable", si)
 		}
@@ -171,10 +171,10 @@ func TestSegmentIndexSkipsTombstonedShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := restoredShards(loaded); n == 0 || n == len(loaded.shards) {
+	if n := restoredShards(loaded); n == 0 || n == len(loaded.shardSlots()) {
 		// At least one shard is tombstone-free (restored) and at least
 		// one is tombstoned (withheld) with this node set.
-		t.Fatalf("restored %d of %d shard indexes, want a strict subset", n, len(loaded.shards))
+		t.Fatalf("restored %d of %d shard indexes, want a strict subset", n, len(loaded.shardSlots()))
 	}
 
 	gq := randomGraph(50, 100, 941)
@@ -213,7 +213,7 @@ func TestSegmentIndexInconsistentDumpRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	eps := c.snapshotEpochs()
+	_, eps := c.snapshotEpochs()
 	shardItems := make([][]ned.Item, len(eps))
 	for i, ep := range eps {
 		shardItems[i] = sortedShardItems(ep.byNode)
@@ -283,8 +283,8 @@ func TestDurableCheckpointCarriesVPIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := restoredShards(re); n != len(re.shards) {
-		t.Fatalf("checkpoint restored %d of %d shard indexes", n, len(re.shards))
+	if n := restoredShards(re); n != len(re.shardSlots()) {
+		t.Fatalf("checkpoint restored %d of %d shard indexes", n, len(re.shardSlots()))
 	}
 
 	gq := randomGraph(50, 100, 961)

@@ -14,11 +14,13 @@ import (
 // signature, mutations included — to w as a versioned "# ned corpus v2"
 // sharded manifest (internal/ned/persist): one section per shard,
 // node-ascending within each, so LoadCorpus can restore it without
-// re-extracting a single BFS tree. Shard placement is a pure hash of
-// the node ID, so equal corpora with equal shard counts are
-// byte-identical on disk. Snapshotting a corpus that has never been
-// queried materializes its signatures first (but not the index
-// structures, which LoadCorpus rebuilds lazily anyway).
+// re-extracting a single BFS tree. While the placement is still the
+// hash seed layout the header stays "v2" and equal corpora with equal
+// shard counts are byte-identical on disk; a rebalanced corpus writes
+// a "v3" header carrying its placement directory so it restores into
+// the same layout. Snapshotting a corpus that has never been queried
+// materializes its signatures first (but not the index structures,
+// which LoadCorpus rebuilds lazily anyway).
 //
 // The cut is consistent per shard: the epochs of all shards are read
 // in one pass under the engine's write gate, then serialized outside
@@ -27,13 +29,14 @@ import (
 // signature files: ReadSignatures parses them (section markers are
 // comments), and LoadCorpus parses legacy signature files in turn.
 func (c *Corpus) Snapshot(w io.Writer) error {
-	eps := c.snapshotEpochs()
+	tab, eps := c.snapshotEpochs()
 	meta := ned.CorpusMeta{
 		Version:  2,
 		Backend:  c.cfg.backend.String(),
 		K:        c.k,
 		Directed: c.cfg.directed,
-		Shards:   len(c.shards),
+		Shards:   len(tab.shards),
+		Place:    tab.place,
 	}
 	shardItems := make([][]ned.Item, len(eps))
 	for i, ep := range eps {
@@ -56,13 +59,13 @@ func (c *Corpus) Snapshot(w io.Writer) error {
 // differ on disk, because the dictionary records shapes in interning
 // order and parallel profiling interns in scheduling order.
 func (c *Corpus) SnapshotSegment(w io.Writer) error {
-	eps := c.snapshotEpochs()
+	tab, eps := c.snapshotEpochs()
 	g := c.g.Load()
 	shardItems := make([][]ned.Item, len(eps))
 	for i, ep := range eps {
 		shardItems[i] = sortedShardItems(ep.byNode)
 	}
-	meta := segment.Meta{Backend: c.cfg.backend.String(), K: c.k, Directed: c.cfg.directed}
+	meta := segment.Meta{Backend: c.cfg.backend.String(), K: c.k, Directed: c.cfg.directed, Place: tab.place}
 	return segment.Write(w, meta, c.dict, g, shardItems, shardIndexDumps(eps))
 }
 
@@ -107,17 +110,19 @@ func shardIndexDumps(eps []*shardEpoch) []segment.VPIndex {
 	return dumps
 }
 
-// snapshotEpochs materializes (if needed) and cuts a consistent epoch
-// vector under the engine's write gate.
-func (c *Corpus) snapshotEpochs() []*shardEpoch {
+// snapshotEpochs materializes (if needed) and cuts a consistent
+// table + epoch vector under the engine's write gate (which also
+// excludes rebalances, so the table and epochs agree).
+func (c *Corpus) snapshotEpochs() (*shardTable, []*shardEpoch) {
 	c.gmu.Lock()
 	defer c.gmu.Unlock()
 	c.materializeAllLocked()
-	eps := make([]*shardEpoch, len(c.shards))
-	for i, sh := range c.shards {
+	tab := c.tab.Load()
+	eps := make([]*shardEpoch, len(tab.shards))
+	for i, sh := range tab.shards {
 		eps[i] = sh.epoch.Load()
 	}
-	return eps
+	return tab, eps
 }
 
 // LoadCorpus restores a corpus from a Snapshot or SnapshotSegment
@@ -160,7 +165,7 @@ func loadSegmentCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
-	cfg := corpusConfig{rebuildAt: defaultRebuildThreshold, directed: meta.Directed}
+	cfg := corpusConfig{rebuildAt: defaultRebuildThreshold, directed: meta.Directed, planner: true}
 	if cfg.backend, err = ParseBackend(meta.Backend); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
@@ -182,6 +187,7 @@ func loadSegmentCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	// against its label IDs. The fresh interner newShardedCorpus made
 	// has seen nothing and is safely replaced.
 	c.dict = dict
+	installPlacement(c, meta.Place)
 	installLoadedItems(c, items)
 	// Restore persisted VP indexes — but only when they still describe
 	// this corpus: the engine must run the VP backend (WithBackend may
@@ -210,7 +216,7 @@ func restoreShardIndexes(c *Corpus, indexes []segment.VPIndex) error {
 		if len(ix.Nodes) == 0 && len(ix.Tail) == 0 {
 			continue
 		}
-		ep := c.shards[si].epoch.Load()
+		ep := c.tab.Load().shards[si].epoch.Load()
 		if got := len(ix.Nodes) + len(ix.Tail); got != len(ep.byNode) {
 			return fmt.Errorf("segment: shard %d index references %d items, shard holds %d", si, got, len(ep.byNode))
 		}
@@ -258,7 +264,7 @@ func loadTextCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
-	cfg := corpusConfig{backend: BackendVP, rebuildAt: defaultRebuildThreshold}
+	cfg := corpusConfig{backend: BackendVP, rebuildAt: defaultRebuildThreshold, planner: true}
 	k := meta.K
 	if meta.Version >= 1 {
 		if cfg.backend, err = ParseBackend(meta.Backend); err != nil {
@@ -293,19 +299,37 @@ func loadTextCorpus(r io.Reader, opts ...CorpusOption) (*Corpus, error) {
 	// dictionary so restored corpora serve the same filter cascade as
 	// freshly built ones.
 	ned.ProfileItems(items, c.dict, cfg.workers)
+	installPlacement(c, meta.Place)
 	installLoadedItems(c, items)
 	return c, nil
+}
+
+// installPlacement adopts a snapshot-recorded placement directory into
+// the (not yet shared) corpus. Dropped silently when the restored
+// engine's shard count differs from the recorded layout's — WithShards
+// overrides the placement just as it always overrode the recorded
+// count, and the items rehash into the seed layout instead.
+func installPlacement(c *Corpus, place *ned.Placement) {
+	if place == nil || place.Trivial() {
+		return
+	}
+	tab := c.tab.Load()
+	if place.Shards != len(tab.shards) {
+		return
+	}
+	c.tab.Store(&shardTable{shards: tab.shards, place: place})
 }
 
 // applyLoadOptions overlays user options onto the snapshot-recorded
 // configuration, returning the WithGraph graph (nil if none).
 func applyLoadOptions(cfg *corpusConfig, metaShards int, opts []CorpusOption) *Graph {
-	userCfg := corpusConfig{backend: cfg.backend, rebuildAt: cfg.rebuildAt}
+	userCfg := corpusConfig{backend: cfg.backend, rebuildAt: cfg.rebuildAt, planner: true}
 	for _, opt := range opts {
 		opt(&userCfg)
 	}
 	cfg.backend = userCfg.backend
 	cfg.workers = userCfg.workers
+	cfg.planner = userCfg.planner
 	cfg.rebuildAt = userCfg.rebuildAt
 	if cfg.rebuildAt <= 0 {
 		cfg.rebuildAt = defaultRebuildThreshold
@@ -343,11 +367,12 @@ func validateLoadedGraph(cfg corpusConfig, g *Graph, items []ned.Item) error {
 }
 
 // installLoadedItems seeds every shard with a materialized item table
-// and files the restored items by node hash.
+// and files the restored items through the placement table (the hash
+// seed layout unless installPlacement adopted a recorded directory).
 func installLoadedItems(c *Corpus, items []ned.Item) {
 	// The snapshot's items arrive pre-materialized: give every shard a
 	// non-nil item table (its keys are the membership) up front.
-	for _, sh := range c.shards {
+	for _, sh := range c.tab.Load().shards {
 		ep := sh.epoch.Load()
 		ep.members = nil
 		ep.byNode = make(map[NodeID]ned.Item)
@@ -355,5 +380,6 @@ func installLoadedItems(c *Corpus, items []ned.Item) {
 	for _, it := range items {
 		c.shardFor(it.Node).epoch.Load().byNode[it.Node] = it
 	}
+	c.noteAvgSig(items)
 	c.materialized.Store(true)
 }

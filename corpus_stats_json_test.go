@@ -21,6 +21,9 @@ func TestCorpusStatsJSONSchema(t *testing.T) {
 		Shards:           2,
 		Built:            true,
 		ShardNodes:       []int{60, 40},
+		ShardLockWaitNS:  []int64{150, 25},
+		ShardMutations:   []int64{9, 1},
+		ShardCloneBytes:  []int64{4096, 512},
 		Queries:          7,
 		DistanceCalls:    1234,
 		EarlyExits:       55,
@@ -29,6 +32,18 @@ func TestCorpusStatsJSONSchema(t *testing.T) {
 		PaddingPrunes:    15,
 		LabelPrunes:      5,
 
+		PlacementBase:      2,
+		PlacementOverrides: 3,
+		Rebalances:         1,
+		ShardSplits:        1,
+		ShardMerges:        0,
+
+		Planner:        true,
+		PlanParallel:   4,
+		PlanSequential: 2,
+		PlanSingle:     1,
+		PlanScans:      3,
+
 		BlockCandidates:       500,
 		BlockSizeSurvivors:    80,
 		BlockPaddingSurvivors: 60,
@@ -36,18 +51,26 @@ func TestCorpusStatsJSONSchema(t *testing.T) {
 
 		Rebuilds:   2,
 		StaleRatio: 0.125,
+		SizeHist:   []int64{0, 4, 96},
+		DepthHist:  []int64{1, 99},
 	}
 	buf, err := json.Marshal(in)
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
 	const want = `{"backend":"bk","k":3,"directed":true,"workers":4,"nodes":100,` +
-		`"shards":2,"built":true,"shard_nodes":[60,40],"queries":7,` +
+		`"shards":2,"built":true,"shard_nodes":[60,40],` +
+		`"shard_lock_wait_ns":[150,25],"shard_mutations":[9,1],` +
+		`"shard_clone_bytes":[4096,512],"placement_base":2,` +
+		`"placement_overrides":3,"rebalances":1,"shard_splits":1,` +
+		`"shard_merges":0,"planner":true,"plan_parallel":4,` +
+		`"plan_sequential":2,"plan_single":1,"plan_scans":3,"queries":7,` +
 		`"distance_calls":1234,"early_exits":55,"lower_bound_prunes":30,` +
 		`"size_prunes":10,"padding_prunes":15,"label_prunes":5,` +
 		`"block_candidates":500,"block_size_survivors":80,` +
 		`"block_padding_survivors":60,"block_label_survivors":40,` +
-		`"rebuilds":2,"stale_ratio":0.125}`
+		`"rebuilds":2,"stale_ratio":0.125,"size_hist":[0,4,96],` +
+		`"depth_hist":[1,99]}`
 	if string(buf) != want {
 		t.Errorf("CorpusStats JSON schema changed:\n got %s\nwant %s", buf, want)
 	}

@@ -247,8 +247,9 @@ func (c *Corpus) checkpointLocked() error {
 // merely also appears in the checkpoint, which replay tolerates
 // (records are absolute and idempotent).
 func (c *Corpus) writeCheckpointFile(seq int64) error {
-	eps := make([]*shardEpoch, len(c.shards))
-	for i, sh := range c.shards {
+	tab := c.tab.Load()
+	eps := make([]*shardEpoch, len(tab.shards))
+	for i, sh := range tab.shards {
 		eps[i] = sh.epoch.Load()
 	}
 	g := c.g.Load()
@@ -256,7 +257,7 @@ func (c *Corpus) writeCheckpointFile(seq int64) error {
 	for i, ep := range eps {
 		shardItems[i] = sortedShardItems(ep.byNode)
 	}
-	meta := segment.Meta{Backend: c.cfg.backend.String(), K: c.k, Directed: c.cfg.directed}
+	meta := segment.Meta{Backend: c.cfg.backend.String(), K: c.k, Directed: c.cfg.directed, Place: tab.place}
 	path := segment.CheckpointPath(c.durableDir, seq)
 	if err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
 		return segment.Write(w, meta, c.dict, g, shardItems, shardIndexDumps(eps))

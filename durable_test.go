@@ -131,8 +131,8 @@ func TestSegmentLoadOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c2.cfg.backend != BackendBK || len(c2.shards) != 3 {
-		t.Fatalf("options ignored: backend %v, %d shards", c2.cfg.backend, len(c2.shards))
+	if c2.cfg.backend != BackendBK || len(c2.shardSlots()) != 3 {
+		t.Fatalf("options ignored: backend %v, %d shards", c2.cfg.backend, len(c2.shardSlots()))
 	}
 	gQuery := randomGraph(40, 80, 311)
 	if got, want := queryFingerprint(t, c2, gQuery, 2), queryFingerprint(t, c, gQuery, 2); got != want {

@@ -857,21 +857,29 @@ func (b *prunedBackend) KNN(ctx context.Context, query Item, l int) ([]Neighbor,
 }
 
 func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbor, error) {
+	return scanRange(ctx, query, b.items, b.block, r, b.counters)
+}
+
+// scanRange is the cascade-pruned range scan shared by the pruned
+// backend and the planner's scan-over-epoch-items path (which passes a
+// nil block and takes the scalar cascade). Results are exact and
+// canonically sorted.
+func scanRange(ctx context.Context, query Item, items []Item, blk *profileBlock, r int, counters *counterSet) ([]Neighbor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	comp := tedComputers.Get().(*ted.Computer)
 	defer tedComputers.Put(comp)
 	var out []Neighbor
-	if survivors, ok := rangeBlockSurvivors(query, b.items, b.block, r, b.counters); ok {
+	if survivors, ok := rangeBlockSurvivors(query, items, blk, r, counters); ok {
 		for i, j := range survivors {
 			if i%cancelCheckStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 			}
-			it := b.items[j]
-			d, o := verifyDistanceAtMost(comp, query, it, r, b.counters)
+			it := items[j]
+			d, o := verifyDistanceAtMost(comp, query, it, r, counters)
 			if o == ted.OutcomeExact && d <= r {
 				out = append(out, Neighbor{Node: it.Node, Dist: d})
 			}
@@ -879,13 +887,13 @@ func (b *prunedBackend) Range(ctx context.Context, query Item, r int) ([]Neighbo
 		sortNeighborsCanonical(out)
 		return out, nil
 	}
-	for i, it := range b.items {
+	for i, it := range items {
 		if i%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		d, o := cascadeDistanceAtMost(comp, query, it, r, b.counters)
+		d, o := cascadeDistanceAtMost(comp, query, it, r, counters)
 		if o == ted.OutcomeExact && d <= r {
 			out = append(out, Neighbor{Node: it.Node, Dist: d})
 		}

@@ -105,6 +105,23 @@ func ReadSignatures(r io.Reader) ([]Signature, error) {
 // load into any shard count, including one. The section counts exist so
 // truncated sections fail loudly.
 //
+// Version 3 is the rebalanced manifest, written only when the corpus
+// carries a non-trivial placement directory (a corpus still on its
+// blind-hash seed layout writes v2, byte for byte). The header gains
+// the redirect bucket count and a comment line records the bucket ->
+// shard redirect table:
+//
+//	# ned corpus v3 backend=vp k=3 directed=0 shards=3 base=2 nodes=3
+//	# redirect 0,2
+//	# shard 0 nodes=1
+//	...
+//
+// Node-level moves are not listed: each item line already sits in its
+// owning shard's section, so the reader re-derives the Moves overrides
+// by comparing an item's section against where the redirect table would
+// have routed it. Section markers and the redirect line stay
+// comment-shaped, preserving the signature-file compatibility below.
+//
 // Directed corpora carry two encodings per line (outgoing then incoming
 // tree); a single-node tree encodes as "-" so the field count stays
 // fixed. The format is versioned: ReadCorpusItems rejects versions it
@@ -126,10 +143,14 @@ const snapshotPrefix = "# ned corpus v"
 // shardSectionPrefix starts a per-shard section marker in a v2 snapshot.
 const shardSectionPrefix = "# shard "
 
+// redirectPrefix starts the redirect-table line of a v3 snapshot.
+const redirectPrefix = "# redirect "
+
 // snapshotVersion is the newest snapshot format version this build
 // reads and writes. Version 1 (unsharded, no section markers) is still
-// written when a CorpusMeta says so and always read.
-const snapshotVersion = 2
+// written when a CorpusMeta says so, version 2 whenever the placement
+// is trivial, and both are always read.
+const snapshotVersion = 3
 
 // CorpusMeta is the header metadata of a corpus snapshot.
 type CorpusMeta struct {
@@ -139,9 +160,17 @@ type CorpusMeta struct {
 	Directed bool   // whether items carry incoming trees too
 	Shards   int    // shard count recorded by a v2 manifest; 0 before v2
 
+	// Place is the placement directory of a v3 manifest (reconstructed
+	// from the redirect line and the items' section membership), nil for
+	// earlier versions and for writers on the trivial seed layout.
+	Place *Placement
+
 	// nodes is the declared item count, checked against the parsed items
 	// so truncated snapshots fail loudly.
 	nodes int
+
+	// base is the declared redirect bucket count of a v3 header.
+	base int
 }
 
 // encOrDash substitutes the "-" placeholder for the empty encoding of a
@@ -226,13 +255,15 @@ func WriteCorpusItems(w io.Writer, meta CorpusMeta, items []Item) error {
 	return nil
 }
 
-// WriteShardedCorpusItems serializes a version-2 sharded corpus
-// manifest: the header records the shard count, and each shard's items
-// follow a "# shard i nodes=m" section marker, node-ascending within
-// the shard. shardItems[i] is shard i's items; meta.Shards is ignored
-// in favor of len(shardItems). Because shard placement is a pure hash,
-// equal corpora with equal shard counts produce byte-identical
-// manifests.
+// WriteShardedCorpusItems serializes a sharded corpus manifest: the
+// header records the shard count, and each shard's items follow a
+// "# shard i nodes=m" section marker, node-ascending within the shard.
+// shardItems[i] is shard i's items; meta.Shards is ignored in favor of
+// len(shardItems). A trivial (or absent) meta.Place writes version 2 —
+// placement is a pure hash, so equal corpora with equal shard counts
+// produce byte-identical manifests; a rebalanced placement writes
+// version 3 with the redirect table on a comment line (moves are
+// implied by which section each item sits in).
 func WriteShardedCorpusItems(w io.Writer, meta CorpusMeta, shardItems [][]Item) error {
 	bw := bufio.NewWriter(w)
 	directed, total := 0, 0
@@ -242,9 +273,30 @@ func WriteShardedCorpusItems(w io.Writer, meta CorpusMeta, shardItems [][]Item) 
 	for _, items := range shardItems {
 		total += len(items)
 	}
-	if _, err := fmt.Fprintf(bw, "%s%d backend=%s k=%d directed=%d shards=%d nodes=%d\n",
-		snapshotPrefix, snapshotVersion, meta.Backend, meta.K, directed, len(shardItems), total); err != nil {
-		return fmt.Errorf("ned: writing snapshot header: %w", err)
+	if meta.Place.Trivial() {
+		if _, err := fmt.Fprintf(bw, "%s%d backend=%s k=%d directed=%d shards=%d nodes=%d\n",
+			snapshotPrefix, 2, meta.Backend, meta.K, directed, len(shardItems), total); err != nil {
+			return fmt.Errorf("ned: writing snapshot header: %w", err)
+		}
+	} else {
+		place := meta.Place
+		if err := place.Validate(); err != nil {
+			return fmt.Errorf("ned: snapshot placement: %w", err)
+		}
+		if place.Shards != len(shardItems) {
+			return fmt.Errorf("ned: snapshot placement routes into %d shards, manifest has %d", place.Shards, len(shardItems))
+		}
+		if _, err := fmt.Fprintf(bw, "%s%d backend=%s k=%d directed=%d shards=%d base=%d nodes=%d\n",
+			snapshotPrefix, 3, meta.Backend, meta.K, directed, len(shardItems), place.Base, total); err != nil {
+			return fmt.Errorf("ned: writing snapshot header: %w", err)
+		}
+		buckets := make([]string, len(place.Redirect))
+		for i, s := range place.Redirect {
+			buckets[i] = strconv.Itoa(int(s))
+		}
+		if _, err := fmt.Fprintf(bw, "%s%s\n", redirectPrefix, strings.Join(buckets, ",")); err != nil {
+			return fmt.Errorf("ned: writing redirect table: %w", err)
+		}
 	}
 	for si, items := range shardItems {
 		if _, err := fmt.Fprintf(bw, "%s%d nodes=%d\n", shardSectionPrefix, si, len(items)); err != nil {
@@ -278,6 +330,10 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 	// v2 shard-section bookkeeping: the open section's index, its
 	// declared item count, and how many items it has produced so far.
 	curShard, declared, sectionItems := -1, 0, 0
+	// v3 placement bookkeeping: the parsed redirect table and the moves
+	// derived from items sitting outside their redirect-routed shard.
+	var redirect []int32
+	var moves map[graph.NodeID]int32
 	closeSection := func() error {
 		if curShard >= 0 && sectionItems != declared {
 			return fmt.Errorf("ned: shard %d section declares %d nodes, found %d", curShard, declared, sectionItems)
@@ -305,6 +361,18 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 					return meta, nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
 				}
 				meta = m
+			}
+			if meta.Version >= 3 && strings.HasPrefix(line, redirectPrefix) {
+				if redirect != nil {
+					return meta, nil, fmt.Errorf("ned: line %d: duplicate redirect table", lineNo)
+				}
+				if curShard >= 0 {
+					return meta, nil, fmt.Errorf("ned: line %d: redirect table after shard sections", lineNo)
+				}
+				var err error
+				if redirect, err = parseRedirectLine(line, meta.base, meta.Shards); err != nil {
+					return meta, nil, fmt.Errorf("ned: line %d: %w", lineNo, err)
+				}
 			}
 			if meta.Version >= 2 && strings.HasPrefix(line, shardSectionPrefix) {
 				si, n, err := parseShardSection(line)
@@ -354,6 +422,17 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 			return meta, nil, fmt.Errorf("ned: line %d: node %d already appeared on line %d", lineNo, node, prev)
 		}
 		seen[node] = lineNo
+		if meta.Version >= 3 {
+			if redirect == nil {
+				return meta, nil, fmt.Errorf("ned: line %d: item before redirect table", lineNo)
+			}
+			if int(redirect[ShardOf(node, meta.base)]) != curShard {
+				if moves == nil {
+					moves = make(map[graph.NodeID]int32)
+				}
+				moves[node] = int32(curShard)
+			}
+		}
 		it := Item{Node: node, K: k, Out: out}
 		if meta.Directed {
 			if it.In, err = decodeTreeField(fields[3]); err != nil {
@@ -379,7 +458,34 @@ func ReadCorpusItems(r io.Reader) (CorpusMeta, []Item, error) {
 			return meta, nil, fmt.Errorf("ned: snapshot declares %d shards, found %d sections", meta.Shards, curShard+1)
 		}
 	}
+	if meta.Version >= 3 {
+		if redirect == nil {
+			return meta, nil, fmt.Errorf("ned: v%d snapshot has no redirect table", meta.Version)
+		}
+		meta.Place = &Placement{Base: meta.base, Shards: meta.Shards, Redirect: redirect, Moves: moves}
+		if err := meta.Place.Validate(); err != nil {
+			return meta, nil, fmt.Errorf("ned: snapshot placement: %w", err)
+		}
+	}
 	return meta, items, nil
+}
+
+// parseRedirectLine parses "# redirect 0,2,1" into the redirect table,
+// checking the declared bucket count and the shard range.
+func parseRedirectLine(line string, base, shards int) ([]int32, error) {
+	fields := strings.Split(strings.TrimPrefix(line, redirectPrefix), ",")
+	if len(fields) != base {
+		return nil, fmt.Errorf("redirect table has %d buckets, header declares base=%d", len(fields), base)
+	}
+	redirect := make([]int32, len(fields))
+	for i, f := range fields {
+		s, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || s < 0 || s >= shards {
+			return nil, fmt.Errorf("bad redirect bucket %q", f)
+		}
+		redirect[i] = int32(s)
+	}
+	return redirect, nil
 }
 
 // parseShardSection parses "# shard 3 nodes=17" into (3, 17).
@@ -450,11 +556,18 @@ func parseSnapshotHeader(line string) (CorpusMeta, error) {
 			if meta.Shards, err = strconv.Atoi(val); err != nil || meta.Shards < 1 {
 				return meta, fmt.Errorf("bad snapshot shard count %q", val)
 			}
+		case "base":
+			if meta.base, err = strconv.Atoi(val); err != nil || meta.base < 1 {
+				return meta, fmt.Errorf("bad snapshot redirect base %q", val)
+			}
 		}
 	}
 	required := []string{"backend", "k", "directed", "nodes"}
 	if meta.Version >= 2 {
 		required = append(required, "shards")
+	}
+	if meta.Version >= 3 {
+		required = append(required, "base")
 	}
 	for _, key := range required {
 		if !got[key] {

@@ -297,7 +297,7 @@ func TestReadCorpusItemsErrors(t *testing.T) {
 	cases := []struct {
 		name, in, want string
 	}{
-		{"future version", "# ned corpus v3 backend=vp k=2 directed=0 shards=1 nodes=0\n", "version 3 not supported"},
+		{"future version", "# ned corpus v4 backend=vp k=2 directed=0 shards=1 base=1 nodes=0\n", "version 4 not supported"},
 		{"v2 missing shards", "# ned corpus v2 backend=vp k=2 directed=0 nodes=0\n", "missing shards="},
 		{"v2 bad shard count", "# ned corpus v2 backend=vp k=2 directed=0 shards=0 nodes=0\n", "bad snapshot shard count"},
 		{"v2 item outside section", "# ned corpus v2 backend=vp k=2 directed=0 shards=1 nodes=1\n0 2 0\n", "before any shard section"},

@@ -1,0 +1,271 @@
+package ned
+
+import (
+	"context"
+	"sort"
+)
+
+// Query planning. A Plan is the explicit, inspectable form of "how this
+// query will execute over the shards": which shards participate, in
+// what mode the fan-out runs, and — per shard — whether the query goes
+// through the shard's index or through a direct cascade-pruned scan of
+// its items. The Corpus builds one from live statistics (shard sizes,
+// staleness, observed cascade prune rates) per query or per batch; the
+// planner exists because the fixed all-shards fan-out that is optimal
+// for large balanced corpora costs small or skewed ones real latency
+// (BENCH_PARALLEL_CHURN showed up to +66% on the reader side), and the
+// statistics to do better are already being collected.
+//
+// Every mode answers node-identically to the naive all-shards fan-out:
+//   - PlanParallel IS that fan-out;
+//   - PlanSequential visits shards one by one, largest first, and once
+//     l results are held it narrows each remaining shard to a range
+//     query at the current l-th distance t. Any candidate that enters
+//     the global top-l has distance <= t, and Range includes distance
+//     == t, so no winner is missed and the canonical merge reproduces
+//     the parallel answer exactly;
+//   - PlanSingle is the one-live-shard (or empty) degenerate case;
+//   - a Scan shard answers through the same prunedKNN / scanRange
+//     kernels the pruned backend runs, which are exact.
+
+// PlanMode is the fan-out strategy a plan executes.
+type PlanMode int
+
+const (
+	// PlanParallel queries every live shard concurrently on the
+	// executor and merges canonically — the classic fan-out.
+	PlanParallel PlanMode = iota
+	// PlanSequential visits live shards largest-first, carrying the
+	// running l-th distance as a range bound into later shards. Cheaper
+	// than parallel when the corpus is small or the executor has one
+	// worker (fan-out overhead with no concurrency to buy).
+	PlanSequential
+	// PlanSingle short-circuits to a direct call on the only live
+	// shard (or answers empty when none is live).
+	PlanSingle
+)
+
+func (m PlanMode) String() string {
+	switch m {
+	case PlanParallel:
+		return "parallel"
+	case PlanSequential:
+		return "sequential"
+	default:
+		return "single"
+	}
+}
+
+// PlanShard is one shard's slice of a plan. When Scan is non-nil the
+// shard answers by a direct cascade-pruned scan of those items (sorted
+// node-ascending) instead of through Ix — the planner's scan-vs-tree
+// call for tree backends whose index is tiny, stale, or outclassed by
+// the cascade; counters still land in the shard's accumulator.
+type PlanShard struct {
+	Ix   Index
+	Scan []Item
+	N    int // live item count (len(Scan) when scanning)
+}
+
+func (ps *PlanShard) knn(ctx context.Context, query Item, l int) ([]Neighbor, error) {
+	if ps.Scan != nil {
+		res, _, err := prunedKNN(ctx, query, ps.Scan, nil, l, counterSinkOf(ps.Ix))
+		return res, err
+	}
+	return ps.Ix.KNN(ctx, query, l)
+}
+
+func (ps *PlanShard) rng(ctx context.Context, query Item, r int) ([]Neighbor, error) {
+	if ps.Scan != nil {
+		return scanRange(ctx, query, ps.Scan, nil, r, counterSinkOf(ps.Ix))
+	}
+	return ps.Ix.Range(ctx, query, r)
+}
+
+// counterSinkOf exposes an index's counter accumulator to the planner's
+// scan path, so scans attribute their work to the same per-shard totals
+// tree queries do. Nil for counter-less Index implementations; the
+// kernels tolerate a nil set.
+func counterSinkOf(ix Index) *counterSet {
+	if h, ok := ix.(counterHost); ok {
+		return h.counterSink()
+	}
+	return nil
+}
+
+// Plan is an executable query plan over a fixed set of live shards.
+// Plans are built per query (or once per batch) and are immutable.
+type Plan struct {
+	Mode   PlanMode
+	Shards []PlanShard
+}
+
+// Scans reports how many shards the plan answers by direct scan.
+func (p *Plan) Scans() int {
+	n := 0
+	for i := range p.Shards {
+		if p.Shards[i].Scan != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanInput is what BuildPlan decides from: the live shards (N > 0
+// each), the executor width available to a parallel fan-out, the
+// result size l (0 for range queries), and the sequential-total
+// threshold (<= 0 takes the default).
+type PlanInput struct {
+	Shards  []PlanShard
+	Workers int
+	L       int
+	SeqMax  int
+}
+
+// defaultSeqMax is the total-corpus-size threshold below which a
+// sequential visit beats the parallel fan-out when no corpus-derived
+// value is supplied.
+const defaultSeqMax = 1024
+
+// BuildPlan picks the fan-out mode: single for <= 1 live shard,
+// sequential when there is no concurrency to buy (one worker) or the
+// whole corpus is small enough that fan-out overhead dominates, and
+// parallel otherwise. Sequential plans order shards largest-first so
+// the range-narrowing threshold tightens as early as possible.
+func BuildPlan(in PlanInput) *Plan {
+	p := &Plan{Shards: in.Shards}
+	if len(in.Shards) <= 1 {
+		p.Mode = PlanSingle
+		return p
+	}
+	total := 0
+	for i := range in.Shards {
+		total += in.Shards[i].N
+	}
+	seqMax := in.SeqMax
+	if seqMax <= 0 {
+		seqMax = defaultSeqMax
+	}
+	if in.Workers <= 1 || total <= seqMax {
+		p.Mode = PlanSequential
+		sort.SliceStable(p.Shards, func(i, j int) bool { return p.Shards[i].N > p.Shards[j].N })
+		return p
+	}
+	p.Mode = PlanParallel
+	return p
+}
+
+// Scan-vs-tree thresholds. A shard scans when its index cannot pay for
+// itself: the epoch is tiny, the query wants most of it anyway, or the
+// index has accumulated enough tombstone/tail debt that its traversal
+// overhead exceeds the flat cascade. A hot cascade (observed prune rate
+// above scanHotPruneRate — the filter tiers dismissing three quarters
+// of candidates before any tree work) raises the size cutoff: scanning
+// is cheaper than the naive n·TED bound suggests.
+const (
+	scanCutoff       = 32
+	scanCutoffHot    = 128
+	scanHotPruneRate = 0.75
+	scanStaleRatio   = 0.4
+)
+
+// UseScanOverTree is the planner's per-shard scan-vs-tree decision for
+// tree backends. n is the shard's live size, l the requested result
+// count (0 for range queries), stale the shard index's StaleRatio, and
+// pruneRate the corpus's observed cascade prune rate
+// (LowerBoundPrunes / (LowerBoundPrunes + DistanceCalls)).
+func UseScanOverTree(n, l int, stale, pruneRate float64) bool {
+	cutoff := float64(scanCutoff)
+	if pruneRate > scanHotPruneRate {
+		cutoff = scanCutoffHot
+	}
+	return n <= int(cutoff) || (l > 0 && l >= n) || stale >= scanStaleRatio
+}
+
+// KNN executes the plan for a top-l query. Answers are node-identical
+// to FanKNN over the same shards (see the file comment for why).
+func (p *Plan) KNN(ctx context.Context, exec *Executor, query Item, l int) ([]Neighbor, error) {
+	switch p.Mode {
+	case PlanSingle:
+		if len(p.Shards) == 0 {
+			return nil, ctx.Err()
+		}
+		return p.Shards[0].knn(ctx, query, l)
+	case PlanSequential:
+		var acc []Neighbor
+		for i := range p.Shards {
+			ps := &p.Shards[i]
+			var res []Neighbor
+			var err error
+			if len(acc) < l {
+				res, err = ps.knn(ctx, query, l)
+			} else {
+				// acc already holds l results; anything that still enters
+				// the top-l is within the current l-th distance, and Range
+				// is inclusive, so ties survive for the canonical merge.
+				res, err = ps.rng(ctx, query, acc[len(acc)-1].Dist)
+			}
+			if err != nil {
+				return nil, err
+			}
+			acc = MergeTopL([][]Neighbor{acc, res}, l)
+		}
+		return acc, nil
+	default:
+		per := make([][]Neighbor, len(p.Shards))
+		errs := make([]error, len(p.Shards))
+		if err := exec.Do(ctx, len(p.Shards), 0, func(i int) {
+			per[i], errs[i] = p.Shards[i].knn(ctx, query, l)
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return MergeTopL(per, l), nil
+	}
+}
+
+// Range executes the plan for a range query: the exact union of
+// per-shard range results, canonically sorted.
+func (p *Plan) Range(ctx context.Context, exec *Executor, query Item, r int) ([]Neighbor, error) {
+	switch p.Mode {
+	case PlanSingle:
+		if len(p.Shards) == 0 {
+			return nil, ctx.Err()
+		}
+		return p.Shards[0].rng(ctx, query, r)
+	case PlanSequential:
+		var out []Neighbor
+		for i := range p.Shards {
+			res, err := p.Shards[i].rng(ctx, query, r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res...)
+		}
+		sortNeighborsCanonical(out)
+		return dedupNeighbors(out), nil
+	default:
+		per := make([][]Neighbor, len(p.Shards))
+		errs := make([]error, len(p.Shards))
+		if err := exec.Do(ctx, len(p.Shards), 0, func(i int) {
+			per[i], errs[i] = p.Shards[i].rng(ctx, query, r)
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var out []Neighbor
+		for _, ns := range per {
+			out = append(out, ns...)
+		}
+		sortNeighborsCanonical(out)
+		return dedupNeighbors(out), nil
+	}
+}

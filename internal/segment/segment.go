@@ -14,9 +14,10 @@
 //	magic   "NEDSEG01" (8 bytes)
 //	section [type u8][payloadLen u64][payload][crc32c(payload) u32]
 //
-// in fixed order: meta (1), dict (2), an optional graph (3), one shard
-// item table (4) per shard, optionally one VP-index dump (6) per
-// shard, and end (5). All integers are little-endian. Every section is
+// in fixed order: meta (1), dict (2), an optional graph (3), an
+// optional placement directory (7), one shard item table (4) per
+// shard, optionally one VP-index dump (6) per shard, and end (5). All
+// integers are little-endian. Every section is
 // independently length-framed and checksummed, and the end section
 // repeats the total item count, so a torn tail — truncation anywhere,
 // even between sections — fails loudly instead of loading a silently
@@ -34,6 +35,12 @@
 //	graph: nodes u32, directed u8, edges u64, then u32 pairs — the
 //	       backing graph, so a recovered corpus keeps Insert and
 //	       UpdateGraph without a sidecar file.
+//	place: base u32, shards u32 (must equal meta's), redirect base×u32
+//	       (each < shards), moves u64, then (node u32, shard u32) pairs
+//	       node-ascending — the rebalancer's placement directory.
+//	       Written only when the placement is non-trivial; its absence
+//	       means the blind-hash seed layout, which keeps segments of
+//	       never-rebalanced corpora byte-identical to earlier builds.
 //	shard: a pure u32 word stream (the payload length must be a
 //	       multiple of 4): shardIndex, itemCount, then per item
 //	       (strictly node-ascending — readers reject out-of-order or
@@ -75,6 +82,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"unsafe"
 
@@ -114,6 +122,7 @@ const (
 	secShard = 4
 	secEnd   = 5
 	secIndex = 6
+	secPlace = 7
 )
 
 // maxSectionLen bounds a section's declared payload length. Checked
@@ -123,13 +132,18 @@ const maxSectionLen = 1 << 32
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Meta is the corpus-level metadata a segment records.
+// Meta is the corpus-level metadata a segment records. Place travels
+// in its own optional section (never the meta blob, whose layout is
+// frozen): nil or trivial on write means no section; on read it is the
+// decoded directory, nil for the hash seed layout.
 type Meta struct {
 	Backend  string // flag-style backend name recorded at snapshot time
 	K        int    // neighborhood depth shared by every item
 	Directed bool   // whether items carry incoming trees too
 	Shards   int    // shard count the writer partitioned by
 	Items    int    // total item count across shards
+
+	Place *ned.Placement // non-trivial placement directory, nil if hash
 }
 
 // VPNode is one persisted vantage-point-tree node, in preorder. The
@@ -504,6 +518,36 @@ func Write(w io.Writer, meta Meta, dict *tree.Interner, g *graph.Graph, shardIte
 		}
 	}
 
+	// Placement directory — only a rebalanced layout writes one.
+	if !meta.Place.Trivial() {
+		place := meta.Place
+		if err := place.Validate(); err != nil {
+			return fmt.Errorf("segment: placement: %w", err)
+		}
+		if place.Shards != len(shardItems) {
+			return fmt.Errorf("segment: placement routes into %d shards, segment has %d", place.Shards, len(shardItems))
+		}
+		pb := make([]byte, 0, 16+4*len(place.Redirect)+8*len(place.Moves))
+		pb = appendU32(pb, uint32(place.Base))
+		pb = appendU32(pb, uint32(place.Shards))
+		for _, s := range place.Redirect {
+			pb = appendU32(pb, uint32(s))
+		}
+		pb = appendU64(pb, uint64(len(place.Moves)))
+		moved := make([]graph.NodeID, 0, len(place.Moves))
+		for v := range place.Moves {
+			moved = append(moved, v)
+		}
+		sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
+		for _, v := range moved {
+			pb = appendU32(pb, uint32(v))
+			pb = appendU32(pb, uint32(place.Moves[v]))
+		}
+		if err := writeSection(bw, secPlace, pb); err != nil {
+			return err
+		}
+	}
+
 	// Shard item tables.
 	var sb []byte
 	for si, items := range shardItems {
@@ -666,9 +710,9 @@ func decodeShard(payload []byte, si int, meta Meta, in *tree.Interner) ([]ned.It
 		if node < 0 {
 			return nil, fmt.Errorf("segment: shard %d item %d has negative node id", si, i)
 		}
-		// Writers emit items strictly node-ascending per shard; since a
-		// node always hashes to the same shard, this single ordered pass
-		// doubles as the whole-segment duplicate check.
+		// Writers emit items strictly node-ascending per shard; since the
+		// placement maps a node to exactly one shard, this single ordered
+		// pass doubles as the whole-segment duplicate check.
 		if node <= last {
 			return nil, fmt.Errorf("segment: shard %d items not node-ascending (%d after %d)", si, node, last)
 		}
@@ -680,9 +724,9 @@ func decodeShard(payload []byte, si int, meta Meta, in *tree.Interner) ([]ned.It
 		if hasIn != meta.Directed {
 			return nil, fmt.Errorf("segment: node %d directedness disagrees with segment meta", node)
 		}
-		if ned.ShardOf(graph.NodeID(node), meta.Shards) != si {
-			return nil, fmt.Errorf("segment: node %d filed under shard %d, hashes to %d",
-				node, si, ned.ShardOf(graph.NodeID(node), meta.Shards))
+		if want := metaShardOf(meta, graph.NodeID(node)); want != si {
+			return nil, fmt.Errorf("segment: node %d filed under shard %d, placement routes it to %d",
+				node, si, want)
 		}
 		it := ned.Item{Node: graph.NodeID(node), K: k}
 		var err error
@@ -700,6 +744,58 @@ func decodeShard(payload []byte, si int, meta Meta, in *tree.Interner) ([]ned.It
 		return nil, fmt.Errorf("segment: shard %d: %d trailing words in section payload", si, len(words)-pos)
 	}
 	return items, nil
+}
+
+// metaShardOf is the shard a segment's layout files node v under: the
+// recorded placement directory when the segment carries one, the blind
+// hash otherwise.
+func metaShardOf(meta Meta, v graph.NodeID) int {
+	if meta.Place != nil {
+		return meta.Place.Of(v)
+	}
+	return ned.ShardOf(v, meta.Shards)
+}
+
+// decodePlacement decodes the placement directory section.
+func decodePlacement(payload []byte, shards int) (*ned.Placement, error) {
+	d := &dec{b: payload}
+	base := int(d.u32())
+	ps := int(d.u32())
+	if d.err == nil && ps != shards {
+		d.fail("segment: placement routes into %d shards, meta declares %d", ps, shards)
+	}
+	if d.err == nil && (base < 1 || base > 1<<20) {
+		d.fail("segment: implausible placement base %d", base)
+	}
+	redirect := d.i32s(base)
+	nMoves := int(d.u64())
+	if d.err == nil && (nMoves < 0 || len(d.b) != 8*nMoves) {
+		d.fail("segment: placement declares %d moves with %d bytes left", nMoves, len(d.b))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	place := &ned.Placement{Base: base, Shards: shards, Redirect: redirect}
+	if nMoves > 0 {
+		place.Moves = make(map[graph.NodeID]int32, nMoves)
+		last := int32(-1)
+		for i := 0; i < nMoves; i++ {
+			node := int32(d.u32())
+			s := int32(d.u32())
+			if node <= last {
+				return nil, fmt.Errorf("segment: placement moves not node-ascending (%d after %d)", node, last)
+			}
+			last = node
+			place.Moves[graph.NodeID(node)] = s
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if err := place.Validate(); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	return place, nil
 }
 
 // decodeIndex decodes one shard's VP-index dump section.
@@ -758,10 +854,12 @@ func decodeIndex(payload []byte, si int) (VPIndex, error) {
 // dumps (nil when the segment carries none — indexes[si] may also be
 // empty for individual shards, which then rebuild lazily). Items are
 // returned flattened in shard order (node-ascending within each
-// shard, as written); callers re-derive placement by hash for
-// whatever shard count they run with — and must discard the index
-// dumps if that count differs from meta.Shards. Any truncation,
-// checksum mismatch, or internal inconsistency is a loud error.
+// shard, as written); callers re-file them through meta.Place when the
+// segment carries a placement directory (re-hashing for whatever shard
+// count they run with otherwise) — and must discard the index dumps
+// and placement if that count differs from meta.Shards. Any
+// truncation, checksum mismatch, or internal inconsistency is a loud
+// error.
 func Read(r io.Reader) (Meta, []ned.Item, *tree.Interner, *graph.Graph, []VPIndex, error) {
 	var meta Meta
 	fail := func(err error) (Meta, []ned.Item, *tree.Interner, *graph.Graph, []VPIndex, error) {
@@ -871,15 +969,38 @@ func Read(r io.Reader) (Meta, []ned.Item, *tree.Interner, *graph.Graph, []VPInde
 		g = b.Build()
 	}
 
+	// Optional placement directory: the section after the graph is
+	// either the placement (rebalanced layouts) or the first shard
+	// table (seed layouts) — one section of lookahead decides.
+	typ, payload, err := readSection(r)
+	if err != nil {
+		return fail(err)
+	}
+	if typ == secPlace {
+		if meta.Place, err = decodePlacement(payload, meta.Shards); err != nil {
+			return fail(err)
+		}
+		typ, payload, err = readSection(r)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	// Shard item tables: collect payloads sequentially, decode in
 	// parallel — item decoding (tree construction + profile
 	// reconstruction) dominates load time and shards are independent.
 	payloads := make([][]byte, meta.Shards)
 	for si := 0; si < meta.Shards; si++ {
-		payloads[si], err = expectSection(r, secShard)
-		if err != nil {
-			return fail(err)
+		if si > 0 {
+			typ, payload, err = readSection(r)
+			if err != nil {
+				return fail(err)
+			}
 		}
+		if typ != secShard {
+			return fail(fmt.Errorf("segment: section type %d where %d expected", typ, secShard))
+		}
+		payloads[si] = payload
 		if uint64(len(payloads[si])) != shardLens[si] {
 			return fail(fmt.Errorf("segment: shard %d payload is %d bytes, meta declares %d",
 				si, len(payloads[si]), shardLens[si]))

@@ -182,6 +182,42 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			fmt.Fprintf(w, "ned_corpus_shard_nodes{corpus=%q,shard=\"%d\"} %d\n", tenants[i].Name, si, sn)
 		}
 	})
+	emit("ned_shard_lock_wait_ns_total", "counter", "Nanoseconds mutators spent waiting on each shard's write lock.", func(i int) {
+		for si, v := range stats[i].ShardLockWaitNS {
+			fmt.Fprintf(w, "ned_shard_lock_wait_ns_total{corpus=%q,shard=\"%d\"} %d\n", tenants[i].Name, si, v)
+		}
+	})
+	emit("ned_shard_mutations_total", "counter", "Nodes mutated (inserted, removed, or refreshed) per shard.", func(i int) {
+		for si, v := range stats[i].ShardMutations {
+			fmt.Fprintf(w, "ned_shard_mutations_total{corpus=%q,shard=\"%d\"} %d\n", tenants[i].Name, si, v)
+		}
+	})
+	emit("ned_shard_clone_bytes_total", "counter", "Approximate bytes of epoch state cloned by mutations per shard.", func(i int) {
+		for si, v := range stats[i].ShardCloneBytes {
+			fmt.Fprintf(w, "ned_shard_clone_bytes_total{corpus=%q,shard=\"%d\"} %d\n", tenants[i].Name, si, v)
+		}
+	})
+	emit("ned_corpus_placement_overrides", "gauge", "Node-level placement moves the rebalancer has in effect.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_placement_overrides{corpus=%q} %d\n", tenants[i].Name, stats[i].PlacementOverrides)
+	})
+	emit("ned_corpus_rebalances_total", "counter", "Rebalancer ticks that changed the placement (splits plus merges).", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_rebalances_total{corpus=%q} %d\n", tenants[i].Name, stats[i].Rebalances)
+	})
+	emit("ned_corpus_shard_splits_total", "counter", "Hot-shard splits applied by the rebalancer.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_shard_splits_total{corpus=%q} %d\n", tenants[i].Name, stats[i].ShardSplits)
+	})
+	emit("ned_corpus_shard_merges_total", "counter", "Cold-shard merges applied by the rebalancer.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_shard_merges_total{corpus=%q} %d\n", tenants[i].Name, stats[i].ShardMerges)
+	})
+	emit("ned_corpus_plan_modes_total", "counter", "Query plans executed, by fan-out mode chosen by the planner.", func(i int) {
+		n := tenants[i].Name
+		fmt.Fprintf(w, "ned_corpus_plan_modes_total{corpus=%q,mode=\"parallel\"} %d\n", n, stats[i].PlanParallel)
+		fmt.Fprintf(w, "ned_corpus_plan_modes_total{corpus=%q,mode=\"sequential\"} %d\n", n, stats[i].PlanSequential)
+		fmt.Fprintf(w, "ned_corpus_plan_modes_total{corpus=%q,mode=\"single\"} %d\n", n, stats[i].PlanSingle)
+	})
+	emit("ned_corpus_plan_scans_total", "counter", "Per-shard scan-over-tree decisions taken by the planner.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_plan_scans_total{corpus=%q} %d\n", tenants[i].Name, stats[i].PlanScans)
+	})
 	emit("ned_corpus_queries_total", "counter", "Queries served by the engine.", func(i int) {
 		fmt.Fprintf(w, "ned_corpus_queries_total{corpus=%q} %d\n", tenants[i].Name, stats[i].Queries)
 	})
