@@ -139,6 +139,13 @@ func main() {
 	// included — before returning.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *dataDir != "" {
+		// Background recovery for degraded tenants: retries the
+		// verified checkpoint rewrite with bounded backoff until the
+		// disk heals. /readyz reports not-ready while any tenant is
+		// degraded; mutations on it 503 with Retry-After.
+		srv.StartDegradedRecovery(ctx, time.Second)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("nedserve: listening on %s\n", *addr)

@@ -361,6 +361,17 @@ type Corpus struct {
 	durableDir string
 	walSeq     int64
 
+	// Degraded-mode state (see durable.go). degraded is nil while
+	// healthy; a failed WAL commit or checkpoint stores the sticky
+	// cause, mutations refuse with ErrDegraded, and only a verified
+	// full-segment rewrite (Checkpoint) clears it. Reads never consult
+	// it. recoveryAttempts counts rewrite attempts while degraded;
+	// quarantined counts checkpoint generations renamed aside during
+	// recovery because they failed to decode.
+	degraded         atomic.Pointer[DegradedInfo]
+	recoveryAttempts atomic.Int64
+	quarantined      atomic.Int64
+
 	queries  atomic.Int64
 	rebuilds atomic.Int64
 

@@ -42,6 +42,9 @@ import (
 // graph version cannot move under the extraction) but runs concurrently
 // with queries, Removes, and other Inserts.
 func (c *Corpus) Insert(nodes ...NodeID) error {
+	if err := c.degradedErr(); err != nil {
+		return err
+	}
 	c.gmu.RLock()
 	defer c.gmu.RUnlock()
 	g := c.g.Load()
@@ -149,6 +152,9 @@ func ixLen(ix ned.DynamicIndex) int {
 // cannot be rebalanced out from under its shard routing; it still runs
 // concurrently with queries, Inserts, and other Removes.
 func (c *Corpus) Remove(nodes ...NodeID) error {
+	if err := c.degradedErr(); err != nil {
+		return err
+	}
 	c.gmu.RLock()
 	defer c.gmu.RUnlock()
 	tab := c.tab.Load()
@@ -237,6 +243,9 @@ func (c *Corpus) Rebuild() {
 func (c *Corpus) UpdateGraph(g *Graph) (refreshed int, err error) {
 	if g == nil {
 		return 0, ErrNilGraph
+	}
+	if err := c.degradedErr(); err != nil {
+		return 0, err
 	}
 	c.gmu.Lock()
 	defer c.gmu.Unlock()

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"ned/internal/faultfs"
 	"ned/internal/fsx"
 	"ned/internal/ned"
 	"ned/internal/segment"
@@ -24,6 +26,20 @@ import (
 // segment, truncating recovery time and reclaiming the old
 // generations.
 //
+// Failure model. Storage failure is a state, not a surprise: when a
+// WAL commit or a checkpoint write fails (EIO, ENOSPC, a failed
+// fsync), the corpus enters a sticky degraded mode — the post-failure
+// world is unknowable (the kernel may have dropped the dirty pages;
+// the fsync-and-retry lie is exactly the Postgres fsync-gate bug), so
+// the engine refuses to pretend. While degraded: mutations fail fast
+// with ErrDegraded and are never acknowledged; lock-free reads keep
+// serving the last published epochs untouched; Checkpoint is the one
+// road back, clearing the state only after a verified full-segment
+// rewrite lands a provably-whole checkpoint on disk and a fresh WAL
+// starts beside it. Recovery (OpenDurable) treats an unreadable
+// checkpoint the same way: quarantine it aside, fall back to the
+// previous generation plus the surviving WAL tail — never guess.
+//
 // Attach durability with MakeDurable before the corpus is shared (the
 // attach itself is not atomic with respect to concurrent mutations);
 // afterwards mutations, queries, and checkpoints are safe
@@ -32,6 +48,20 @@ import (
 // ErrNotDurable reports a durability operation on a corpus that has no
 // durable directory attached.
 var ErrNotDurable = errors.New("ned: corpus is not durable (attach with MakeDurable or load with OpenDurable)")
+
+// ErrDegraded reports a mutation refused because the corpus's durable
+// storage failed and the engine can no longer promise the mutation
+// would survive. Reads are unaffected. A successful Checkpoint — a
+// verified full-segment rewrite — clears the state.
+var ErrDegraded = errors.New("ned: corpus degraded: durable storage failed; mutations refused until a verified checkpoint succeeds")
+
+// DegradedInfo describes why a corpus is degraded. It is immutable
+// once published.
+type DegradedInfo struct {
+	Reason string    // which operation failed ("wal commit", "checkpoint write", ...)
+	Cause  error     // the underlying I/O error
+	Since  time.Time // when the failure was observed
+}
 
 // FsyncPolicy re-exports the WAL fsync policy: FsyncAlways fsyncs
 // every committed mutation batch, FsyncNone leaves flushing to the OS
@@ -51,6 +81,29 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return segment.ParseFsync
 // corpus (at least one checkpoint).
 func HasDurableState(dir string) bool { return segment.HasState(dir) }
 
+// degrade records the first durable-storage failure. The state is
+// sticky: later failures while already degraded keep the original
+// cause (first fault wins — it is the one that explains the rest).
+func (c *Corpus) degrade(reason string, cause error) {
+	info := &DegradedInfo{Reason: reason, Cause: cause, Since: time.Now()}
+	c.degraded.CompareAndSwap(nil, info)
+}
+
+// degradedErr returns the typed refusal for a degraded corpus, nil
+// while healthy. Mutation paths call it at entry for a fast fail;
+// commitShard still catches the race where degradation lands after
+// the check.
+func (c *Corpus) degradedErr() error {
+	info := c.degraded.Load()
+	if info == nil {
+		return nil
+	}
+	return fmt.Errorf("%w (%s: %v)", ErrDegraded, info.Reason, info.Cause)
+}
+
+// Degraded returns the degraded-mode state, nil while healthy.
+func (c *Corpus) Degraded() *DegradedInfo { return c.degraded.Load() }
+
 // MakeDurable attaches a durable directory to the corpus: it
 // materializes the signatures, writes the generation-0 checkpoint
 // segment, and opens the generation-0 mutation log that every
@@ -68,19 +121,28 @@ func (c *Corpus) MakeDurable(dir string, policy FsyncPolicy) error {
 	if c.wal.Load() != nil {
 		return fmt.Errorf("ned: corpus is already durable in %s", c.durableDir)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := faultfs.Default().MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("ned: creating durable directory: %w", err)
 	}
 	if segment.HasState(dir) {
 		return fmt.Errorf("ned: %s already holds durable corpus state (open it with OpenDurable)", dir)
 	}
+	// A prior process may have died between creating an atomic-write
+	// temporary and renaming it; orphans are garbage, not state.
+	fsx.SweepTemps(dir)
 	c.durableDir = dir
 	if err := c.writeCheckpointFile(0); err != nil {
+		// The atomic write may have renamed the segment into place
+		// before a later step (directory sync, verify readback) failed.
+		// A failed attach made no durable promise, so it must not leave
+		// a loadable one behind.
+		faultfs.Default().Remove(segment.CheckpointPath(dir, 0))
 		c.durableDir = ""
 		return err
 	}
 	w, err := segment.CreateWAL(segment.WALPath(dir, 0), policy)
 	if err != nil {
+		faultfs.Default().Remove(segment.CheckpointPath(dir, 0))
 		c.durableDir = ""
 		return err
 	}
@@ -90,31 +152,65 @@ func (c *Corpus) MakeDurable(dir string, policy FsyncPolicy) error {
 }
 
 // OpenDurable recovers a corpus from a durable directory: it loads the
-// highest-generation checkpoint segment, replays every log generation
-// at or above it in order (a torn final frame — the residue of a crash
+// newest loadable checkpoint segment, replays every log generation at
+// or above it in order (a torn final frame — the residue of a crash
 // mid-append — is dropped; corruption anywhere else fails loudly), and
 // resumes appending to the newest log at its validated prefix. The
 // result answers every query exactly as the original did after its
-// last committed mutation. Options apply as in LoadCorpus; the
-// checkpoint's embedded graph is attached unless WithGraph overrides
-// it.
+// last committed mutation.
+//
+// A checkpoint that fails to open or decode is quarantined — renamed
+// to <name>.quarantined so it stops shadowing older generations — and
+// recovery falls back to the next-lower checkpoint. The WAL
+// generations between the fallback checkpoint and the head still
+// replay, so no committed mutation is lost as long as one good
+// checkpoint survives (checkpoint cleanup only runs after the
+// replacing generation verifies, so one always should).
+//
+// Options apply as in LoadCorpus; the checkpoint's embedded graph is
+// attached unless WithGraph overrides it.
 func OpenDurable(dir string, policy FsyncPolicy, opts ...CorpusOption) (*Corpus, error) {
-	seq, ckptPath, ok, err := segment.LatestCheckpoint(dir)
+	// Sweep atomic-write temporaries a dead process left behind before
+	// looking at anything else; they are never state.
+	fsx.SweepTemps(dir)
+	ckpts, err := segment.Checkpoints(dir)
 	if err != nil {
 		return nil, err
 	}
-	if !ok {
+	if len(ckpts) == 0 {
 		return nil, fmt.Errorf("ned: %s holds no durable corpus state", dir)
 	}
-	f, err := os.Open(ckptPath)
-	if err != nil {
-		return nil, fmt.Errorf("ned: opening checkpoint: %w", err)
+
+	var (
+		c           *Corpus
+		seq         int64
+		quarantined int64
+		firstErr    error
+	)
+	for _, s := range ckpts {
+		path := segment.CheckpointPath(dir, s)
+		loaded, lerr := loadCheckpoint(path, opts...)
+		if lerr == nil {
+			c, seq = loaded, s
+			break
+		}
+		if os.IsNotExist(lerr) {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("ned: checkpoint %s: %w", path, lerr)
+		}
+		// Unreadable: rename it aside so it stops shadowing older
+		// generations, and fall back. The bytes are kept for inspection.
+		if qerr := segment.Quarantine(path); qerr != nil {
+			return nil, fmt.Errorf("ned: checkpoint %s unreadable (%v) and quarantine failed: %w", path, lerr, qerr)
+		}
+		quarantined++
 	}
-	c, err := LoadCorpus(f, opts...)
-	f.Close()
-	if err != nil {
-		return nil, fmt.Errorf("ned: checkpoint %s: %w", ckptPath, err)
+	if c == nil {
+		return nil, fmt.Errorf("ned: no loadable checkpoint in %s (%d quarantined): %w", dir, quarantined, firstErr)
 	}
+	c.quarantined.Store(quarantined)
 
 	// Replay the log generations the checkpoint does not cover. A
 	// rotation advances the active generation even when the checkpoint
@@ -163,10 +259,28 @@ func OpenDurable(dir string, policy FsyncPolicy, opts ...CorpusOption) (*Corpus,
 	return c, nil
 }
 
+// loadCheckpoint opens and fully decodes one checkpoint segment.
+func loadCheckpoint(path string, opts ...CorpusOption) (*Corpus, error) {
+	f, err := faultfs.Default().Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := LoadCorpus(f, opts...)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // applyRecovered applies one replayed mutation record to the (not yet
 // shared) corpus: upserts re-profile their trees against the corpus
 // dictionary and land in their shard's item table, deletes drop
 // theirs. Records are absolute, so re-applying a suffix is idempotent.
+// A shard the replay touches drops any index that arrived prebuilt
+// with the checkpoint — the dump describes the item set at checkpoint
+// time, and an index answering for since-removed nodes is exactly the
+// corruption replay exists to prevent; the shard re-indexes lazily.
 func (c *Corpus) applyRecovered(rec segment.Record) error {
 	for i := range rec.Upserts {
 		it := rec.Upserts[i]
@@ -177,10 +291,14 @@ func (c *Corpus) applyRecovered(rec segment.Record) error {
 			return fmt.Errorf("wal upsert of node %d disagrees with corpus directedness", it.Node)
 		}
 		ned.ProfileItem(&it, c.dict)
-		c.shardFor(it.Node).epoch.Load().byNode[it.Node] = it
+		ep := c.shardFor(it.Node).epoch.Load()
+		ep.byNode[it.Node] = it
+		ep.ix = nil
 	}
 	for _, v := range rec.Deletes {
-		delete(c.shardFor(v).epoch.Load().byNode, v)
+		ep := c.shardFor(v).epoch.Load()
+		delete(ep.byNode, v)
+		ep.ix = nil
 	}
 	return nil
 }
@@ -190,26 +308,39 @@ func (c *Corpus) applyRecovered(rec segment.Record) error {
 // nodes removed) first appends to the WAL, and the publish runs under
 // the log's commit mutex — the ordering Checkpoint relies on to cut a
 // log generation consistent with the published epochs. An append
-// failure leaves the epoch unpublished: the mutation never happened,
-// for queries and recovery alike. Callers hold sh.mu.
+// failure leaves the epoch unpublished — the mutation never happened,
+// for queries and recovery alike — and degrades the corpus: the WAL is
+// wedged, so no later mutation could be made durable either, and
+// acknowledging it would be a lie. Callers hold sh.mu.
 func (c *Corpus) commitShard(sh *corpusShard, ne *shardEpoch, upserts []ned.Item, deletes []NodeID) error {
 	w := c.wal.Load()
 	if w == nil || (len(upserts) == 0 && len(deletes) == 0) {
 		sh.epoch.Store(ne)
 		return nil
 	}
-	return w.Commit(segment.Record{Upserts: upserts, Deletes: deletes}, func() {
+	err := w.Commit(segment.Record{Upserts: upserts, Deletes: deletes}, func() {
 		sh.epoch.Store(ne)
 	})
+	if err != nil {
+		c.degrade("wal commit", err)
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
+	return nil
 }
 
 // Checkpoint writes the current corpus as a fresh checkpoint segment
 // and rotates the mutation log: the log is cut atomically with an
 // epoch snapshot, the segment is written outside all locks (queries
-// and mutations keep running), and on success the superseded
-// generations are deleted. If the segment write fails the corpus stays
-// consistent — the rotated log is already active, and recovery replays
-// both generations onto the previous checkpoint.
+// and mutations keep running), the written file is re-read and
+// structurally verified, and only then are the superseded generations
+// deleted — a torn or bit-flipped checkpoint must never destroy the
+// generations that could recover it. If any step fails the corpus
+// degrades but stays consistent on disk: the surviving generations
+// recover every committed mutation.
+//
+// On a degraded corpus, Checkpoint is the recovery path: it attempts
+// the verified full-segment rewrite that is the only way back to
+// accepting mutations.
 func (c *Corpus) Checkpoint() error {
 	c.durMu.Lock()
 	defer c.durMu.Unlock()
@@ -224,9 +355,16 @@ func (c *Corpus) checkpointLocked() error {
 	if w == nil {
 		return ErrNotDurable
 	}
+	if c.degraded.Load() != nil {
+		return c.recoverLocked()
+	}
 	next := c.walSeq + 1
 	if err := w.Rotate(segment.WALPath(c.durableDir, next), nil); err != nil {
-		return err
+		// The rotate either failed to create the new generation (old log
+		// intact) or wedged syncing the old one; both mean durable
+		// storage is misbehaving under us.
+		c.degrade("wal rotate", err)
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
 	}
 	// The active log IS generation next now, even if the segment write
 	// below fails: recovery replays every generation at or above the
@@ -234,9 +372,73 @@ func (c *Corpus) checkpointLocked() error {
 	// truthful.
 	c.walSeq = next
 	if err := c.writeCheckpointFile(next); err != nil {
-		return err
+		c.degrade("checkpoint write", err)
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
+	if err := c.verifyCheckpointFile(next); err != nil {
+		// The rename landed but the bytes do not read back whole. Leave
+		// the generations below in place — they are the recovery story —
+		// and quarantine the bad file so a crash right now does not
+		// recover from it.
+		if segment.Quarantine(segment.CheckpointPath(c.durableDir, next)) == nil {
+			c.quarantined.Add(1)
+		}
+		c.degrade("checkpoint verify", err)
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
 	}
 	return segment.RemoveObsolete(c.durableDir, next)
+}
+
+// recoverLocked is the verified full-segment rewrite that clears
+// degraded mode. The broken WAL is abandoned where it lies (its
+// committed prefix stays replayable); a brand-new checkpoint
+// generation is written atomically and verified by readback, a fresh
+// WAL starts beside it, and only once both exist does the corpus
+// resume accepting mutations. Any failure leaves the corpus degraded
+// and the directory exactly as recoverable as before the attempt.
+func (c *Corpus) recoverLocked() error {
+	c.recoveryAttempts.Add(1)
+	next := c.walSeq + 1
+	if err := c.writeCheckpointFile(next); err != nil {
+		return fmt.Errorf("%w: recovery checkpoint: %w", ErrDegraded, err)
+	}
+	if err := c.verifyCheckpointFile(next); err != nil {
+		if segment.Quarantine(segment.CheckpointPath(c.durableDir, next)) == nil {
+			c.quarantined.Add(1)
+		}
+		return fmt.Errorf("%w: recovery checkpoint verify: %w", ErrDegraded, err)
+	}
+	// A previous failed recovery attempt may have created this WAL
+	// generation and then died before the swap; it holds nothing an
+	// epoch ever published without, so it is safe to clear.
+	walPath := segment.WALPath(c.durableDir, next)
+	if err := faultfs.Default().Remove(walPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("%w: recovery wal cleanup: %w", ErrDegraded, err)
+	}
+	w, err := segment.CreateWAL(walPath, c.walPolicy())
+	if err != nil {
+		return fmt.Errorf("%w: recovery wal create: %w", ErrDegraded, err)
+	}
+	old := c.wal.Load()
+	c.wal.Store(w)
+	c.walSeq = next
+	if old != nil {
+		old.Close()
+	}
+	c.degraded.Store(nil)
+	// Cleanup failures after this point do not re-degrade: the new
+	// generation is verified and active, leftovers are garbage.
+	segment.RemoveObsolete(c.durableDir, next)
+	return nil
+}
+
+// walPolicy reports the active log's fsync policy so recovery can
+// carry it into the replacement log.
+func (c *Corpus) walPolicy() FsyncPolicy {
+	if w := c.wal.Load(); w != nil {
+		return w.Policy()
+	}
+	return FsyncAlways
 }
 
 // writeCheckpointFile snapshots the epochs and atomically writes
@@ -267,10 +469,28 @@ func (c *Corpus) writeCheckpointFile(seq int64) error {
 	return nil
 }
 
+// verifyCheckpointFile re-reads checkpoint generation seq from disk
+// and walks its section framing, checksums and all. What the write
+// path believes it wrote is irrelevant; only bytes that read back
+// whole may retire older generations or clear degraded mode.
+func (c *Corpus) verifyCheckpointFile(seq int64) error {
+	path := segment.CheckpointPath(c.durableDir, seq)
+	f, err := faultfs.Default().Open(path)
+	if err != nil {
+		return fmt.Errorf("ned: verifying checkpoint %d: %w", seq, err)
+	}
+	defer f.Close()
+	if err := segment.Verify(f); err != nil {
+		return fmt.Errorf("ned: verifying checkpoint %d: %w", seq, err)
+	}
+	return nil
+}
+
 // CloseDurable syncs and closes the mutation log and detaches the
 // durable directory. Mutations after the close fail; queries keep
 // serving. The corpus is NOT checkpointed — the log already holds
-// everything committed.
+// everything committed. Detaching clears degraded mode: the refusal
+// guarded a durability promise that no longer exists.
 func (c *Corpus) CloseDurable() error {
 	c.durMu.Lock()
 	defer c.durMu.Unlock()
@@ -281,6 +501,7 @@ func (c *Corpus) CloseDurable() error {
 	err := w.Close()
 	c.wal.Store(nil)
 	c.durableDir = ""
+	c.degraded.Store(nil)
 	return err
 }
 
@@ -294,4 +515,36 @@ func (c *Corpus) DurableStats() (walRecords, walBytes int64, durable bool) {
 	}
 	r, b := w.Stats()
 	return r, b, true
+}
+
+// DurableHealth is the serving layer's view of a corpus's durability:
+// readiness, degraded-mode detail, and recovery bookkeeping.
+type DurableHealth struct {
+	Durable                bool      // a durable directory is attached
+	Degraded               bool      // mutations currently refused
+	Reason                 string    // which operation degraded it
+	Since                  time.Time // when
+	RecoveryAttempts       int64     // rewrite attempts while degraded (lifetime)
+	QuarantinedCheckpoints int64     // checkpoints renamed aside (this open + since)
+	WALRecords             int64     // records in the active log generation
+	WALBytes               int64     // bytes in the active log generation
+}
+
+// DurableHealth reports the corpus's durability health. Cheap enough
+// for every /readyz and /metrics scrape.
+func (c *Corpus) DurableHealth() DurableHealth {
+	h := DurableHealth{
+		RecoveryAttempts:       c.recoveryAttempts.Load(),
+		QuarantinedCheckpoints: c.quarantined.Load(),
+	}
+	if w := c.wal.Load(); w != nil {
+		h.Durable = true
+		h.WALRecords, h.WALBytes = w.Stats()
+	}
+	if info := c.degraded.Load(); info != nil {
+		h.Degraded = true
+		h.Reason = info.Reason
+		h.Since = info.Since
+	}
+	return h
 }

@@ -1,0 +1,128 @@
+// Package faultfs is the filesystem seam under every writer of durable
+// state in this repo. Production code never calls os.OpenFile, Rename,
+// or friends directly on the durability path — it goes through the FS
+// interface, whose default implementation is a thin veneer over the os
+// package. Tests (and only tests) Install an Injector that scripts
+// failures — EIO, ENOSPC, short writes, sync failures, torn renames,
+// hard crash-points — by operation kind, path pattern, or global call
+// index, which is what lets the chaos harness provoke every I/O
+// failure path deterministically instead of hoping a real disk
+// misbehaves on cue.
+//
+// The seam is process-global (Default/Install) rather than threaded
+// through every constructor: durable directories are unique per test,
+// and an Injector only intervenes on paths under its Root, passing
+// everything else to the real filesystem — so installing one cannot
+// perturb unrelated I/O, only observe-and-fault its own directory.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+)
+
+// File is the open-file surface the durability layer needs: sequential
+// reads and writes, fsync, truncation. All implementations must be
+// safe for the single-owner use the WAL and segment writers make of
+// them (no concurrent method calls on one File).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync forces written data to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Stat reports file metadata.
+	Stat() (os.FileInfo, error)
+	// Name is the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem operation set of the durable stack: everything
+// internal/fsx, internal/segment, and the corpus durable layer touch.
+type FS interface {
+	// OpenFile opens path with os.OpenFile semantics.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// ReadFile reads the whole file at path.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists the directory at path.
+	ReadDir(path string) ([]os.DirEntry, error)
+	// Stat reports metadata for path.
+	Stat(path string) (os.FileInfo, error)
+	// Rename renames oldpath to newpath (atomically, on POSIX).
+	Rename(oldpath, newpath string) error
+	// Remove unlinks path.
+	Remove(path string) error
+	// MkdirAll creates path and missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs the directory at dir, making renames and
+	// creations in it durable. Filesystems without directory fsync
+	// (EINVAL/ENOTSUP) are tolerated — they offer nothing stronger.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+func (osFS) Open(path string) (File, error)             { return os.Open(path) }
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) Stat(path string) (os.FileInfo, error)      { return os.Stat(path) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+// current is the process-default FS: the one every durability-path
+// caller resolves through Default. nil means the real filesystem.
+var current atomic.Pointer[FS]
+
+// Default returns the installed FS, or the real filesystem when none
+// is installed.
+func Default() FS {
+	if p := current.Load(); p != nil {
+		return *p
+	}
+	return osFS{}
+}
+
+// Install makes fs the process default and returns a restore function
+// reinstating the previous default. Tests installing an Injector must
+// not run in parallel with other tests that install one; scoping the
+// Injector's Root to a per-test directory keeps everything else
+// unaffected either way.
+func Install(fs FS) (restore func()) {
+	prev := current.Swap(&fs)
+	return func() { current.Store(prev) }
+}
+
+// base returns the path's final element, the unit path patterns match
+// against.
+func base(path string) string { return filepath.Base(path) }

@@ -1,0 +1,249 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// write creates path with content through the default FS.
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	f, err := Default().OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallRestore(t *testing.T) {
+	before := Default()
+	inj := NewInjector(t.TempDir())
+	restore := inj.Install()
+	if Default() != FS(inj) {
+		t.Fatal("Install did not take effect")
+	}
+	restore()
+	if Default() != before {
+		t.Fatal("restore did not reinstate the previous FS")
+	}
+}
+
+// Out-of-root paths must pass through untouched and uncounted even
+// under an every-op failure rule.
+func TestInjectorScopedToRoot(t *testing.T) {
+	root := t.TempDir()
+	outside := t.TempDir()
+	inj := NewInjector(root).AddRule(Rule{Op: OpAny, Fault: FaultErr})
+	defer inj.Install()()
+
+	write(t, filepath.Join(outside, "ok.txt"), "fine")
+	if inj.Ops() != 0 {
+		t.Fatalf("out-of-root ops counted: %d", inj.Ops())
+	}
+	if _, err := Default().OpenFile(filepath.Join(root, "x"), os.O_WRONLY|os.O_CREATE, 0o644); err == nil {
+		t.Fatal("in-root open survived an every-op failure rule")
+	}
+}
+
+func TestRuleOpPathNthMatching(t *testing.T) {
+	root := t.TempDir()
+	boom := errors.New("scripted")
+	inj := NewInjector(root).AddRule(Rule{Op: OpWrite, Path: "wal-", Nth: 2, Fault: FaultErr, Err: boom})
+	defer inj.Install()()
+
+	// Writes to a non-matching path never trip.
+	write(t, filepath.Join(root, "other.dat"), "abc")
+
+	f, err := Default().OpenFile(filepath.Join(root, "wal-00000001.log"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("first matching write should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("second")); !errors.Is(err, boom) {
+		t.Fatalf("second matching write: err = %v, want %v", err, boom)
+	}
+	if _, err := f.Write([]byte("third")); err != nil {
+		t.Fatalf("post-Nth write should pass: %v", err)
+	}
+	if trips := inj.Trips(); len(trips) != 1 {
+		t.Fatalf("trips = %v, want exactly one", trips)
+	}
+}
+
+// The At sweep hook fires on the global op index regardless of class.
+func TestRuleAtGlobalIndex(t *testing.T) {
+	root := t.TempDir()
+
+	// Dry run: count the ops the scenario performs.
+	inj := NewInjector(root)
+	restore := inj.Install()
+	write(t, filepath.Join(root, "a"), "1") // open + write
+	write(t, filepath.Join(root, "b"), "2") // open + write
+	restore()
+	total := inj.Ops()
+	if total != 4 {
+		t.Fatalf("dry run counted %d ops, want 4", total)
+	}
+
+	// Replay failing exactly op 3 (second file's open).
+	inj2 := NewInjector(root).AddRule(Rule{At: 3, Fault: FaultErr})
+	restore2 := inj2.Install()
+	defer restore2()
+	write(t, filepath.Join(root, "a"), "1")
+	if _, err := Default().OpenFile(filepath.Join(root, "b"), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644); err == nil {
+		t.Fatal("op 3 did not fail")
+	}
+}
+
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	root := t.TempDir()
+	inj := NewInjector(root).AddRule(Rule{Op: OpWrite, Fault: FaultShortWrite, Err: syscall.ENOSPC})
+	defer inj.Install()()
+
+	path := filepath.Join(root, "torn.dat")
+	f, err := Default().OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("short write reported %d bytes, want %d", n, len(payload)/2)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("on-disk prefix = %q, want %q", got, "01234")
+	}
+}
+
+func TestTornRenameTruncatesSource(t *testing.T) {
+	root := t.TempDir()
+	inj := NewInjector(root).AddRule(Rule{Op: OpRename, Fault: FaultTornRename})
+	defer inj.Install()()
+
+	src := filepath.Join(root, "seg.tmp")
+	dst := filepath.Join(root, "seg.nedseg")
+	write(t, src, "abcdefghijklmnopqr") // 18 bytes -> torn to 6
+	if err := Default().Rename(src, dst); err != nil {
+		t.Fatalf("torn rename should still succeed: %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("torn rename target holds %d bytes, want 6", len(got))
+	}
+}
+
+// FaultErr on sync, truncate, remove, and syncdir paths.
+func TestFaultErrPerOpClass(t *testing.T) {
+	root := t.TempDir()
+	boom := errors.New("scripted")
+	inj := NewInjector(root).
+		AddRule(Rule{Op: OpSync, Fault: FaultErr, Err: boom}).
+		AddRule(Rule{Op: OpTruncate, Fault: FaultErr, Err: boom}).
+		AddRule(Rule{Op: OpRemove, Fault: FaultErr, Err: boom}).
+		AddRule(Rule{Op: OpSyncDir, Fault: FaultErr, Err: boom})
+	defer inj.Install()()
+
+	path := filepath.Join(root, "f.dat")
+	f, err := Default().OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, boom) {
+		t.Fatalf("truncate: %v", err)
+	}
+	if err := Default().Remove(path); !errors.Is(err, boom) {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := Default().SyncDir(root); !errors.Is(err, boom) {
+		t.Fatalf("syncdir: %v", err)
+	}
+}
+
+// Reset clears the script mid-flight so recovery paths run clean.
+func TestReset(t *testing.T) {
+	root := t.TempDir()
+	inj := NewInjector(root).AddRule(Rule{Op: OpAny, Fault: FaultErr})
+	defer inj.Install()()
+	if _, err := Default().OpenFile(filepath.Join(root, "x"), os.O_WRONLY|os.O_CREATE, 0o644); err == nil {
+		t.Fatal("rule did not fire")
+	}
+	inj.Reset()
+	write(t, filepath.Join(root, "x"), "now fine")
+}
+
+// The default error for a rule with no Err is EIO.
+func TestDefaultErrIsEIO(t *testing.T) {
+	root := t.TempDir()
+	inj := NewInjector(root).AddRule(Rule{Op: OpOpen, Fault: FaultErr})
+	defer inj.Install()()
+	_, err := Default().Open(filepath.Join(root, "x"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+}
+
+// The plain OS filesystem must behave like the os package (smoke).
+func TestOSFS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	fs := OS()
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(path)
+	if err != nil || string(b) != "hi" {
+		t.Fatalf("ReadFile: %q, %v", b, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := fs.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %d entries, %v", len(ents), err)
+	}
+	if err := fs.Remove(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+}

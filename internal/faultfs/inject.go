@@ -1,0 +1,377 @@
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names a filesystem operation class for rule matching.
+type Op int
+
+const (
+	// OpAny matches every operation.
+	OpAny Op = iota
+	// OpOpen covers OpenFile and Open.
+	OpOpen
+	// OpWrite covers File.Write.
+	OpWrite
+	// OpSync covers File.Sync.
+	OpSync
+	// OpTruncate covers File.Truncate.
+	OpTruncate
+	// OpRename covers FS.Rename (matched against the destination).
+	OpRename
+	// OpRemove covers FS.Remove.
+	OpRemove
+	// OpSyncDir covers FS.SyncDir.
+	OpSyncDir
+	// OpRead covers File.Read and FS.ReadFile.
+	OpRead
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpAny:
+		return "any"
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	case OpRead:
+		return "read"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Fault is what a matched rule does to the operation.
+type Fault int
+
+const (
+	// FaultErr fails the operation with Rule.Err without performing it.
+	FaultErr Fault = iota
+	// FaultShortWrite writes roughly half the buffer to the real file,
+	// then fails with Rule.Err — the canonical torn-append producer.
+	// Only meaningful on OpWrite; other ops treat it as FaultErr.
+	FaultShortWrite
+	// FaultTornRename truncates the source file to a prefix and then
+	// performs the rename successfully — modelling a crash-torn rename
+	// target discovered on the next boot. Only meaningful on OpRename.
+	FaultTornRename
+	// FaultCrash kills the process with SIGKILL before performing the
+	// operation. Used by the subprocess crash-point matrix.
+	FaultCrash
+	// FaultCrashTorn (OpWrite only) writes roughly half the buffer and
+	// then SIGKILLs — a torn append with no error path at all.
+	FaultCrashTorn
+)
+
+// Rule scripts one fault. Zero-value fields widen the match: Op OpAny
+// matches every operation class, empty Path matches every path under
+// the injector root, Nth 0 fires on every matching call.
+type Rule struct {
+	// Op restricts the rule to one operation class.
+	Op Op
+	// Path, when non-empty, must be a substring of the operation's
+	// path (renames match the destination).
+	Path string
+	// Nth fires only on the nth matching call (1-based). 0 fires on
+	// every match.
+	Nth int64
+	// At, when > 0, ignores Op/Path/Nth and fires when the injector's
+	// global operation counter (ops under Root, in order) reaches this
+	// 1-based index. This is the sweep hook: enumerate a scenario's
+	// ops once, then fail each index in turn.
+	At int64
+	// Fault selects the failure behaviour.
+	Fault Fault
+	// Err is the error returned for FaultErr/FaultShortWrite; nil
+	// defaults to EIO.
+	Err error
+
+	seen int64 // matching calls observed (under mu)
+}
+
+// Injector is an FS that delegates to an inner FS but consults a rule
+// script on every operation whose path lives under Root. It is safe
+// for concurrent use.
+type Injector struct {
+	inner FS
+	root  string
+
+	mu    sync.Mutex
+	rules []*Rule
+	ops   int64 // global op counter, paths under root only
+	trips []string
+}
+
+// NewInjector wraps the real filesystem, intervening only on paths
+// under root (a directory; matched by prefix).
+func NewInjector(root string) *Injector {
+	return &Injector{inner: osFS{}, root: root}
+}
+
+// AddRule appends a rule to the script. Rules are consulted in order;
+// the first that fires wins for a given operation.
+func (in *Injector) AddRule(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &r)
+	return in
+}
+
+// Reset clears all rules and the fired-fault log but keeps the global
+// op counter running.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+	in.trips = nil
+}
+
+// Ops reports how many operations under Root have been observed —
+// run a scenario once fault-free, read Ops, then sweep At=1..Ops.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Trips returns a description of each fault fired so far, in order.
+func (in *Injector) Trips() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.trips...)
+}
+
+// Install installs the injector as the process-default FS and returns
+// the restore function.
+func (in *Injector) Install() (restore func()) { return Install(in) }
+
+func (in *Injector) scoped(path string) bool {
+	return strings.HasPrefix(path, in.root)
+}
+
+// check runs the rule script for one operation. It returns the fault
+// to apply (nil when the operation should proceed untouched).
+func (in *Injector) check(op Op, path string) *Rule {
+	if !in.scoped(path) {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	for _, r := range in.rules {
+		if r.At > 0 {
+			if in.ops != r.At {
+				continue
+			}
+		} else {
+			if r.Op != OpAny && r.Op != op {
+				continue
+			}
+			if r.Path != "" && !strings.Contains(path, r.Path) {
+				continue
+			}
+			r.seen++
+			if r.Nth > 0 && r.seen != r.Nth {
+				continue
+			}
+		}
+		in.trips = append(in.trips,
+			fmt.Sprintf("op=%v path=%s at=%d fault=%d", op, base(path), in.ops, r.Fault))
+		return r
+	}
+	return nil
+}
+
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return syscall.EIO
+}
+
+// crash kills this process without running deferred functions or
+// flushing anything — the harshest stop available.
+func crash() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be caught
+}
+
+// apply executes a fired rule for a non-write operation: either fail
+// or crash. Returns the error to surface (nil means proceed).
+func (r *Rule) apply() (proceed bool, err error) {
+	switch r.Fault {
+	case FaultCrash, FaultCrashTorn:
+		crash()
+		return false, nil
+	case FaultTornRename:
+		return true, nil // handled by Rename itself
+	default:
+		return false, r.err()
+	}
+}
+
+// --- FS implementation ---
+
+// OpenFile consults the script, then opens through the inner FS,
+// wrapping the handle so per-file operations stay scripted.
+func (in *Injector) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if r := in.check(OpOpen, path); r != nil {
+		if proceed, err := r.apply(); !proceed {
+			return nil, err
+		}
+	}
+	f, err := in.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, path: path, in: in}, nil
+}
+
+// Open is OpenFile read-only.
+func (in *Injector) Open(path string) (File, error) {
+	return in.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// ReadFile consults the script, then reads through the inner FS.
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if r := in.check(OpRead, path); r != nil {
+		if proceed, err := r.apply(); !proceed {
+			return nil, err
+		}
+	}
+	return in.inner.ReadFile(path)
+}
+
+// ReadDir delegates to the inner FS (listing is not a fault target).
+func (in *Injector) ReadDir(path string) ([]os.DirEntry, error) {
+	return in.inner.ReadDir(path)
+}
+
+// Stat delegates to the inner FS.
+func (in *Injector) Stat(path string) (os.FileInfo, error) {
+	return in.inner.Stat(path)
+}
+
+// Rename consults the script (matching the destination) and can tear
+// the source before renaming.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if r := in.check(OpRename, newpath); r != nil {
+		switch r.Fault {
+		case FaultCrash, FaultCrashTorn:
+			crash()
+		case FaultTornRename:
+			if fi, err := in.inner.Stat(oldpath); err == nil && fi.Size() > 0 {
+				if f, err := in.inner.OpenFile(oldpath, os.O_WRONLY, 0); err == nil {
+					_ = f.Truncate(fi.Size() / 3)
+					_ = f.Sync()
+					_ = f.Close()
+				}
+			}
+		default:
+			return r.err()
+		}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove consults the script, then removes through the inner FS.
+func (in *Injector) Remove(path string) error {
+	if r := in.check(OpRemove, path); r != nil {
+		if proceed, err := r.apply(); !proceed {
+			return err
+		}
+	}
+	return in.inner.Remove(path)
+}
+
+// MkdirAll delegates to the inner FS.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return in.inner.MkdirAll(path, perm)
+}
+
+// SyncDir consults the script, then syncs through the inner FS.
+func (in *Injector) SyncDir(dir string) error {
+	if r := in.check(OpSyncDir, dir); r != nil {
+		if proceed, err := r.apply(); !proceed {
+			return err
+		}
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injFile routes per-handle operations back through the script.
+type injFile struct {
+	f    File
+	path string
+	in   *Injector
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if r := f.in.check(OpRead, f.path); r != nil {
+		if proceed, err := r.apply(); !proceed {
+			return 0, err
+		}
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	if r := f.in.check(OpWrite, f.path); r != nil {
+		switch r.Fault {
+		case FaultCrash:
+			crash()
+		case FaultCrashTorn:
+			if len(p) > 1 {
+				_, _ = f.f.Write(p[:len(p)/2])
+				_ = f.f.Sync()
+			}
+			crash()
+		case FaultShortWrite:
+			n := 0
+			if len(p) > 1 {
+				n, _ = f.f.Write(p[:len(p)/2])
+			}
+			return n, r.err()
+		default:
+			return 0, r.err()
+		}
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if r := f.in.check(OpSync, f.path); r != nil {
+		if proceed, err := r.apply(); !proceed {
+			return err
+		}
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if r := f.in.check(OpTruncate, f.path); r != nil {
+		if proceed, err := r.apply(); !proceed {
+			return err
+		}
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *injFile) Close() error               { return f.f.Close() }
+func (f *injFile) Stat() (os.FileInfo, error) { return f.f.Stat() }
+func (f *injFile) Name() string               { return f.path }

@@ -4,16 +4,24 @@
 // file or the new complete file — a torn half-written snapshot that
 // shadows a good one is corruption, and exactly the bug the bare
 // os.Create savers used to have.
+//
+// All filesystem access goes through internal/faultfs, so chaos tests
+// can script EIO/ENOSPC/short-write/torn-rename faults at any step.
 package fsx
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"syscall"
+	"strings"
+
+	"ned/internal/faultfs"
 )
+
+// writeFlags creates-or-truncates for writing: the tmp file may be a
+// leftover from an earlier crashed attempt and is overwritten.
+const writeFlags = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
 
 // WriteFileAtomic writes a file so a crash at any instant leaves the
 // target either absent/previous or fully written: the content goes to
@@ -23,15 +31,16 @@ import (
 // the whole operation, removing the tmp file and leaving an existing
 // target untouched.
 func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	fs := faultfs.Default()
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fs.OpenFile(tmp, writeFlags, 0o644)
 	if err != nil {
 		return fmt.Errorf("fsx: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fs.Remove(tmp)
 		}
 	}()
 	if err = write(f); err != nil {
@@ -43,7 +52,7 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("fsx: closing %s: %w", tmp, err)
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("fsx: %w", err)
 	}
 	return SyncDir(filepath.Dir(path))
@@ -54,14 +63,38 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 // network and FUSE mounts report EINVAL or ENOTSUP) are tolerated:
 // they offer no stronger primitive to fall back to.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("fsx: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil &&
-		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+	if err := faultfs.Default().SyncDir(dir); err != nil {
 		return fmt.Errorf("fsx: syncing directory %s: %w", dir, err)
 	}
 	return nil
+}
+
+// SweepTemps removes stale WriteFileAtomic temporaries (*.tmp) from
+// dir. A process that died between creating a tmp file and renaming
+// it leaves the orphan behind forever — in-process cleanup only runs
+// when the writer survives to see the error — so durable directories
+// sweep on open. Returns how many temporaries were removed; unlink
+// failures are ignored (an orphan is garbage, not state), and a
+// missing directory sweeps nothing.
+func SweepTemps(dir string) (int, error) {
+	fs := faultfs.Default()
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, nil
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if fs.Remove(filepath.Join(dir, e.Name())) == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		if err := SyncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
 }

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ned/internal/faultfs"
 )
 
 func TestWriteFileAtomic(t *testing.T) {
@@ -80,5 +82,93 @@ func TestSyncDir(t *testing.T) {
 	}
 	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+}
+
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"checkpoint-00000003.nedseg.tmp", "snapshot.neds.tmp", "keep.nedseg", "wal-00000001.log"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SweepTemps(dir)
+	if err != nil {
+		t.Fatalf("SweepTemps: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d temporaries, want 2", n)
+	}
+	for _, name := range []string{"keep.nedseg", "wal-00000001.log", "sub.tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s should have survived the sweep: %v", name, err)
+		}
+	}
+	for _, name := range []string{"checkpoint-00000003.nedseg.tmp", "snapshot.neds.tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s should have been swept: %v", name, err)
+		}
+	}
+}
+
+func TestSweepTempsMissingDir(t *testing.T) {
+	n, err := SweepTemps(filepath.Join(t.TempDir(), "absent"))
+	if n != 0 || err != nil {
+		t.Fatalf("missing dir: swept %d, err %v", n, err)
+	}
+}
+
+// A scripted rename failure must abort WriteFileAtomic without leaving
+// the tmp orphan — the in-process cleanup half of the orphan story
+// (SweepTemps handles the crashed-process half).
+func TestWriteFileAtomicRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dat")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(dir).AddRule(faultfs.Rule{Op: faultfs.OpRename, Fault: faultfs.FaultErr})
+	defer inj.Install()()
+
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("replacement"))
+		return err
+	})
+	if err == nil {
+		t.Fatal("rename fault did not surface")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "previous" {
+		t.Fatalf("target after failed rename: %q, %v", got, rerr)
+	}
+	if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatalf("tmp orphan left after in-process rename failure: %v", serr)
+	}
+}
+
+// A short write into the tmp file fails the operation and keeps the
+// previous target intact.
+func TestWriteFileAtomicShortWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dat")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(dir).AddRule(faultfs.Rule{Op: faultfs.OpWrite, Fault: faultfs.FaultShortWrite})
+	defer inj.Install()()
+
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("a long replacement payload"))
+		return err
+	})
+	if err == nil {
+		t.Fatal("short write did not surface")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "previous" {
+		t.Fatalf("target after short write: %q, %v", got, rerr)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ned/internal/faultfs"
 	"ned/internal/fsx"
 )
 
@@ -24,12 +25,20 @@ import (
 // checkpoint that prompted it then fails to write, so consecutive
 // trailing generations may each hold committed mutations. A successful
 // checkpoint deletes the generations below it.
+//
+// A checkpoint that fails to decode on recovery is quarantined:
+// renamed to <name>.quarantined so it stops shadowing older good
+// generations, and recovery falls back to the next-lower checkpoint
+// plus the surviving WAL tail. Quarantined files are kept for forensic
+// inspection until a later checkpoint's cleanup retires their
+// generation.
 
 const (
 	checkpointPrefix = "checkpoint-"
 	checkpointSuffix = ".nedseg"
 	walPrefix        = "wal-"
 	walSuffix        = ".log"
+	quarantineSuffix = ".quarantined"
 )
 
 // CheckpointPath names generation seq's checkpoint segment in dir.
@@ -63,31 +72,53 @@ func parseSeq(name, prefix, suffix string) (int64, bool) {
 // ok is false when dir holds no checkpoints (including when dir does
 // not exist).
 func LatestCheckpoint(dir string) (seq int64, path string, ok bool, err error) {
-	entries, err := os.ReadDir(dir)
+	seqs, err := Checkpoints(dir)
+	if err != nil || len(seqs) == 0 {
+		return 0, "", false, err
+	}
+	best := seqs[0]
+	return best, CheckpointPath(dir, best), true, nil
+}
+
+// Checkpoints returns the checkpoint generations present in dir,
+// descending (newest first) — the order recovery tries them in. A
+// missing directory holds none.
+func Checkpoints(dir string) ([]int64, error) {
+	entries, err := faultfs.Default().ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, "", false, nil
+			return nil, nil
 		}
-		return 0, "", false, fmt.Errorf("segment: scanning %s: %w", dir, err)
+		return nil, fmt.Errorf("segment: scanning %s: %w", dir, err)
 	}
-	best := int64(-1)
+	var seqs []int64
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
-		if s, isCkpt := parseSeq(e.Name(), checkpointPrefix, checkpointSuffix); isCkpt && s > best {
-			best = s
+		if s, isCkpt := parseSeq(e.Name(), checkpointPrefix, checkpointSuffix); isCkpt {
+			seqs = append(seqs, s)
 		}
 	}
-	if best < 0 {
-		return 0, "", false, nil
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs, nil
+}
+
+// Quarantine renames an unreadable checkpoint aside (appending
+// ".quarantined") so it stops shadowing older generations, and makes
+// the rename durable. The quarantined file keeps its bytes for
+// inspection; RemoveObsolete retires it with its generation.
+func Quarantine(path string) error {
+	fs := faultfs.Default()
+	if err := fs.Rename(path, path+quarantineSuffix); err != nil {
+		return fmt.Errorf("segment: quarantining %s: %w", path, err)
 	}
-	return best, CheckpointPath(dir, best), true, nil
+	return fsx.SyncDir(filepath.Dir(path))
 }
 
 // WALSeqs returns the wal generations present in dir, ascending.
 func WALSeqs(dir string) ([]int64, error) {
-	entries, err := os.ReadDir(dir)
+	entries, err := faultfs.Default().ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -114,12 +145,14 @@ func HasState(dir string) bool {
 	return err == nil && ok
 }
 
-// RemoveObsolete deletes checkpoints and wals with generations below
-// keep, plus stray atomic-write temporaries. Failures to unlink are
-// ignored — obsolete files are garbage, not state — but the directory
-// is synced so successful deletions are durable.
+// RemoveObsolete deletes checkpoints, wals, and quarantined
+// checkpoints with generations below keep, plus stray atomic-write
+// temporaries. Failures to unlink are ignored — obsolete files are
+// garbage, not state — but the directory is synced so successful
+// deletions are durable.
 func RemoveObsolete(dir string, keep int64) error {
-	entries, err := os.ReadDir(dir)
+	fs := faultfs.Default()
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("segment: scanning %s: %w", dir, err)
 	}
@@ -129,14 +162,15 @@ func RemoveObsolete(dir string, keep int64) error {
 		}
 		name := e.Name()
 		drop := strings.HasSuffix(name, ".tmp")
-		if s, isCkpt := parseSeq(name, checkpointPrefix, checkpointSuffix); isCkpt && s < keep {
+		base := strings.TrimSuffix(name, quarantineSuffix)
+		if s, isCkpt := parseSeq(base, checkpointPrefix, checkpointSuffix); isCkpt && s < keep {
 			drop = true
 		}
-		if s, isWAL := parseSeq(name, walPrefix, walSuffix); isWAL && s < keep {
+		if s, isWAL := parseSeq(base, walPrefix, walSuffix); isWAL && s < keep {
 			drop = true
 		}
 		if drop {
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 		}
 	}
 	return fsx.SyncDir(dir)

@@ -29,6 +29,35 @@ func FuzzWALReplay(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})
+	// Injected-fault residue: the frame shapes the faultfs chaos tests
+	// leave on disk — short writes tearing a frame at arbitrary points,
+	// a torn frame followed by a clean one (the wedge-bug shape), and a
+	// half-overwritten final frame.
+	if len(golden) > 0 {
+		// Every frame torn at its midpoint (short write of that frame).
+		frames := walFrameBounds(golden)
+		prev := int64(0)
+		for _, end := range frames {
+			mid := prev + (end-prev)/2
+			f.Add(append([]byte(nil), golden[:mid]...))
+			// Torn frame followed by intact later frames: mid-file
+			// corruption, must fail loudly — but never panic.
+			torn := append([]byte(nil), golden[:mid]...)
+			torn = append(torn, golden[end:]...)
+			f.Add(torn)
+			prev = end
+		}
+		// A final frame whose first half was overwritten with zeros (out
+		// of order page writeback).
+		if last := len(frames); last > 1 {
+			start := frames[last-2]
+			smashed := append([]byte(nil), golden...)
+			for i := start; i < start+(frames[last-1]-start)/2; i++ {
+				smashed[i] = 0
+			}
+			f.Add(smashed)
+		}
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		recs, valid, err := DecodeWAL(b)
 		if valid < 0 || valid > int64(len(b)) {
@@ -43,6 +72,23 @@ func FuzzWALReplay(f *testing.F) {
 				len(recs2), len(recs), valid2, valid, err2)
 		}
 	})
+}
+
+// walFrameBounds returns each intact frame's end offset in a clean log
+// image (for carving fuzz seeds at frame-relative positions).
+func walFrameBounds(b []byte) []int64 {
+	var bounds []int64
+	off := int64(0)
+	for int(off)+8 <= len(b) {
+		plen := int64(uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24)
+		end := off + 8 + plen
+		if end > int64(len(b)) {
+			break
+		}
+		bounds = append(bounds, end)
+		off = end
+	}
+	return bounds
 }
 
 // FuzzSegmentRead only asserts the reader never panics or succeeds on

@@ -1075,3 +1075,38 @@ func Read(r io.Reader) (Meta, []ned.Item, *tree.Interner, *graph.Graph, []VPInde
 	}
 	return meta, items, in, g, indexes, nil
 }
+
+// Verify walks a segment stream shallowly: magic, then every framed
+// section checksum-verified in order until the end marker, then EOF.
+// It does not decode payloads — that is Read's job — but it proves the
+// file is structurally whole, which is what the checkpoint writer
+// needs to confirm before deleting the generations a torn or bit-
+// flipped write would otherwise have been recovered from.
+func Verify(r io.Reader) error {
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("segment: verify: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return fmt.Errorf("segment: verify: bad magic %q", magic[:])
+	}
+	seen := 0
+	for {
+		typ, _, err := readSection(r)
+		if err != nil {
+			return fmt.Errorf("segment: verify: %w", err)
+		}
+		seen++
+		if typ == secEnd {
+			break
+		}
+		if seen > 1<<20 {
+			return fmt.Errorf("segment: verify: no end marker after %d sections", seen)
+		}
+	}
+	var one [1]byte
+	if n, _ := r.Read(one[:]); n != 0 {
+		return fmt.Errorf("segment: verify: trailing data after end section")
+	}
+	return nil
+}

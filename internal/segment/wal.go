@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"ned/internal/faultfs"
 	"ned/internal/fsx"
 	"ned/internal/graph"
 	"ned/internal/ned"
@@ -97,24 +98,31 @@ const maxWALPayload = 1 << 30
 // exactly the mutations already appended to the old file.
 type WAL struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       faultfs.File
 	path    string
 	policy  FsyncPolicy
 	records int64
 	bytes   int64
 	buf     []byte
+	wedged  error // first append/sync failure; sticky, blocks commits
 }
+
+// ErrWALWedged marks a WAL refusing further appends after an earlier
+// append or sync failure left its durable tail uncertain. Callers see
+// it wrapped with the original cause.
+var ErrWALWedged = fmt.Errorf("segment: wal wedged by earlier i/o failure")
 
 // CreateWAL creates a new, empty log at path (which must not exist)
 // and makes its directory entry durable.
 func CreateWAL(path string, policy FsyncPolicy) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	fs := faultfs.Default()
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("segment: creating wal: %w", err)
 	}
 	if err := fsx.SyncDir(filepath.Dir(path)); err != nil {
 		f.Close()
-		os.Remove(path)
+		fs.Remove(path)
 		return nil, err
 	}
 	return &WAL{f: f, path: path, policy: policy}, nil
@@ -124,7 +132,7 @@ func CreateWAL(path string, policy FsyncPolicy) (*WAL, error) {
 // prefix: the file is truncated to size — discarding a torn tail the
 // replay already refused — and appends resume from there.
 func OpenWALAt(path string, size int64, records int64, policy FsyncPolicy) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := faultfs.Default().OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("segment: reopening wal: %w", err)
 	}
@@ -150,23 +158,60 @@ func OpenWALAt(path string, size int64, records int64, policy FsyncPolicy) (*WAL
 	return &WAL{f: f, path: path, policy: policy, records: records, bytes: size}, nil
 }
 
+// wedge records the first append/sync failure and tries to restore the
+// on-disk file to its last known-durable prefix so the log stays
+// replayable even if the process keeps running. The repair is best
+// effort: if the truncate itself fails, the torn bytes stay — but the
+// wedged flag guarantees no later append lands behind them, so replay
+// still recovers the committed prefix via torn-tail dropping.
+func (w *WAL) wedge(cause error) {
+	if w.wedged == nil {
+		w.wedged = cause
+	}
+	if w.f != nil {
+		if w.f.Truncate(w.bytes) == nil {
+			w.f.Sync()
+		}
+	}
+}
+
+// Wedged reports the sticky failure blocking this WAL, nil if healthy.
+func (w *WAL) Wedged() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wedged
+}
+
 // Commit appends rec as one frame, forces it to disk per the fsync
 // policy, and only then runs publish (the epoch-pointer stores that
 // make the mutation visible). The append and the publish happen under
 // one mutex so Rotate can cut the log at a point consistent with the
 // published state.
+//
+// A failed append or sync wedges the WAL: the partial frame is
+// truncated away if possible, and every subsequent Commit or Rotate
+// refuses with ErrWALWedged. Without the wedge, a short write followed
+// by a successful append would bury torn bytes mid-file, making the
+// entire tail — including the later, acknowledged frame — unreplayable.
 func (w *WAL) Commit(rec Record, publish func()) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("segment: wal is closed")
 	}
+	if w.wedged != nil {
+		return fmt.Errorf("%w: %w", ErrWALWedged, w.wedged)
+	}
 	w.buf = appendRecord(w.buf[:0], rec)
 	if _, err := w.f.Write(w.buf); err != nil {
+		w.wedge(err)
 		return fmt.Errorf("segment: wal append: %w", err)
 	}
 	if w.policy == FsyncAlways {
 		if err := w.f.Sync(); err != nil {
+			// The kernel may have dropped the dirty pages (the fsync-gate
+			// lesson): the frame's durability is unknowable. Wedge.
+			w.wedge(err)
 			return fmt.Errorf("segment: wal sync: %w", err)
 		}
 	}
@@ -183,23 +228,30 @@ func (w *WAL) Commit(rec Record, publish func()) error {
 // old file is visible to it, and none from the new file are), the old
 // file is synced and closed, and appends continue in a fresh log at
 // path. On error the WAL keeps its current file and capture must be
-// discarded.
+// discarded. A wedged WAL refuses to rotate: its tail is suspect, and
+// the caller's recovery path rebuilds from a verified checkpoint
+// instead.
 func (w *WAL) Rotate(path string, capture func()) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("segment: wal is closed")
 	}
+	if w.wedged != nil {
+		return fmt.Errorf("%w: %w", ErrWALWedged, w.wedged)
+	}
 	if err := w.f.Sync(); err != nil {
+		w.wedge(err)
 		return fmt.Errorf("segment: syncing wal before rotation: %w", err)
 	}
-	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	fs := faultfs.Default()
+	nf, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("segment: creating rotated wal: %w", err)
 	}
 	if err := fsx.SyncDir(filepath.Dir(path)); err != nil {
 		nf.Close()
-		os.Remove(path)
+		fs.Remove(path)
 		return err
 	}
 	if capture != nil {
@@ -219,18 +271,29 @@ func (w *WAL) Sync() error {
 	if w.f == nil {
 		return nil
 	}
-	return w.f.Sync()
+	if w.wedged != nil {
+		return fmt.Errorf("%w: %w", ErrWALWedged, w.wedged)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.wedge(err)
+		return err
+	}
+	return nil
 }
 
 // Close syncs (under FsyncAlways the data already is) and closes the
-// log. Further commits fail.
+// log. Further commits fail. Closing a wedged WAL skips the sync — its
+// durable prefix is already as good as it will get.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}
-	serr := w.f.Sync()
+	var serr error
+	if w.wedged == nil {
+		serr = w.f.Sync()
+	}
 	cerr := w.f.Close()
 	w.f = nil
 	if serr != nil {
@@ -244,6 +307,13 @@ func (w *WAL) Stats() (records, bytes int64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.records, w.bytes
+}
+
+// Policy returns the log's fsync policy.
+func (w *WAL) Policy() FsyncPolicy {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.policy
 }
 
 // Path returns the current log file path.
@@ -426,7 +496,7 @@ func DecodeWAL(b []byte) ([]Record, int64, error) {
 // ReplayWAL reads and replays the log at path. A missing file is not
 // an error: it replays to nothing, as an empty log would.
 func ReplayWAL(path string) ([]Record, int64, error) {
-	b, err := os.ReadFile(path)
+	b, err := faultfs.Default().ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, 0, nil

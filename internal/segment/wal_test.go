@@ -2,11 +2,14 @@ package segment
 
 import (
 	"bytes"
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 
+	"ned/internal/faultfs"
 	"ned/internal/graph"
 	"ned/internal/ned"
 	"ned/internal/tree"
@@ -326,5 +329,161 @@ func TestWALGolden(t *testing.T) {
 	recs, valid, err := DecodeWAL(want)
 	if err != nil || len(recs) != len(walFixtureRecords(t)) || valid != int64(len(want)) {
 		t.Fatalf("golden log replay: %d records, %d valid, %v", len(recs), valid, err)
+	}
+}
+
+// --- fault-injection regressions(the torn-frame-after-failed-Commit
+// bug): a short write must wedge the log so no later append can land
+// behind torn bytes, and the on-disk file must replay to exactly the
+// acknowledged prefix. The injector is installed before CreateWAL —
+// file handles capture the filesystem at open time, exactly as the
+// durable stack opens its WAL under whatever seam is current. ---
+
+func TestWALShortWriteWedgesAndPreservesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-00000000.log")
+	// The third frame write tears mid-frame with ENOSPC.
+	inj := faultfs.NewInjector(dir).AddRule(faultfs.Rule{
+		Op: faultfs.OpWrite, Path: "wal-", Nth: 3, Fault: faultfs.FaultShortWrite, Err: syscall.ENOSPC,
+	})
+	defer inj.Install()()
+
+	w, err := CreateWAL(path, FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walFixtureRecords(t)
+	if err := w.Commit(recs[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(recs[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	published := false
+	if err := w.Commit(recs[2], func() { published = true }); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short-write commit: err = %v, want ENOSPC", err)
+	}
+	if published {
+		t.Fatal("failed commit ran its publish hook")
+	}
+	if w.Wedged() == nil {
+		t.Fatal("short write did not wedge the log")
+	}
+
+	// The regression: this commit would have succeeded and buried the
+	// torn frame mid-file, losing itself AND confusing replay. It must
+	// refuse instead.
+	if err := w.Commit(recs[2], nil); !errors.Is(err, ErrWALWedged) {
+		t.Fatalf("commit after wedge: err = %v, want ErrWALWedged", err)
+	}
+	if err := w.Rotate(filepath.Join(dir, "wal-00000001.log"), nil); !errors.Is(err, ErrWALWedged) {
+		t.Fatalf("rotate after wedge: err = %v, want ErrWALWedged", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, valid, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatalf("replaying wedged log: %v", err)
+	}
+	if len(got) != 2 || !sameRecord(got[0], recs[0]) || !sameRecord(got[1], recs[1]) {
+		t.Fatalf("replayed %d records, want the 2 acknowledged ones", len(got))
+	}
+	// The wedge truncated the torn bytes: valid covers the whole file.
+	st, _ := os.Stat(path)
+	if valid != st.Size() {
+		t.Fatalf("valid prefix %d, file %d — torn bytes were not truncated", valid, st.Size())
+	}
+
+	// Recovery path: reopen at the validated prefix and resume.
+	w2, err := OpenWALAt(path, valid, int64(len(got)), FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(recs[2], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := ReplayWAL(path)
+	if err != nil || len(got2) != 3 {
+		t.Fatalf("after resume: %d records, %v", len(got2), err)
+	}
+}
+
+// A sync failure is as fatal as a write failure: the kernel may have
+// dropped the dirty pages, so the frame's durability is unknowable.
+func TestWALSyncFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-00000000.log")
+	inj := faultfs.NewInjector(dir).AddRule(faultfs.Rule{
+		Op: faultfs.OpSync, Path: "wal-", Nth: 2, Fault: faultfs.FaultErr,
+	})
+	defer inj.Install()()
+
+	w, err := CreateWAL(path, FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walFixtureRecords(t)
+	if err := w.Commit(recs[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(recs[1], nil); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync-failed commit: err = %v, want EIO", err)
+	}
+	if err := w.Commit(recs[1], nil); !errors.Is(err, ErrWALWedged) {
+		t.Fatalf("commit after sync wedge: err = %v, want ErrWALWedged", err)
+	}
+	w.Close()
+
+	got, _, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != 1 || !sameRecord(got[0], recs[0]) {
+		t.Fatalf("replayed %d records, want the 1 acknowledged one", len(got))
+	}
+}
+
+// Even when the wedge's repair truncate ALSO fails, the torn bytes stay
+// at the tail — where the torn-tail contract already drops them — and
+// the refusal to append keeps them there.
+func TestWALWedgeTruncateFailureStillReplayable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-00000000.log")
+	inj := faultfs.NewInjector(dir).
+		AddRule(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal-", Nth: 2, Fault: faultfs.FaultShortWrite}).
+		AddRule(faultfs.Rule{Op: faultfs.OpTruncate, Fault: faultfs.FaultErr})
+	defer inj.Install()()
+
+	w, err := CreateWAL(path, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walFixtureRecords(t)
+	if err := w.Commit(recs[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(recs[1], nil); err == nil {
+		t.Fatal("short write did not surface")
+	}
+	if err := w.Commit(recs[2], nil); !errors.Is(err, ErrWALWedged) {
+		t.Fatalf("commit after wedge: err = %v, want ErrWALWedged", err)
+	}
+	w.Close()
+
+	got, valid, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatalf("replay over un-truncatable torn tail: %v", err)
+	}
+	if len(got) != 1 || !sameRecord(got[0], recs[0]) {
+		t.Fatalf("replayed %d records, want the 1 acknowledged one", len(got))
+	}
+	st, _ := os.Stat(path)
+	if valid >= st.Size() {
+		t.Fatalf("expected torn residue past the valid prefix (valid %d, file %d)", valid, st.Size())
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +88,12 @@ type coalescer struct {
 	window   time.Duration
 	maxBatch int
 
+	// onPanic, when set, observes a recovered panic from a flush
+	// goroutine (counted and logged by the server). Flushes run outside
+	// any HTTP handler, so without recovery here a panicking engine
+	// call would kill the whole daemon, not one connection.
+	onPanic func(p any)
+
 	mu      sync.Mutex
 	pending map[coalKey]*coalBatch
 
@@ -147,8 +154,29 @@ func (co *coalescer) flush(key coalKey, b *coalBatch) {
 }
 
 // run executes a detached batch. Requests are only appended while a
-// batch sits in the pending table, so reqs is immutable here.
+// batch sits in the pending table, so reqs is immutable here. A panic
+// out of the engine is recovered: every member that has not received a
+// result yet gets a typed error instead of hanging until its context
+// dies, and the daemon survives.
 func (co *coalescer) run(key coalKey, reqs []*coalReq) {
+	defer func() {
+		if p := recover(); p != nil {
+			if co.onPanic != nil {
+				co.onPanic(p)
+			}
+			err := fmt.Errorf("%w: coalesced batch: %v", ErrPanic, p)
+			for _, r := range reqs {
+				select {
+				case r.done <- coalResult{err: err}:
+				default: // already answered before the panic
+				}
+			}
+		}
+	}()
+	co.runBatch(key, reqs)
+}
+
+func (co *coalescer) runBatch(key coalKey, reqs []*coalReq) {
 	if len(reqs) == 1 {
 		// No burst materialized: serve directly under the request's own
 		// context, and don't count it as coalesced.

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ned"
 )
@@ -131,18 +134,100 @@ func (s *Server) BootDurable() ([]string, error) {
 
 // maybeCheckpoint cuts a checkpoint once the tenant's active log holds
 // CheckpointEvery records, bounding replay at the next recovery. The
-// engine serializes concurrent checkpoints; the triggering mutation is
-// already committed when this runs, so an error here is a durability
-// maintenance fault, not a lost write.
-func (s *Server) maybeCheckpoint(t *Tenant) error {
+// engine serializes concurrent checkpoints. The triggering mutation is
+// already committed when this runs, so a failure here must NOT fail
+// the client's request — the write is durable; what broke is
+// maintenance. The corpus degrades itself on checkpoint failure, the
+// degraded gauge and /readyz surface it, and the recovery loop owns
+// the retries.
+func (s *Server) maybeCheckpoint(t *Tenant) {
 	recs, _, durable := t.Corpus.DurableStats()
 	if !durable || recs < s.opts.CheckpointEvery {
-		return nil
+		return
 	}
 	if err := t.Corpus.Checkpoint(); err != nil {
-		return fmt.Errorf("checkpointing %q after mutation: %w", t.Name, err)
+		log.Printf("serve: checkpointing %q after mutation: %v", t.Name, err)
 	}
-	return nil
+}
+
+// recoverState is the per-tenant backoff bookkeeping of the degraded
+// recovery loop.
+type recoverState struct {
+	attempts int
+	next     time.Time
+}
+
+// Recovery backoff bounds: first retry after recoverBase, doubling to
+// at most recoverMax between attempts. Bounded, not unbounded — a
+// disk that comes back (space freed, mount healed) should be noticed
+// within seconds, but a dead disk must not be hammered.
+const (
+	recoverBase = 500 * time.Millisecond
+	recoverMax  = 30 * time.Second
+)
+
+// RecoverDegraded makes one pass over the degraded tenants, attempting
+// the verified-rewrite Checkpoint for each whose backoff window has
+// elapsed, and returns how many cleared. Safe to call concurrently
+// with all traffic; the engine serializes the actual rewrites.
+func (s *Server) RecoverDegraded(now time.Time) int {
+	recovered := 0
+	for _, t := range s.degradedTenants() {
+		s.recMu.Lock()
+		st := s.recovering[t.Name]
+		if st == nil {
+			st = &recoverState{}
+			s.recovering[t.Name] = st
+		}
+		due := !now.Before(st.next)
+		attempt := st.attempts + 1
+		if due {
+			// Claim the slot before releasing the lock so concurrent
+			// passes do not double-attempt one tenant.
+			backoff := recoverBase << st.attempts
+			if backoff > recoverMax || backoff <= 0 {
+				backoff = recoverMax
+			}
+			st.attempts++
+			st.next = now.Add(backoff)
+		}
+		s.recMu.Unlock()
+		if !due {
+			continue
+		}
+		if err := t.Corpus.Checkpoint(); err != nil {
+			log.Printf("serve: degraded recovery of %q failed (attempt %d): %v", t.Name, attempt, err)
+			continue
+		}
+		log.Printf("serve: tenant %q recovered from degraded mode after %d attempt(s)", t.Name, attempt)
+		s.recMu.Lock()
+		delete(s.recovering, t.Name)
+		s.recMu.Unlock()
+		recovered++
+	}
+	return recovered
+}
+
+// StartDegradedRecovery runs RecoverDegraded on a ticker until ctx
+// ends. interval is the poll cadence (how quickly a fresh degradation
+// is noticed — per-tenant retry spacing is the backoff's job); <= 0
+// means one second.
+func (s *Server) StartDegradedRecovery(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-tick.C:
+				s.RecoverDegraded(now)
+			}
+		}
+	}()
 }
 
 // CloseTenants checkpoints and closes every durable tenant — the drain

@@ -41,6 +41,10 @@ var (
 	// immediately rather than queued behind work it would only slow
 	// down. Clients should back off and retry.
 	ErrOverloaded = errors.New("serve: too many in-flight queries")
+	// ErrPanic reports a handler panic caught by the recovery
+	// middleware: the connection got a typed 500 instead of a RST, and
+	// the daemon kept serving.
+	ErrPanic = errors.New("serve: internal panic")
 )
 
 // StatusClientClosedRequest is the non-standard status (nginx's 499)
@@ -80,6 +84,11 @@ var errorTable = []errorCode{
 	// A graph-requiring operation on a corpus loaded without a graph is
 	// a conflict with the corpus's state, not a malformed request.
 	{ned.ErrNoGraph, "no_graph", http.StatusConflict},
+	// A mutation on a degraded corpus is refused until its durable
+	// storage recovers; reads keep serving. 503 + Retry-After tells
+	// well-behaved clients to back off, not fail over their data.
+	{ned.ErrDegraded, "degraded", http.StatusServiceUnavailable},
+	{ErrPanic, "panic", http.StatusInternalServerError},
 }
 
 // MapError resolves any error the serve layer returns into its HTTP

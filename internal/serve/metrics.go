@@ -43,6 +43,7 @@ type metrics struct {
 	mu       sync.Mutex
 	requests map[string]map[int]*atomic.Int64 // endpoint -> HTTP status -> count
 	latency  map[string]*histogram
+	panics   atomic.Int64 // handler + background panics recovered
 }
 
 func newMetrics() *metrics {
@@ -156,6 +157,9 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP nedserve_corpora Registered corpora.\n")
 	fmt.Fprintf(w, "# TYPE nedserve_corpora gauge\n")
 	fmt.Fprintf(w, "nedserve_corpora %d\n", s.reg.Len())
+	fmt.Fprintf(w, "# HELP ned_server_panics_total Panics recovered by the serving tier (handlers and background flushes).\n")
+	fmt.Fprintf(w, "# TYPE ned_server_panics_total counter\n")
+	fmt.Fprintf(w, "ned_server_panics_total %d\n", ss.Panics)
 
 	// --- per-corpus engine counters ---
 	// One Stats snapshot per tenant, then metric by metric: the text
@@ -251,4 +255,39 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	emit("ned_corpus_stale_ratio", "gauge", "Fraction of index structure occupied by tombstones or unindexed appends.", func(i int) {
 		fmt.Fprintf(w, "ned_corpus_stale_ratio{corpus=%q} %g\n", tenants[i].Name, stats[i].StaleRatio)
 	})
+
+	// --- per-corpus durability health ---
+	healths := make([]ned.DurableHealth, len(tenants))
+	for i, t := range tenants {
+		healths[i] = t.Corpus.DurableHealth()
+	}
+	emit("ned_corpus_durable", "gauge", "1 when the corpus persists mutations to a durable directory.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_durable{corpus=%q} %d\n", tenants[i].Name, b2i(healths[i].Durable))
+	})
+	emit("ned_corpus_degraded", "gauge", "1 while durable storage failure has the corpus refusing mutations (reads unaffected).", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_degraded{corpus=%q} %d\n", tenants[i].Name, b2i(healths[i].Degraded))
+	})
+	emit("ned_corpus_degraded_seconds", "gauge", "Seconds since the corpus degraded; 0 while healthy.", func(i int) {
+		secs := 0.0
+		if healths[i].Degraded {
+			secs = time.Since(healths[i].Since).Seconds()
+		}
+		fmt.Fprintf(w, "ned_corpus_degraded_seconds{corpus=%q} %g\n", tenants[i].Name, secs)
+	})
+	emit("ned_corpus_recovery_attempts_total", "counter", "Verified-rewrite recovery attempts made while degraded.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_recovery_attempts_total{corpus=%q} %d\n", tenants[i].Name, healths[i].RecoveryAttempts)
+	})
+	emit("ned_corpus_quarantined_checkpoints_total", "counter", "Checkpoint generations renamed aside as unreadable.", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_quarantined_checkpoints_total{corpus=%q} %d\n", tenants[i].Name, healths[i].QuarantinedCheckpoints)
+	})
+	emit("ned_corpus_wal_records", "gauge", "Mutation records in the active log generation (replay debt at next recovery).", func(i int) {
+		fmt.Fprintf(w, "ned_corpus_wal_records{corpus=%q} %d\n", tenants[i].Name, healths[i].WALRecords)
+	})
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -80,6 +82,10 @@ type Server struct {
 	// recovery, drain) — control-plane only, never on the query path.
 	durMu sync.Mutex
 
+	// recMu guards the degraded-recovery backoff table (durable.go).
+	recMu      sync.Mutex
+	recovering map[string]*recoverState
+
 	// afterAdmit, when set, runs after a query passes admission control
 	// and before it executes — a test seam for holding slots open.
 	afterAdmit func()
@@ -89,14 +95,19 @@ type Server struct {
 func New(opts Options) *Server {
 	opts.defaults()
 	s := &Server{
-		opts: opts,
-		reg:  NewRegistry(),
-		adm:  newAdmission(opts.MaxInflight),
-		met:  newMetrics(),
-		mux:  http.NewServeMux(),
+		opts:       opts,
+		reg:        NewRegistry(),
+		adm:        newAdmission(opts.MaxInflight),
+		met:        newMetrics(),
+		mux:        http.NewServeMux(),
+		recovering: make(map[string]*recoverState),
 	}
 	if opts.CoalesceWindow > 0 {
 		s.coal = newCoalescer(opts.CoalesceWindow, opts.CoalesceMaxBatch)
+		s.coal.onPanic = func(p any) {
+			s.met.panics.Add(1)
+			log.Printf("serve: panic in coalesced batch: %v\n%s", p, debug.Stack())
+		}
 	}
 	s.routes()
 	return s
@@ -105,8 +116,25 @@ func New(opts Options) *Server {
 // Registry exposes the tenant table, for preloading corpora at boot.
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler is the root handler to mount on an http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler is the root handler to mount on an http.Server. The mux is
+// wrapped in panic recovery so even handlers outside the typed-handler
+// adapter (snapshot streaming, metrics) cannot take a connection down
+// without a logged 500 and a counter increment.
+func (s *Server) Handler() http.Handler { return s.recoverware(s.mux) }
+
+// recoverware is the outermost panic barrier.
+func (s *Server) recoverware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				writeError(w, fmt.Errorf("%w: %v", ErrPanic, p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // ServerStats is a point-in-time snapshot of the serving counters.
 type ServerStats struct {
@@ -116,21 +144,37 @@ type ServerStats struct {
 	Overloads         int64 `json:"overloads"`
 	CoalesceBatches   int64 `json:"coalesce_batches"`
 	CoalescedRequests int64 `json:"coalesced_requests"`
+	Panics            int64 `json:"panics"`
+	DegradedCorpora   int   `json:"degraded_corpora"`
 }
 
 // Stats reports the server-side counters (the engine counters live on
 // each corpus's own stats).
 func (s *Server) Stats() ServerStats {
 	ss := ServerStats{
-		Corpora:       s.reg.Len(),
-		Inflight:      s.adm.inflight(),
-		InflightLimit: s.adm.limit(),
-		Overloads:     s.adm.overloads.Load(),
+		Corpora:         s.reg.Len(),
+		Inflight:        s.adm.inflight(),
+		InflightLimit:   s.adm.limit(),
+		Overloads:       s.adm.overloads.Load(),
+		Panics:          s.met.panics.Load(),
+		DegradedCorpora: len(s.degradedTenants()),
 	}
 	if s.coal != nil {
 		ss.CoalesceBatches, ss.CoalescedRequests = s.coal.stats()
 	}
 	return ss
+}
+
+// degradedTenants lists the tenants currently refusing mutations
+// because their durable storage failed.
+func (s *Server) degradedTenants() []*Tenant {
+	var out []*Tenant
+	for _, t := range s.reg.All() {
+		if t.Corpus.DurableHealth().Degraded {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // StatsDoc is the machine-readable per-corpus stats document. It is the
@@ -298,8 +342,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) int {
 	return status
 }
 
+// retryAfterSeconds is the backoff hint sent with 503s: degraded-mode
+// recovery runs on a seconds-scale backoff loop, so an immediate retry
+// would only be refused again.
+const retryAfterSeconds = 2
+
 func writeError(w http.ResponseWriter, err error) int {
 	status, code := MapError(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	return writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }
 
@@ -310,7 +362,19 @@ func writeError(w http.ResponseWriter, err error) int {
 func (s *Server) handler(endpoint string, admit bool, fn func(ctx context.Context, r *http.Request) (status int, body any, err error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		status := func() int {
+		status := func() (status int) {
+			// A panicking handler must cost one request, not the daemon:
+			// recover, count, log, and answer with a typed 500. Headers may
+			// already be gone if the panic hit mid-encode; the duplicate
+			// WriteHeader is then a logged no-op, and the counter still
+			// moves.
+			defer func() {
+				if p := recover(); p != nil {
+					s.met.panics.Add(1)
+					log.Printf("serve: panic in %s handler: %v\n%s", endpoint, p, debug.Stack())
+					status = writeError(w, fmt.Errorf("%w: %v", ErrPanic, p))
+				}
+			}()
 			if admit {
 				if !s.adm.tryAcquire() {
 					return writeError(w, ErrOverloaded)
@@ -344,6 +408,7 @@ func (s *Server) tenant(r *http.Request) (*Tenant, error) {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
 	s.mux.HandleFunc("GET /v1/corpora", s.handler("list", false, s.handleList))
@@ -365,6 +430,36 @@ func (s *Server) routes() {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "corpora": s.reg.Len()})
+}
+
+// handleReady is the readiness probe, distinct from liveness: /healthz
+// answers "is the process up" (always yes while serving), /readyz
+// answers "should this instance take writes" — 503 while any durable
+// tenant is degraded, so an orchestrator can drain mutation traffic
+// toward healthy replicas while reads keep flowing here.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	degraded := s.degradedTenants()
+	if len(degraded) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "corpora": s.reg.Len()})
+		return
+	}
+	names := make([]string, len(degraded))
+	details := make(map[string]any, len(degraded))
+	for i, t := range degraded {
+		h := t.Corpus.DurableHealth()
+		names[i] = t.Name
+		details[t.Name] = map[string]any{
+			"reason":            h.Reason,
+			"since":             h.Since.Format(time.RFC3339),
+			"recovery_attempts": h.RecoveryAttempts,
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status":   "degraded",
+		"degraded": names,
+		"detail":   details,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -600,9 +695,7 @@ func (s *Server) handleInsert(ctx context.Context, r *http.Request) (int, any, e
 	if err := t.Corpus.Insert(nodes...); err != nil {
 		return 0, nil, err
 	}
-	if err := s.maybeCheckpoint(t); err != nil {
-		return 0, nil, err
-	}
+	s.maybeCheckpoint(t)
 	return http.StatusOK, map[string]any{"inserted": len(nodes)}, nil
 }
 
@@ -622,9 +715,7 @@ func (s *Server) handleRemove(ctx context.Context, r *http.Request) (int, any, e
 	if err := t.Corpus.Remove(nodes...); err != nil {
 		return 0, nil, err
 	}
-	if err := s.maybeCheckpoint(t); err != nil {
-		return 0, nil, err
-	}
+	s.maybeCheckpoint(t)
 	return http.StatusOK, map[string]any{"removed": len(nodes)}, nil
 }
 
